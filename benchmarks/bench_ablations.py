@@ -1,0 +1,298 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. Freshness mechanism state cost: nonce history growth vs the single
+   counter word (Section 4.2's objection, measured).
+2. Paper timestamps vs the monotonic extension: the within-window replay
+   that the inter-spacing assumption leaves open, closed by one stored
+   word.
+3. Interruptible vs uninterruptible attestation: primary-task deadlines
+   missed during measurement (Section 3.1's real-time concern).
+4. Request-auth primitive choice under honest load: per-round prover
+   cost including validation.
+"""
+
+import pytest
+
+from repro.attacks.external import ReplayAttacker
+from repro.core import build_session
+from repro.core.analysis import render_table
+from repro.core.freshness import (CounterPolicy, NonceHistoryPolicy,
+                                  InMemoryStateView)
+from repro.core.messages import AttestationRequest
+from repro.crypto import CryptoCostModel
+from repro.mcu import DeviceConfig, DutyCycleTask
+
+from _report import run_once, write_report
+
+
+def small_config(**overrides):
+    defaults = dict(ram_size=16 * 1024, flash_size=32 * 1024,
+                    app_size=4 * 1024)
+    defaults.update(overrides)
+    return DeviceConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# 1. Freshness state cost
+# ---------------------------------------------------------------------------
+
+def test_report_freshness_state_cost(benchmark):
+    run_once(benchmark, lambda: None)
+    nonce_policy = NonceHistoryPolicy(nonce_size=16)
+    view = InMemoryStateView()
+    rows = [["requests seen", "nonce history (bytes)", "counter (bytes)"]]
+    for count in (10, 100, 1_000, 10_000):
+        while len(view.nonces) < count:
+            index = len(view.nonces)
+            view.remember_nonce(index.to_bytes(16, "big"))
+        rows.append([f"{count:,}",
+                     f"{nonce_policy.prover_state_bytes(view):,}", "8"])
+    report = render_table(rows, title="Ablation: prover non-volatile state "
+                                      "per freshness feature")
+    report += ("\n\nSection 4.2: 'keeping a complete nonce history requires "
+               "a lot of non-volatile memory on the prover' -- after 10k "
+               "requests the history exceeds the flash of many low-end "
+               "MCUs, while the counter stays one word.")
+    write_report("ablation_freshness_state", report)
+    assert nonce_policy.prover_state_bytes(view) == 160_000
+    assert CounterPolicy().prover_state_bytes(view) == 8
+
+
+# ---------------------------------------------------------------------------
+# 2. Paper timestamps vs monotonic extension
+# ---------------------------------------------------------------------------
+
+def _within_window_replay(monotonic: bool) -> bool:
+    """Replay a genuine request *inside* the acceptance window; returns
+    whether the prover accepted the copy."""
+    session = build_session(policy_name="timestamp",
+                            device_config=small_config(),
+                            timestamp_window_seconds=5.0,
+                            seed=f"ablate-mono-{monotonic}")
+    if monotonic:
+        session.policy.monotonic = True
+    session.attest_once(settle_seconds=2.0)
+    accepted_before = session.anchor.stats.accepted
+    attacker = ReplayAttacker(session.channel, session.sim)
+    attacker.replay_latest(delay=0.5)   # well inside the 5 s window
+    session.sim.run(until=session.sim.now + 3.0)
+    return session.anchor.stats.accepted > accepted_before
+
+
+def test_report_timestamp_monotonic_ablation(benchmark):
+    run_once(benchmark, lambda: None)
+    paper_accepts = _within_window_replay(monotonic=False)
+    hardened_accepts = _within_window_replay(monotonic=True)
+    rows = [["variant", "within-window replay accepted", "prover state"],
+            ["paper (pure window check)",
+             "yes" if paper_accepts else "no", "0 bytes"],
+            ["monotonic extension",
+             "yes" if hardened_accepts else "no", "8 bytes"]]
+    report = render_table(rows, title="Ablation: timestamp freshness, paper "
+                                      "scheme vs monotonic extension")
+    report += ("\n\nThe paper's scheme relies on 'sufficiently inter-spaced "
+               "genuine attestation requests'; inside the window a replay "
+               "passes.  Storing the last accepted timestamp in the same "
+               "protected word the counter scheme uses closes the gap for "
+               "8 bytes of state.")
+    write_report("ablation_timestamp_monotonic", report)
+    assert paper_accepts and not hardened_accepts
+
+
+# ---------------------------------------------------------------------------
+# 3. Real-time interference
+# ---------------------------------------------------------------------------
+
+def test_report_realtime_interference(benchmark):
+    """Deadlines missed by a 10 Hz control task while attestation runs.
+
+    Two accounts that must agree in shape: the analytic gap bound
+    (DutyCycleTask) and an execution-accurate run of the cooperative
+    executive (CooperativeScheduler) under the same blocking."""
+    run_once(benchmark, lambda: None)
+    from repro.mcu import CooperativeScheduler, PeriodicTask
+
+    rows = [["memory", "attestation (ms)", "missed (analytic)",
+             "skipped (executive)", "max lateness catch-up (ms)"]]
+    model = CryptoCostModel()
+    for kb in (64, 256, 512):
+        attest_s = model.attestation_ms(kb * 1024) / 1000.0
+        busy = [(1.0, 1.0 + attest_s)]
+
+        analytic = DutyCycleTask("control", period_seconds=0.1,
+                                 job_cycles=240_000)
+        analytic.record_blocked(*busy[0])
+        missed = analytic.missed_deadlines(horizon_seconds=10.0)
+
+        skip_report = CooperativeScheduler([
+            PeriodicTask("control", 0.1, 0.01)]).run(10.0, busy)
+        late_report = CooperativeScheduler([
+            PeriodicTask("control", 0.1, 0.01, policy="catch-up")
+        ]).run(10.0, busy)
+
+        rows.append([f"{kb} KB", f"{attest_s * 1000:.1f}", str(missed),
+                     str(skip_report.skipped),
+                     f"{late_report.max_lateness_seconds * 1000:.0f}"])
+        assert skip_report.skipped == missed
+    report = render_table(rows, title="Ablation: control-task deadlines "
+                                      "missed during one (uninterruptible) "
+                                      "attestation")
+    report += ("\n\nSection 3.1: attestation on low-end devices runs "
+               "without interruption, so a 512 KB measurement blanks ~7 "
+               "consecutive 100 ms control periods -- exactly why bogus "
+               "invocations are an attack on the device's primary "
+               "function.  The analytic bound and the execution-accurate "
+               "cooperative executive agree; a catch-up task instead "
+               "accumulates the full measurement time as lateness.")
+    write_report("ablation_realtime", report)
+
+
+# ---------------------------------------------------------------------------
+# 3b. SMART atomicity vs the Figure 1b SW-clock
+# ---------------------------------------------------------------------------
+
+def test_report_rate_limit_alternative(benchmark):
+    """The naive alternative to authentication -- prover-side rate
+    limiting -- attacked: one forgery just before each genuine request
+    claims the rate slot."""
+    run_once(benchmark, lambda: None)
+    from repro.attacks.scenarios import run_rate_limit_lockout
+
+    rows = [["defence", "genuine served", "forged measured",
+             "genuine rate-limited"]]
+    outcomes = {}
+    for scheme, label in (("none", "rate limit only"),
+                          ("speck-64/128-cbc-mac",
+                           "rate limit + speck MAC")):
+        result = run_rate_limit_lockout(auth_scheme=scheme,
+                                        seed="bench-lockout")
+        outcomes[scheme] = result
+        rows.append([label,
+                     f"{result.genuine_accepted}/{result.genuine_sent}",
+                     str(result.forged_measured),
+                     str(result.rejected_rate_limited)])
+    report = render_table(rows, title="Ablation: rate limiting as a "
+                                      "DoS defence")
+    report += ("\n\nWithout authentication, rate limiting inverts the "
+               "attack: the adversary spends one forged packet per "
+               "window to lock every genuine request out, while the "
+               "prover still burns a full measurement per forgery.  "
+               "Authentication (0.015 ms/request) makes the limiter "
+               "irrelevant -- exactly the paper's position that request "
+               "authentication, not throttling, is the defence.")
+    write_report("ablation_rate_limiting", report)
+    assert outcomes["none"].genuine_accepted == 0
+    assert outcomes["speck-64/128-cbc-mac"].genuine_accepted == \
+        outcomes["speck-64/128-cbc-mac"].genuine_sent
+
+
+def test_report_monotonic_vs_hardware_budget(benchmark):
+    """The monotonic extension as a hardware-budget trade: with it, the
+    clock-reset attack dies at the (already required) counter_R rule, so
+    the Section 6.3 clock-protection rules buy availability only, not
+    invocation-DoS resistance."""
+    run_once(benchmark, lambda: None)
+    from repro.attacks.scenarios import run_roaming_attack
+    from repro.mcu import BASELINE, EXT_HARDENED, ROAM_HARDENED
+
+    rows = [["profile (rules)", "paper timestamps", "monotonic extension"]]
+    cases = [(BASELINE, "baseline (2)"), (EXT_HARDENED, "ext-hardened (3)"),
+             (ROAM_HARDENED, "roam-hardened (4)")]
+    for profile, label in cases:
+        outcomes = []
+        for mono in (False, True):
+            record = run_roaming_attack(
+                strategy="clock-reset", policy="timestamp",
+                profile=profile, monotonic_timestamps=mono,
+                seed=f"bench-mono-{profile.name}-{mono}")
+            outcomes.append("DoS succeeds" if record.dos_succeeded
+                            else "blocked")
+        rows.append([label] + outcomes)
+    report = render_table(rows, title="Ablation: clock-reset replay vs "
+                                      "timestamp variant and rule budget")
+    report += ("\n\nWith monotonic timestamps, protecting counter_R "
+               "(1 rule, already required for counter freshness) blocks "
+               "the clock-reset replay -- the 1-3 extra clock-protection "
+               "rules of Section 6.3 then defend the clock's "
+               "*availability* (an adversary can still stop or skew an "
+               "unprotected clock to make the prover reject genuine "
+               "requests) rather than being the last line against "
+               "unauthorised invocation.")
+    write_report("ablation_monotonic_hw_budget", report)
+
+
+def test_report_smart_vs_trustlite_clock(benchmark):
+    """SMART's uninterruptible attestation silently loses SW-clock wraps
+    (one pending bit per IRQ line), so the clock falls behind by almost
+    the whole measurement time; TrustLite-style interruptible trusted
+    code keeps it exact.  A design interaction the paper's prototype
+    avoids by building on TrustLite."""
+    run_once(benchmark, lambda: None)
+    from repro.mcu import Device, ROAM_HARDENED
+
+    rows = [["trusted-code style", "clock", "measurement (ms)",
+             "clock lag after one attestation (ms)", "wraps absorbed"]]
+    for clock_kind in ("sw", "hw64"):
+        for atomic in (False, True):
+            config = small_config(clock_kind=clock_kind,
+                                  uninterruptible_attest=atomic)
+            device = Device(config)
+            device.provision(b"K" * 16)
+            device.boot(ROAM_HARDENED)
+            attest = device.context("Code_Attest")
+            device.idle_seconds(0.01)
+            start = device.cpu.cycle_count
+            device.digest_writable_memory(attest)
+            measurement_ms = (device.cpu.cycle_count - start) / 24_000
+            device.cpu.consume_cycles(1)
+            lag = device.cpu.cycle_count - device.read_clock_ticks(attest)
+            rows.append([
+                "SMART (atomic)" if atomic else "TrustLite (interruptible)",
+                clock_kind, f"{measurement_ms:.1f}",
+                f"{lag / 24_000:.2f}",
+                str(len(device.interrupts.coalesced_log))])
+    report = render_table(rows, title="Ablation: trusted-code "
+                                      "interruptibility vs clock design")
+    report += ("\n\nSMART-style atomic measurement on a SW-clock device "
+               "loses nearly the full measurement duration of clock time "
+               "per attestation (every LSB wrap beyond the first is "
+               "absorbed by the single pending bit) -- repeated "
+               "attestations would accumulate unbounded clock error, "
+               "breaking the timestamp defence from the inside.  "
+               "Interruptible trusted code (TrustLite, as the paper's "
+               "prototype uses) or a dedicated hardware clock avoids it.")
+    write_report("ablation_smart_vs_trustlite", report)
+
+
+# ---------------------------------------------------------------------------
+# 4. Request-auth primitive under honest load
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["speck-64/128-cbc-mac", "hmac-sha1"])
+def test_bench_honest_round(benchmark, scheme):
+    session = build_session(auth_scheme=scheme,
+                            device_config=small_config(),
+                            seed=f"bench-honest-{scheme}")
+
+    def one_round():
+        return session.attest_once(settle_seconds=5.0)
+
+    result = benchmark.pedantic(one_round, rounds=1, iterations=1)
+    assert result.authentic
+
+
+def test_report_honest_overhead(benchmark):
+    run_once(benchmark, lambda: None)
+    model = CryptoCostModel()
+    attest_ms = model.attestation_ms(512 * 1024)
+    rows = [["scheme", "validation (ms)", "% of one 512 KB attestation"]]
+    for scheme in ("speck-64/128-cbc-mac", "aes-128-cbc-mac", "hmac-sha1",
+                   "ecdsa-secp160r1"):
+        v = model.request_validation_ms(scheme)
+        rows.append([scheme, f"{v:.3f}", f"{100 * v / attest_ms:.3f}"])
+    report = render_table(rows, title="Ablation: honest-case overhead of "
+                                      "request authentication")
+    report += ("\n\nFor symmetric schemes the defence is ~free (<0.06 % "
+               "of the measurement it protects); only ECDSA is "
+               "significant (22.7 %).")
+    write_report("ablation_honest_overhead", report)

@@ -1,0 +1,118 @@
+"""Section 2 baseline: software-based attestation over a network.
+
+The paper dismisses SWATT/Pioneer-style timing attestation for networked
+provers: the schemes "only work if the verifier communicates directly to
+the prover, with no intermediate hops".  This harness quantifies the
+claim: detection accuracy of a SWATT verifier against a read-redirecting
+cheater, as channel jitter grows from a direct link towards multi-hop
+conditions -- and contrasts it with the hardware-anchored protocol, whose
+verdicts do not depend on timing at all.
+"""
+
+import pytest
+
+from repro.baselines.swatt import (CHEAT_OVERHEAD_CYCLES, SwattVerifier,
+                                   evaluate_over_network)
+from repro.core import build_session
+from repro.core.analysis import render_table
+from repro.mcu import BASELINE, Device, DeviceConfig
+
+from _report import run_once, write_report
+
+ITERATIONS = 8_000
+JITTERS = [0.0, 0.0005, 0.002, 0.005, 0.010]
+
+
+def factory():
+    device = Device(DeviceConfig(ram_size=8 * 1024, flash_size=16 * 1024,
+                                 app_size=4 * 1024))
+    device.provision(b"K" * 16)
+    device.boot(BASELINE)
+    return device
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return evaluate_over_network(device_factory=factory, jitters=JITTERS,
+                                 trials=12, iterations=ITERATIONS,
+                                 seed="bench-swatt")
+
+
+def test_report_swatt_collapse(benchmark, sweep):
+    run_once(benchmark, lambda: None)
+    overhead_ms = ITERATIONS * CHEAT_OVERHEAD_CYCLES / 24_000
+    rows = [["channel jitter (ms)", "false accepts", "false rejects",
+             "accuracy"]]
+    for point in sweep:
+        rows.append([f"{point.jitter_seconds * 1000:.1f}",
+                     f"{point.false_accepts}/{point.trials}",
+                     f"{point.false_rejects}/{point.trials}",
+                     f"{point.accuracy:.2f}"])
+    report = render_table(
+        rows, title="SWATT-style timing attestation vs channel jitter "
+                    f"(cheat overhead: {overhead_ms:.2f} ms)")
+    report += ("\n\nShape: perfect on a direct link, collapsing towards "
+               "coin-flip once jitter dwarfs the cheat overhead -- the "
+               "paper's Section 2 argument that software-based "
+               "attestation 'is not viable ... over a network'.  The "
+               "hardware-anchored protocol's verdicts are timing-free "
+               "and unaffected (next report).")
+    write_report("section2_swatt_collapse", report)
+    assert sweep[0].accuracy == 1.0
+    assert sweep[-1].accuracy < 0.8
+    assert sweep[-1].accuracy < sweep[0].accuracy
+
+
+def test_report_hardware_protocol_jitter_free(benchmark):
+    """The Section 6 protocol under the same worst jitter: verdicts are
+    unaffected because nothing is timed."""
+    run_once(benchmark, lambda: None)
+    session = build_session(
+        device_config=DeviceConfig(ram_size=8 * 1024,
+                                   flash_size=16 * 1024,
+                                   app_size=4 * 1024),
+        latency_seconds=0.010, seed="bench-hw-jitter")
+    session.learn_reference_state()
+    verdicts = [session.attest_once().trusted for _ in range(5)]
+    report = (f"hardware-anchored attestation across a 10 ms-latency "
+              f"channel: {sum(verdicts)}/5 rounds trusted\n"
+              f"(verdicts depend on MACs and freshness state, not on "
+              f"response timing)")
+    write_report("section2_hw_protocol_jitter", report)
+    assert all(verdicts)
+
+
+def test_report_swatt_by_topology(benchmark):
+    """The same collapse expressed in deployment terms: direct link,
+    campus network, WAN -- the paper's 'no intermediate hops' condition."""
+    from repro.baselines.swatt import evaluate_over_paths
+    from repro.net.path import DIRECT_LINK, campus_path, wan_path
+
+    paths = {"direct link": DIRECT_LINK, "campus (3 hops)": campus_path(),
+             "WAN (5 hops)": wan_path()}
+    results = run_once(benchmark, lambda: evaluate_over_paths(
+        device_factory=factory, paths=paths, trials=10,
+        iterations=ITERATIONS, seed="bench-swatt-topo"))
+    rows = [["topology", "jitter span (ms)", "accuracy"]]
+    for name, path in paths.items():
+        point = results[name]
+        rows.append([name, f"{path.jitter_span_seconds * 1000:.2f}",
+                     f"{point.accuracy:.2f}"])
+    report = render_table(rows, title="SWATT detection accuracy by "
+                                      "deployment topology")
+    report += ("\n\nOnly the direct link (the computer-peripheral setting "
+               "SWATT was designed for) retains full accuracy; every hop "
+               "added widens the timing uncertainty the verifier must "
+               "absorb.")
+    write_report("section2_swatt_topology", report)
+    assert results["direct link"].accuracy == 1.0
+    assert results["WAN (5 hops)"].accuracy < \
+        results["direct link"].accuracy
+
+
+def test_bench_swatt_response(benchmark):
+    from repro.baselines.swatt import SwattProver
+    prover = SwattProver(factory())
+    verifier = SwattVerifier(iterations=ITERATIONS)
+    benchmark.pedantic(lambda: prover.respond(verifier.challenge()),
+                       rounds=3, iterations=1)

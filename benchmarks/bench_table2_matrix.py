@@ -1,0 +1,79 @@
+"""Table 2: DoS attack mitigation features, derived by simulation.
+
+Each cell is produced by actually running the attack (replay / reorder /
+delay) against a live prover configured with the feature (nonce history /
+counter / timestamp) and observing whether the prover performed
+unauthorised attestation work.  The derived matrix is then compared
+against Table 2 as printed.
+"""
+
+import pytest
+
+from repro.attacks.scenarios import (TABLE2_EXPECTED, run_table2_matrix,
+                                     _replay_cell)
+from repro.core.analysis import render_table
+
+from _report import run_once, write_report
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_table2_matrix(seed="bench-table2")
+
+
+def test_report_table2(benchmark, matrix):
+    run_once(benchmark, lambda: None)
+    rows = matrix.as_rows()
+    report = render_table(rows, title="Table 2: attack vs freshness feature "
+                                      "(yes = mitigated), derived by "
+                                      "simulation")
+    report += "\n\npaper Table 2 expectations: "
+    report += "; ".join(f"{feature} stops {sorted(attacks)}"
+                        for feature, attacks in TABLE2_EXPECTED.items())
+    agreement = matrix.matches(TABLE2_EXPECTED)
+    report += f"\nagreement with paper: {'EXACT' if agreement else 'MISMATCH'}"
+    write_report("table2_mitigation_matrix", report)
+    assert agreement
+
+
+def test_report_table2_model_checked(benchmark):
+    """Table 2 again, but justified by exhaustive schedule enumeration
+    (every interleaving of deliveries, replays and drops of 3 genuine
+    requests) instead of single scripted attacks."""
+    from repro.core.modelcheck import table2_from_model_checking
+
+    paper = run_once(benchmark,
+                     lambda: table2_from_model_checking(
+                         paper_assumptions=True))
+    strict = table2_from_model_checking(paper_assumptions=False)
+    rows = [["feature", "paper-assumption adversary",
+             "unrestricted adversary"]]
+    for feature in ("nonce", "counter", "timestamp"):
+        rows.append([feature,
+                     ", ".join(sorted(paper[feature])) or "-",
+                     ", ".join(sorted(strict[feature])) or "-"])
+    report = render_table(rows, title="Table 2 via exhaustive model "
+                                      "checking (mitigated attacks)")
+    report += ("\n\nUnder the paper's implicit assumption that replays "
+               "arrive after the acceptance window, the model-checked "
+               "matrix equals Table 2 exactly.  Against an unrestricted "
+               "Dolev-Yao adversary the stateless timestamp scheme "
+               "admits immediate-replay double acceptance; the 8-byte "
+               "monotonic extension (ablation) closes it.")
+    write_report("table2_model_checked", report)
+    assert paper == TABLE2_EXPECTED
+    assert "replay" not in strict["timestamp"]
+
+
+def test_bench_one_cell(benchmark):
+    """Wall-clock of deriving a single matrix cell (one full scenario)."""
+    result = benchmark.pedantic(
+        lambda: _replay_cell("counter", "hmac-sha1", seed="bench-cell"),
+        rounds=1, iterations=1)
+    assert result.mitigated
+
+
+def test_every_cell_has_detail(benchmark, matrix):
+    run_once(benchmark, lambda: None)
+    for outcome in matrix.outcomes.values():
+        assert outcome.detail

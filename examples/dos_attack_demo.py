@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Verifier impersonation as denial-of-service (Sections 3.1 and 4.1).
+
+An attacker who can reach the prover's radio floods it with forged
+attestation requests.  This demo runs the same flood against four
+provers that differ only in how they authenticate requests, and shows:
+
+* the unauthenticated prover measures its whole memory for every forgery
+  (energy + CPU time stolen);
+* MAC-authenticated provers reject each forgery in microseconds;
+* the ECDSA prover is DoS-ed *by its own request validation* -- the
+  paper's paradox that rules public-key crypto out on low-end devices.
+
+Run:  python examples/dos_attack_demo.py
+"""
+
+from repro.attacks.scenarios import run_dos_flood
+from repro.core.analysis import render_table
+from repro.mcu import DeviceConfig, DutyCycleTask
+
+RATE = 0.5         # forged requests per second
+DURATION = 120.0   # simulated seconds
+
+
+def main() -> None:
+    config = DeviceConfig(ram_size=64 * 1024, flash_size=64 * 1024,
+                          app_size=8 * 1024)
+    print(f"Flooding a {config.ram_size // 1024 + config.flash_size // 1024}"
+          f" KB prover with {RATE}/s forged requests for {DURATION:.0f} s "
+          f"(simulated)...\n")
+
+    rows = [["request auth", "accepted", "rejected", "CPU stolen (s)",
+             "duty %", "energy (mJ)"]]
+    results = {}
+    for scheme in ("none", "speck-64/128-cbc-mac", "hmac-sha1",
+                   "ecdsa-secp160r1"):
+        result = run_dos_flood(auth_scheme=scheme, rate_per_second=RATE,
+                               duration_seconds=DURATION,
+                               device_config=DeviceConfig(
+                                   ram_size=config.ram_size,
+                                   flash_size=config.flash_size,
+                                   app_size=config.app_size),
+                               seed="dos-demo")
+        results[scheme] = result
+        rows.append([scheme, str(result.accepted), str(result.rejected),
+                     f"{result.active_seconds:.3f}",
+                     f"{100 * result.duty_fraction:.3f}",
+                     f"{result.energy_mj:.3f}"])
+    print(render_table(rows))
+
+    none, speck = results["none"], results["speck-64/128-cbc-mac"]
+    ecdsa = results["ecdsa-secp160r1"]
+    print(f"\nUnauthenticated: the flood stole "
+          f"{100 * none.duty_fraction:.1f}% of the device's time.")
+    print(f"Speck MAC: the same flood cost "
+          f"{speck.active_seconds * 1000:.1f} ms total -- three orders of "
+          f"magnitude less.")
+    print(f"ECDSA: validating-and-rejecting cost "
+          f"{ecdsa.active_seconds:.1f} s, i.e. "
+          f"{ecdsa.active_seconds / none.active_seconds:.1f}x the "
+          f"*unauthenticated* prover's loss on this device size: the "
+          f"defence became the attack (Section 4.1).")
+
+    # Real-time impact: a 10 Hz control loop during the unauthenticated
+    # flood (Section 3.1's "takes Prv away from its primary tasks").
+    task = DutyCycleTask("control", period_seconds=0.1, job_cycles=240_000)
+    # Reconstruct blocked intervals from the prover's busy log.
+    print("\nPrimary-task impact (10 Hz control loop, 10 ms job):")
+    attest_s = none.active_seconds / max(1, none.accepted)
+    per_attack_missed = DutyCycleTask("x", 0.1, 240_000)
+    per_attack_missed.record_blocked(0.0, attest_s)
+    missed = per_attack_missed.missed_deadlines(attest_s + 0.1)
+    print(f"  each forged request blanks ~{attest_s * 1000:.0f} ms "
+          f"=> ~{missed} consecutive control deadlines missed, "
+          f"{none.accepted} times over the flood window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Exhaustive verification of the freshness design space (Section 4.2).
+
+Table 2 was derived in the paper by argument; here it is re-derived by
+*enumeration*: every interleaving of deliveries, replays and drops that an
+external adversary can impose on three genuine requests is executed
+against each freshness policy, and the mitigation matrix falls out of
+which safety properties survive the whole space.
+
+The checker also surfaces something the table cannot: the stateless
+timestamp scheme's dependence on the "sufficiently inter-spaced requests"
+assumption.  Drop the assumption (let the adversary replay immediately)
+and the replay tick disappears — restored by an 8-byte monotonicity
+extension.
+
+Run:  python examples/freshness_model_checking.py
+"""
+
+from repro.core.analysis import render_table
+from repro.core.modelcheck import (PROPERTIES, check_policy,
+                                   table2_from_model_checking)
+
+
+def show_matrix(title: str, table: dict) -> None:
+    rows = [["feature", "mitigates"]]
+    for feature in ("nonce", "counter", "timestamp"):
+        rows.append([feature, ", ".join(sorted(table[feature])) or "-"])
+    print(render_table(rows, title=title))
+    print()
+
+
+def main() -> None:
+    print("Enumerating ~1000 adversary schedules per policy "
+          "(3 genuine requests x {drop, 1-2 deliveries} x 3 delays)...\n")
+
+    show_matrix("Under the paper's assumptions (replays arrive after the "
+                "acceptance window)",
+                table2_from_model_checking(paper_assumptions=True))
+
+    show_matrix("Unrestricted Dolev-Yao adversary (immediate replays "
+                "allowed)",
+                table2_from_model_checking(paper_assumptions=False))
+
+    print("Per-policy property detail (unrestricted adversary):")
+    rows = [["policy"] + list(PROPERTIES)]
+    for policy in ("none", "nonce", "counter", "timestamp"):
+        result = check_policy(policy)
+        rows.append([policy] + ["holds" if prop in result.holds else "FAILS"
+                                for prop in PROPERTIES])
+    result = check_policy("timestamp", monotonic_timestamps=True)
+    rows.append(["timestamp+monotonic"]
+                + ["holds" if prop in result.holds else "FAILS"
+                   for prop in PROPERTIES])
+    print(render_table(rows))
+
+    print("\nWitness for the timestamp replay gap:")
+    witness = check_policy("timestamp").witnesses("no-double-acceptance")[0]
+    print(f"  {witness.detail}")
+    for delivery in witness.schedule:
+        print(f"    request {delivery.index} delivered at "
+              f"t={delivery.time:.1f}s")
+    print("\n  -> two in-window deliveries of the same request are both "
+          "accepted by the\n     stateless window check; the monotonic "
+          "extension (one protected word, the\n     same word the counter "
+          "scheme already uses) rejects the second.")
+
+
+if __name__ == "__main__":
+    main()

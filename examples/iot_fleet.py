@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Operating an IoT fleet on the attestation substrate (Sections 1 and 7).
+
+A day in the life of a small fleet: periodic attestation sweeps detect a
+compromised node; the operator pushes a firmware update to it over the
+authenticated update channel, refreshes the reference measurement, and
+issues a verified erase of the node's scratch memory; clock drift is
+corrected with the secure time-sync protocol.  All three of the paper's
+"derived services" plus its two future-work items in one scenario.
+
+Run:  python examples/iot_fleet.py
+"""
+
+from repro.mcu.firmware import FirmwareModule
+from repro.mcu import DeviceConfig
+from repro.services.codeupdate import UpdateAuthority, UpdateManager
+from repro.services.erasure import ErasureManager, ErasureVerifier
+from repro.services.swarm import Swarm
+from repro.services.timesync import (ClockSynchronizer, DriftingClock,
+                                     SyncVerifier)
+
+FLEET_SIZE = 4
+
+
+def main() -> None:
+    print(f"== Deploying a fleet of {FLEET_SIZE} provers ==")
+    fleet = Swarm(FLEET_SIZE,
+                  device_config=DeviceConfig(ram_size=16 * 1024,
+                                             flash_size=32 * 1024,
+                                             app_size=4 * 1024),
+                  auth_scheme="speck-64/128-cbc-mac", policy_name="counter",
+                  seed="iot-fleet")
+    report = fleet.sweep()
+    print(f"  initial sweep: {report.trusted}/{report.attempted} trusted, "
+          f"fleet energy {report.fleet_energy_mj:.3f} mJ")
+
+    print("\n== Node device-002 gets infected ==")
+    victim = fleet.member("device-002")
+    victim.session.device.flash.load(128, b"\xEB\xFE\x90\x90")  # implant
+    report = fleet.sweep()
+    print(f"  sweep: trusted={report.trusted}, "
+          f"untrusted={report.untrusted}")
+    assert report.untrusted == ["device-002"]
+
+    print("\n== Remediation: authenticated firmware update ==")
+    session = victim.session
+    authority = UpdateAuthority(session.key)
+    manager = UpdateManager(session.device)
+    receipt = manager.apply(
+        authority.package(FirmwareModule("app", 4 * 1024, version=2)))
+    print(f"  installed app v{receipt.version} "
+          f"({receipt.install_cycles / 24_000:.1f} ms of prover time)")
+    # Refresh the verifier's reference and confirm by attestation.
+    attest_ctx = session.device.context("Code_Attest")
+    session.verifier.learn_reference(
+        session.device.digest_writable_memory(attest_ctx))
+    report = fleet.sweep()
+    print(f"  post-update sweep: {report.trusted}/{report.attempted} "
+          f"trusted (healthy={report.healthy})")
+
+    print("\n== Verified erase of the node's scratch memory ==")
+    erasure_verifier = ErasureVerifier(session.key)
+    erasure_manager = ErasureManager(session.device)
+    order = erasure_verifier.order(session.device.data_base, 4096)
+    proof = erasure_manager.handle(order)
+    print(f"  erase proof valid: "
+          f"{erasure_verifier.check_proof(order, proof)}")
+    session.verifier.learn_reference(
+        session.device.digest_writable_memory(attest_ctx))
+
+    print("\n== Clock maintenance: secure time sync ==")
+    drifty = fleet.member("device-003").session
+    device = drifty.device
+    sync = ClockSynchronizer(device, drifty.key,
+                             drifting_clock=DriftingClock(device, 80.0))
+    true_ticks = lambda: device.clock.ticks_for_seconds(  # noqa: E731
+        device.cpu.elapsed_seconds)
+    sync_verifier = SyncVerifier(drifty.key, clock_ticks=true_ticks)
+    device.idle_seconds(3600.0)   # an hour of 80 ppm drift
+    error_before = sync.error_ticks(true_ticks())
+    sync.complete_sync(sync_verifier.respond(sync.begin_sync()))
+    error_after = sync.error_ticks(true_ticks())
+    resolution = device.clock.resolution_seconds
+    print(f"  drift after 1 h at 80 ppm: "
+          f"{abs(error_before) * resolution * 1000:.1f} ms; "
+          f"after sync: {abs(error_after) * resolution * 1000:.3f} ms")
+
+    print("\n== Fleet status ==")
+    for device_id, fraction in fleet.fleet_battery_report().items():
+        print(f"  {device_id}: battery {100 * fraction:.4f}%")
+    print(f"  total attestations served: {fleet.total_attestations()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why not just use software-based attestation? (Section 2)
+
+SWATT/Pioneer-style attestation needs no hardware trust anchor: the
+verifier times a challenge-seeded checksum and a cheating prover's
+redirection overhead shows up as a slowdown.  This demo shows the scheme
+working perfectly over a direct link — and collapsing over a network,
+which is the paper's reason for requiring the (cheap) hardware anchor.
+
+Run:  python examples/software_attestation_pitfall.py
+"""
+
+from repro.baselines.swatt import (CheatingSwattProver, SwattProver,
+                                   SwattVerifier, evaluate_over_network)
+from repro.core.analysis import render_table
+from repro.mcu import BASELINE, Device, DeviceConfig
+
+
+def factory() -> Device:
+    device = Device(DeviceConfig(ram_size=8 * 1024, flash_size=16 * 1024,
+                                 app_size=4 * 1024))
+    device.provision(b"K" * 16)
+    device.boot(BASELINE)
+    return device
+
+
+def main() -> None:
+    verifier = SwattVerifier(iterations=24_000, seed="pitfall")
+    print("== Direct link (computer-peripheral setting) ==")
+    print(f"  honest checksum time:   {verifier.honest_seconds * 1000:.1f} ms")
+    print(f"  cheater checksum time:  "
+          f"{verifier.cheating_seconds * 1000:.1f} ms "
+          f"(+2 cycles/access for read redirection)")
+    print(f"  acceptance threshold:   "
+          f"{verifier.threshold_seconds * 1000:.1f} ms")
+
+    golden = SwattProver(factory())._memory_image()
+    honest, cheater = SwattProver(factory()), CheatingSwattProver(factory())
+    challenge = verifier.challenge()
+    r_honest, r_cheat = honest.respond(challenge), cheater.respond(challenge)
+    print(f"  honest prover:  checksum ok, "
+          f"{r_honest.latency_seconds * 1000:.1f} ms -> "
+          f"{'ACCEPT' if verifier.accept(challenge, r_honest, golden) else 'reject'}")
+    print(f"  cheating prover: checksum ALSO ok (redirection hides the "
+          f"malware), {r_cheat.latency_seconds * 1000:.1f} ms -> "
+          f"{'accept' if verifier.accept(challenge, r_cheat, golden) else 'REJECT (timing!)'}")
+
+    print("\n== The same scheme over a network ==")
+    points = evaluate_over_network(
+        device_factory=factory, jitters=[0.0, 0.001, 0.003, 0.008],
+        trials=10, iterations=24_000, seed="pitfall-net")
+    rows = [["jitter (ms)", "false accepts", "false rejects", "accuracy"]]
+    for point in points:
+        rows.append([f"{point.jitter_seconds * 1000:.0f}",
+                     str(point.false_accepts), str(point.false_rejects),
+                     f"{point.accuracy:.2f}"])
+    print(render_table(rows))
+    print("\nOnce jitter rivals the cheat overhead "
+          f"({24_000 * 2 / 24_000:.0f} us x 1000 = 2 ms), the timing "
+          "channel is gone.  The paper's conclusion: for networked "
+          "provers, attestation needs a hardware anchor -- and Section 6 "
+          "shows the anchor costs under 6% of the MCU.")
+
+
+if __name__ == "__main__":
+    main()

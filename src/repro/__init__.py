@@ -1,0 +1,62 @@
+"""repro: prover-side secure remote attestation for low-end devices.
+
+A from-scratch reproduction of Brasser, Rasmussen, Sadeghi & Tsudik,
+*"Remote Attestation for Low-End Embedded Devices: the Prover's
+Perspective"* (DAC 2016): the attestation protocol with prover-side DoS
+protection, the roaming adversary, and the hardware countermeasures
+(EA-MPU rules, secure boot, protected clocks), all running on a
+behavioural MCU simulator with Table 1-calibrated cycle costs.
+
+Quick start::
+
+    from repro import build_session, ROAM_HARDENED
+
+    session = build_session(profile=ROAM_HARDENED,
+                            auth_scheme="speck-64/128-cbc-mac",
+                            policy_name="counter")
+    session.learn_reference_state()
+    result = session.attest_once()
+    assert result.trusted
+
+Subpackages
+-----------
+``repro.core``
+    The attestation protocol: messages, request authentication,
+    freshness policies, prover trust anchor, verifier, sessions.
+``repro.crypto``
+    From-scratch SHA-1 / HMAC / AES-128 / Speck 64/128 / secp160r1
+    ECDSA, plus the Table 1 cycle-cost model.
+``repro.mcu``
+    The simulated prover: memory, EA-MPU, interrupts, clocks, secure
+    boot, energy.
+``repro.net``
+    Discrete-event Dolev-Yao network.
+``repro.attacks``
+    ``Adv_ext`` and ``Adv_roam`` with runnable scenarios.
+``repro.hwcost``
+    Table 3 / Section 6.3 hardware cost model.
+``repro.services``
+    Extensions: clock sync, IoT swarms, secure code update, erasure.
+"""
+
+from .core import (AttestationRequest, AttestationResponse, Session,
+                   VerificationResult, build_session)
+from .errors import (ClockError, ConfigurationError, CryptoError,
+                     DeviceError, MemoryAccessViolation, MPULockedError,
+                     NetworkError, ProtocolError, ReproError, RequestRejected,
+                     SecureBootError, SimulationError, VerificationFailed)
+from .mcu import (ALL_PROFILES, BASELINE, Device, DeviceConfig, EXT_HARDENED,
+                  ProtectionProfile, ROAM_HARDENED, UNPROTECTED)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROFILES", "AttestationRequest", "AttestationResponse", "BASELINE",
+    "ClockError", "ConfigurationError", "CryptoError", "Device",
+    "DeviceConfig", "DeviceError", "EXT_HARDENED", "MPULockedError",
+    "MemoryAccessViolation", "NetworkError", "ProtectionProfile",
+    "ProtocolError", "ROAM_HARDENED", "ReproError", "RequestRejected",
+    "SecureBootError", "Session", "SimulationError", "UNPROTECTED",
+    "VerificationFailed", "VerificationResult", "build_session",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Adversary implementations and executable attack scenarios."""
+
+from .external import (BogusRequestFlooder, DelayNthRequestAdversary,
+                       ReplayAttacker, request_entries)
+from .forensics import Finding, ForensicExaminer, ForensicReport
+from .roaming import CompromiseReport, RoamingAdversary, RoamingOutcome
+from .scenarios import (FloodResult, FloodTaskImpact, LockoutResult,
+                        RoamingRecord, TABLE2_ATTACKS, TABLE2_EXPECTED,
+                        TABLE2_FEATURES, run_dos_flood,
+                        run_flood_task_impact, run_rate_limit_lockout,
+                        run_roaming_attack, run_roaming_suite,
+                        run_table2_matrix)
+
+__all__ = [
+    "BogusRequestFlooder", "CompromiseReport", "DelayNthRequestAdversary",
+    "Finding", "FloodResult", "FloodTaskImpact", "ForensicExaminer",
+    "ForensicReport", "LockoutResult", "ReplayAttacker", "RoamingAdversary",
+    "RoamingOutcome", "RoamingRecord", "TABLE2_ATTACKS", "TABLE2_EXPECTED",
+    "TABLE2_FEATURES", "request_entries", "run_dos_flood",
+    "run_flood_task_impact", "run_rate_limit_lockout", "run_roaming_attack",
+    "run_roaming_suite", "run_table2_matrix",
+]

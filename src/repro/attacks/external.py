@@ -1,0 +1,156 @@
+"""External (Dolev-Yao) adversary: replay, reorder, delay, bogus floods.
+
+Section 3.2's ``Adv_ext`` "can drop, insert and delay messages" but
+cannot touch prover state.  Each class here is one of its tactics,
+implemented either as a channel hook (for in-path manipulation of genuine
+traffic) or as an active injector (for replays and forged floods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.messages import AttestationRequest
+from ..crypto.rng import DeterministicRng
+from ..net.channel import DolevYaoChannel, Verdict
+from ..net.simulator import Simulation
+
+__all__ = ["DelayNthRequestAdversary", "ReplayAttacker",
+           "BogusRequestFlooder", "request_entries"]
+
+
+def request_entries(channel: DolevYaoChannel, receiver: str = "prover"):
+    """Attestation requests an eavesdropper has seen go towards
+    ``receiver`` (the raw material for replay)."""
+    return [entry for entry in channel.transcript.to_receiver(receiver)
+            if isinstance(entry.message, AttestationRequest)
+            and entry.outcome != "injected"]
+
+
+@dataclass
+class DelayNthRequestAdversary:
+    """In-path adversary that delays the ``target_index``-th request.
+
+    Delaying request #0 while letting #1 pass produces the *reorder*
+    attack (the delayed one arrives after its successor); a large delay
+    on a lone request is the *delay* attack.  Responses and other
+    requests pass untouched.
+    """
+
+    extra_delay: float
+    target_index: int = 0
+    _seen: int = field(default=0, init=False)
+    delayed: list[AttestationRequest] = field(default_factory=list, init=False)
+
+    def on_message(self, message, sender: str, receiver: str,
+                   time: float) -> Verdict:
+        if not isinstance(message, AttestationRequest):
+            return Verdict("forward")
+        index = self._seen
+        self._seen += 1
+        if index == self.target_index:
+            self.delayed.append(message)
+            return Verdict("forward", extra_delay=self.extra_delay)
+        return Verdict("forward")
+
+
+class ReplayAttacker:
+    """Eavesdrop on genuine requests, replay byte-identical copies later.
+
+    This is both ``Adv_ext``'s replay tactic (Section 4.2) and
+    ``Adv_roam``'s Phase III (Section 5): the request is taken verbatim
+    from the channel transcript, so its authentication tag is genuine and
+    only freshness state can stop it.
+    """
+
+    def __init__(self, channel: DolevYaoChannel, sim: Simulation,
+                 prover_name: str = "prover",
+                 verifier_name: str = "verifier"):
+        self.channel = channel
+        self.sim = sim
+        self.prover_name = prover_name
+        self.verifier_name = verifier_name
+        self.replays_sent = 0
+
+    def recorded_requests(self) -> list[AttestationRequest]:
+        """Genuine requests available for replay (Phase I loot)."""
+        return [entry.message
+                for entry in request_entries(self.channel, self.prover_name)]
+
+    def replay(self, request: AttestationRequest, *,
+               delay: float = 0.0) -> None:
+        """Inject a verbatim copy of ``request`` towards the prover."""
+        self.channel.inject(self.prover_name, request,
+                            spoofed_sender=self.verifier_name, delay=delay)
+        self.replays_sent += 1
+
+    def replay_latest(self, *, delay: float = 0.0) -> AttestationRequest:
+        recorded = self.recorded_requests()
+        if not recorded:
+            raise LookupError("no genuine request recorded yet")
+        self.replay(recorded[-1], delay=delay)
+        return recorded[-1]
+
+
+class BogusRequestFlooder:
+    """Verifier impersonation by brute volume (Section 3.1).
+
+    Injects forged attestation requests at a fixed rate.  Against an
+    unauthenticated prover every one triggers a full measurement; against
+    an authenticated prover each dies at tag-validation cost -- which for
+    ECDSA is itself the DoS (Section 4.1's paradox).
+    """
+
+    def __init__(self, channel: DolevYaoChannel, sim: Simulation, *,
+                 prover_name: str = "prover",
+                 verifier_name: str = "verifier",
+                 auth_scheme: str = "none",
+                 policy_fields: dict | None = None,
+                 seed: str = "flooder-0"):
+        self.channel = channel
+        self.sim = sim
+        self.prover_name = prover_name
+        self.verifier_name = verifier_name
+        self.auth_scheme = auth_scheme
+        self.policy_fields = policy_fields if policy_fields is not None else {}
+        self.rng = DeterministicRng(seed)
+        self.sent = 0
+
+    def forge_request(self) -> AttestationRequest:
+        """A syntactically valid request with a garbage tag.
+
+        The flooder does not know ``K_Attest``, so the best it can do is
+        random tag bytes (or none, for the unauthenticated scheme).
+        """
+        tag = b"" if self.auth_scheme == "none" else self.rng.bytes(20)
+        fields = dict(self.policy_fields)
+        if "counter" in fields:
+            fields["counter"] = fields["counter"] + self.sent
+        return AttestationRequest(
+            challenge=self.rng.bytes(16), auth_scheme=self.auth_scheme,
+            auth_tag=tag, **fields)
+
+    def flood(self, *, rate_per_second: float, duration_seconds: float,
+              poisson: bool = False) -> int:
+        """Schedule a flood of forged requests; returns the count sent."""
+        count = 0
+        t = 0.0
+        index = 0
+        while True:
+            if poisson:
+                t += self.rng.exponential(1.0 / rate_per_second)
+            else:
+                index += 1
+                t = index / rate_per_second
+            if t >= duration_seconds:
+                break
+
+            def send(request=None):
+                self.channel.inject(
+                    self.prover_name, self.forge_request(),
+                    spoofed_sender=self.verifier_name)
+                self.sent += 1
+
+            self.sim.schedule(t, send)
+            count += 1
+        return count

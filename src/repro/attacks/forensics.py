@@ -1,0 +1,264 @@
+"""Post-incident forensics: what evidence does an attack leave?
+
+Section 5's sharpest observation is about *evidence*: the counter
+rollback "allows Adv_roam to bring the prover back to its expected state
+... the DoS attack is undetectable after the fact", while the clock reset
+"leaves some evidence of the attack since the prover's clock remains
+behind".  :class:`ForensicExaminer` turns that observation into a
+procedure: given a device (and optionally a golden state digest and a
+ground-truth time source), it sweeps every observable the platform
+offers and reports structured findings with severities.
+
+Checks performed:
+
+* **state digest** vs the deployment-time golden value;
+* **clock skew** against ground truth (the verifier's clock, in
+  practice);
+* **EA-MPU violation log** -- a hardened device records every denied
+  access, so even *failed* Phase II attempts leave traces (an
+  observation the paper does not make but the hardware implies);
+* **interrupt health** -- dropped/masked IRQs and bad vectors betray
+  SW-clock sabotage;
+* **freshness-state plausibility** -- a stored counter *ahead* of the
+  verifier's issue counter proves manipulation (rollback, by contrast,
+  is invisible here: exactly the paper's asymmetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mcu.device import Device
+
+__all__ = ["Finding", "ForensicReport", "ForensicExaminer", "MemorySnapshot",
+           "diff_snapshots", "ChangedExtent"]
+
+#: Severity ordering for report sorting.
+_SEVERITIES = {"info": 0, "suspicious": 1, "compromise": 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One piece of forensic evidence."""
+
+    check: str
+    severity: str            # info | suspicious | compromise
+    detail: str
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass
+class ForensicReport:
+    """All findings from one examination."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, check: str, severity: str, detail: str) -> None:
+        self.findings.append(Finding(check, severity, detail))
+
+    @property
+    def clean(self) -> bool:
+        """No evidence beyond informational notes."""
+        return all(f.severity == "info" for f in self.findings)
+
+    @property
+    def worst_severity(self) -> str:
+        if not self.findings:
+            return "info"
+        return max(self.findings,
+                   key=lambda f: _SEVERITIES[f.severity]).severity
+
+    def of_check(self, check: str) -> list[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: -_SEVERITIES[f.severity])
+
+
+@dataclass(frozen=True)
+class ChangedExtent:
+    """One contiguous run of modified bytes."""
+
+    region: str
+    start: int        # absolute address
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+class MemorySnapshot:
+    """Byte-exact capture of a device's writable memory for later diffing.
+
+    The state *digest* says whether memory changed; a snapshot says
+    *where* -- which is what an investigator needs to attribute an
+    implant or confirm an erase.
+    """
+
+    def __init__(self, device: Device):
+        self.regions = {region.name: (region.start, region.snapshot())
+                        for region in device.memory.writable_regions()}
+
+    def __contains__(self, region_name: str) -> bool:
+        return region_name in self.regions
+
+
+def diff_snapshots(before: MemorySnapshot, after: MemorySnapshot,
+                   *, min_gap: int = 8) -> list[ChangedExtent]:
+    """Changed extents between two snapshots of the same device.
+
+    Runs of changed bytes separated by fewer than ``min_gap`` unchanged
+    bytes are merged into one extent (implants rarely change every byte
+    they occupy).
+    """
+    extents: list[ChangedExtent] = []
+    for name, (base, old) in before.regions.items():
+        if name not in after.regions:
+            continue
+        _, new = after.regions[name]
+        length = min(len(old), len(new))
+        run_start = None
+        last_change = None
+        for index in range(length):
+            if old[index] != new[index]:
+                if run_start is None:
+                    run_start = index
+                elif index - last_change >= min_gap:
+                    extents.append(ChangedExtent(
+                        name, base + run_start,
+                        last_change - run_start + 1))
+                    run_start = index
+                last_change = index
+        if run_start is not None:
+            extents.append(ChangedExtent(
+                name, base + run_start, last_change - run_start + 1))
+    return extents
+
+
+class ForensicExaminer:
+    """Sweeps a device's observables for attack evidence.
+
+    Parameters
+    ----------
+    device:
+        The prover under examination.
+    golden_digest:
+        Deployment-time state digest, if the examiner has one.
+    clock_skew_tolerance_seconds:
+        Legitimate drift allowance before clock skew is flagged.
+    """
+
+    def __init__(self, device: Device, *,
+                 golden_digest: bytes | None = None,
+                 clock_skew_tolerance_seconds: float = 0.05):
+        self.device = device
+        self.golden_digest = golden_digest
+        self.tolerance = clock_skew_tolerance_seconds
+
+    def examine(self, *, true_time_seconds: float | None = None,
+                verifier_next_counter: int | None = None
+                ) -> ForensicReport:
+        """Run every check and return the structured report.
+
+        The clock is examined first: the state-digest check performs a
+        full measurement, which consumes device time and would otherwise
+        make a healthy clock appear to lag the captured ground truth.
+        """
+        report = ForensicReport()
+        self._check_clock(report, true_time_seconds)
+        self._check_counter(report, verifier_next_counter)
+        self._check_mpu_log(report)
+        self._check_interrupts(report)
+        self._check_state_digest(report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_state_digest(self, report: ForensicReport) -> None:
+        if self.golden_digest is None:
+            report.add("state-digest", "info", "no golden digest available")
+            return
+        current = self.device.digest_writable_memory(
+            self.device.context("Code_Attest"))
+        if current == self.golden_digest:
+            report.add("state-digest", "info", "matches golden digest")
+        else:
+            report.add("state-digest", "compromise",
+                       "attested memory differs from the golden state")
+
+    def _check_clock(self, report: ForensicReport,
+                     true_time_seconds: float | None) -> None:
+        device = self.device
+        if device.clock is None:
+            report.add("clock", "info", "device has no real-time clock")
+            return
+        if true_time_seconds is None:
+            true_time_seconds = device.cpu.elapsed_seconds
+        expected = device.clock.ticks_for_seconds(true_time_seconds)
+        read = device.read_clock_ticks(device.context("Code_Attest"))
+        skew_ticks = expected - read
+        skew_seconds = skew_ticks * device.clock.resolution_seconds
+        if abs(skew_seconds) <= self.tolerance:
+            report.add("clock", "info",
+                       f"clock within tolerance ({skew_seconds * 1000:.2f} ms)")
+        elif skew_ticks > 0:
+            report.add("clock", "compromise",
+                       f"clock behind ground truth by "
+                       f"{skew_seconds:.3f} s -- the Section 5 clock-reset "
+                       f"signature")
+        else:
+            report.add("clock", "suspicious",
+                       f"clock ahead of ground truth by "
+                       f"{-skew_seconds:.3f} s")
+
+    def _check_mpu_log(self, report: ForensicReport) -> None:
+        violations = self.device.mpu.violations
+        if not violations:
+            report.add("mpu-log", "info", "no access violations recorded")
+            return
+        contexts = sorted({v.context for v in violations if v.context})
+        report.add("mpu-log", "suspicious",
+                   f"{len(violations)} denied accesses recorded "
+                   f"(contexts: {', '.join(contexts)}) -- failed tampering "
+                   f"attempts leave traces on a hardened device")
+
+    def _check_interrupts(self, report: ForensicReport) -> None:
+        dropped = self.device.interrupts.dropped_log
+        masked = [entry for entry in dropped if entry[2] == "masked"]
+        bad_vector = [entry for entry in dropped if entry[2] == "bad-vector"]
+        if bad_vector:
+            report.add("interrupts", "compromise",
+                       f"{len(bad_vector)} interrupts hit unmapped "
+                       f"vectors -- IDT tampering signature")
+        if masked:
+            report.add("interrupts", "suspicious",
+                       f"{len(masked)} interrupts dropped by mask")
+        if not dropped:
+            report.add("interrupts", "info", "interrupt delivery healthy")
+
+    def _check_counter(self, report: ForensicReport,
+                       verifier_next_counter: int | None) -> None:
+        stored = self.device.read_counter(
+            self.device.context("Code_Attest"))
+        if verifier_next_counter is None:
+            report.add("counter", "info",
+                       f"stored counter {stored} (no verifier reference)")
+            return
+        if stored >= verifier_next_counter:
+            report.add("counter", "compromise",
+                       f"stored counter {stored} is at or beyond the "
+                       f"verifier's next issue value "
+                       f"{verifier_next_counter} -- forged or manipulated "
+                       f"requests were accepted")
+        else:
+            # A rolled-back counter is indistinguishable from having
+            # missed requests: the paper's undetectability result.
+            report.add("counter", "info",
+                       f"stored counter {stored} < verifier next "
+                       f"{verifier_next_counter} (consistent; note a "
+                       f"rollback would look identical)")

@@ -1,0 +1,381 @@
+"""The roaming adversary ``Adv_roam`` (Sections 3.2 and 5).
+
+Three phases, implemented literally against a live session:
+
+* **Phase I** -- eavesdrop: read genuine attestation requests off the
+  channel transcript.
+* **Phase II** -- compromise: run malware on the prover.  The malware
+  *attempts* every preparation the paper describes -- extract
+  ``K_Attest``, roll the stored counter back, reset the clock, stop the
+  SW-clock by rewriting the IDT or masking the wrap interrupt -- and
+  records which attempts the hardware allowed.  It then erases itself by
+  restoring an exact snapshot of the memory it touched ("covers its
+  tracks").
+* **Phase III** -- replay: after waiting, inject the recorded request.
+
+The outcome object reports whether the DoS succeeded (the prover
+performed attestation for the replayed request) and whether the attack is
+*detectable after the fact* -- the paper's subtle point that the counter
+rollback restores the prover to its expected state while the clock reset
+leaves the clock behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.messages import AttestationRequest
+from ..core.protocol import Session
+from ..errors import DeviceError, EntryPointViolation, MemoryAccessViolation
+from ..mcu.device import Device
+from .external import ReplayAttacker, request_entries
+
+__all__ = ["CompromiseReport", "RoamingOutcome", "RoamingAdversary"]
+
+
+@dataclass
+class CompromiseReport:
+    """What Phase II malware managed to do before erasing itself."""
+
+    key_extracted: bool = False
+    stolen_key: bytes | None = None
+    key_extracted_via_code_reuse: bool = False
+    counter_rolled_back: bool = False
+    clock_reset: bool = False
+    idt_redirected: bool = False
+    irq_masked: bool = False
+    denied: list[str] = field(default_factory=list)
+
+    @property
+    def any_success(self) -> bool:
+        return (self.key_extracted or self.key_extracted_via_code_reuse
+                or self.counter_rolled_back or self.clock_reset
+                or self.idt_redirected or self.irq_masked)
+
+
+@dataclass
+class RoamingOutcome:
+    """End-to-end result of a three-phase roaming attack."""
+
+    strategy: str                      # "counter-rollback" | "clock-reset"
+    compromise: CompromiseReport = field(default_factory=CompromiseReport)
+    replay_accepted: bool = False
+    prover_wasted_cycles: int = 0
+    clock_left_behind: bool = False
+    state_digest_clean: bool = True
+
+    @property
+    def dos_succeeded(self) -> bool:
+        return self.replay_accepted
+
+    @property
+    def detectable_after_fact(self) -> bool:
+        """Evidence remains on the prover after Phase III.
+
+        Section 5: the clock reset "leaves some evidence of the attack
+        since the prover's clock remains behind", whereas the counter
+        rollback is "undetectable after the fact".
+        """
+        return self.clock_left_behind or not self.state_digest_clean
+
+
+class RoamingAdversary:
+    """Drives the three phases against a :class:`Session`."""
+
+    def __init__(self, session: Session, *, malware_size: int = 2048):
+        self.session = session
+        self.device: Device = session.device
+        self.replayer = ReplayAttacker(session.channel, session.sim)
+        self.malware_size = malware_size
+        self._recorded: AttestationRequest | None = None
+
+    # ------------------------------------------------------------------
+    # Phase I
+    # ------------------------------------------------------------------
+
+    def phase1_eavesdrop(self) -> AttestationRequest:
+        """Pick the latest genuine request from the channel transcript."""
+        recorded = self.replayer.recorded_requests()
+        if not recorded:
+            raise LookupError("Phase I found no genuine attestation request")
+        self._recorded = recorded[-1]
+        return self._recorded
+
+    # ------------------------------------------------------------------
+    # Phase II
+    # ------------------------------------------------------------------
+
+    def phase2_compromise(self, strategy: str) -> CompromiseReport:
+        """Infect the prover, prepare the replay, erase all traces.
+
+        ``strategy`` selects the freshness-state manipulation:
+        ``"counter-rollback"`` (Section 5's counter attack),
+        ``"clock-reset"`` (the timestamp attack), or ``"key-extract"``
+        (no freshness manipulation -- the key-forgery path).  Key
+        extraction and, for SW-clock devices, interrupt sabotage are
+        attempted opportunistically and recorded either way.
+        """
+        if self._recorded is None:
+            raise LookupError("run phase1_eavesdrop first")
+        device = self.device
+        report = CompromiseReport()
+        malware = device.make_malware_context(
+            f"malware-{strategy}", size=self.malware_size)
+
+        # Malware occupies RAM: snapshot it so Phase II can end with an
+        # exact restore ("erases all traces of its presence").
+        ram_snapshot = device.ram.snapshot()
+        device.ram.load(malware.code_start - device.ram.start,
+                        b"\xEB" * self.malware_size)  # the infection itself
+
+        # -- attempt: extract K_Attest -----------------------------------
+        try:
+            report.stolen_key = device.read_key(malware)
+            report.key_extracted = True
+        except MemoryAccessViolation:
+            report.denied.append("read-key")
+
+        # -- attempt: code-reuse jump into Code_Attest --------------------
+        # Enter the trusted code past its validation prologue and use its
+        # EA-MPU privileges to read the key (the Section 6.2 runtime
+        # attack; blocked by entry-point enforcement).
+        if not report.key_extracted:
+            attest_ctx = device.context("Code_Attest")
+            gadget = attest_ctx.code_start + 0x40   # mid-body address
+            try:
+                with device.cpu.running(attest_ctx, entry=gadget):
+                    report.stolen_key = device.bus.read(
+                        attest_ctx, device.key_address, 16)
+                report.key_extracted_via_code_reuse = True
+            except EntryPointViolation:
+                report.denied.append("jump-into-code-attest")
+
+        # -- attempt: the freshness-state manipulation --------------------
+        if strategy == "counter-rollback":
+            target = self._recorded.counter
+            if target is None:
+                raise LookupError("recorded request carries no counter")
+            try:
+                device.write_counter(malware, max(0, target - 1))
+                report.counter_rolled_back = True
+            except MemoryAccessViolation:
+                report.denied.append("write-counter")
+        elif strategy == "clock-reset":
+            report.clock_reset = self._try_clock_reset(malware, report)
+            # Also roll the stored freshness word back below the recorded
+            # timestamp: a no-op against the paper's stateless window
+            # check, but necessary against the monotonic extension (which
+            # reuses counter_R for the last accepted timestamp).
+            target_ticks = self._recorded.timestamp_ticks
+            if target_ticks is not None:
+                try:
+                    self.device.write_counter(malware,
+                                              max(0, target_ticks - 1))
+                    report.counter_rolled_back = True
+                except MemoryAccessViolation:
+                    report.denied.append("write-counter")
+        elif strategy == "key-extract":
+            pass   # the key attempts above are the whole payload
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+        # -- erase all traces ---------------------------------------------
+        # Restore RAM exactly, except the words the attack deliberately
+        # changed (the manipulation *is* the payload).
+        self._restore_ram_except_manipulations(ram_snapshot, strategy)
+        return report
+
+    def _try_clock_reset(self, malware, report: CompromiseReport) -> bool:
+        """Set the prover clock behind the recorded timestamp.
+
+        The paper's Phase II: "re-sets the prover's clock to time
+        t_i - delta".  On a wide-hardware-clock device that is a write to
+        the clock register; on a SW-clock device the easy target is the
+        ``Clock_MSB`` word (with IDT rewrite / IRQ masking as fallback
+        sabotage that merely *stops* the clock).
+        """
+        device = self.device
+        target_ticks = self._recorded.timestamp_ticks
+        if target_ticks is None:
+            raise LookupError("recorded request carries no timestamp")
+        if device.clock is None:
+            raise LookupError("device has no clock to reset")
+        delta_ticks = device.clock.ticks_for_seconds(self.replay_wait_seconds)
+        rewind_to = max(0, target_ticks - delta_ticks)
+
+        if device.clock.kind == "hardware":
+            base = device.clock_register_span[0]
+            size = device.clock.counter.size_bytes
+            try:
+                with device.cpu.running(malware):
+                    device.bus.write(malware, base,
+                                     rewind_to.to_bytes(size, "little"))
+                return True
+            except (MemoryAccessViolation, DeviceError):
+                report.denied.append("write-clock-register")
+                return False
+
+        # SW-clock: rewrite Clock_MSB.
+        lsb_bits = device.clock.lsb_width_bits
+        try:
+            with device.cpu.running(malware):
+                device.bus.write_u64(malware, device.clock_msb_address,
+                                     rewind_to >> lsb_bits)
+            return True
+        except MemoryAccessViolation:
+            report.denied.append("write-clock-msb")
+        # Fallback sabotage: stop the clock via the IDT ...
+        try:
+            with device.cpu.running(malware):
+                device.bus.write_u32(malware, device.idt_base,
+                                     malware.code_start)
+            report.idt_redirected = True
+        except MemoryAccessViolation:
+            report.denied.append("write-idt")
+        # ... or by masking the wrap interrupt.
+        try:
+            from ..mcu.device import MMIO_BASE
+            with device.cpu.running(malware):
+                device.bus.write(malware, MMIO_BASE + 0x1100, b"\x00")
+            report.irq_masked = True
+        except MemoryAccessViolation:
+            report.denied.append("mask-irq")
+        return False
+
+    def _restore_ram_except_manipulations(self, snapshot: bytes,
+                                          strategy: str) -> None:
+        """Write the snapshot back, preserving the attack's payload words."""
+        device = self.device
+        preserved: list[tuple[int, bytes]] = []
+        for address, length in ((device.counter_address, 8),
+                                (device.clock_msb_address, 8)):
+            offset = address - device.ram.start
+            preserved.append((offset, device.ram.raw_read(offset, length)))
+        idt_offset = device.idt_base - device.ram.start
+        preserved.append((idt_offset,
+                          device.ram.raw_read(idt_offset,
+                                              device.interrupts.idt_size)))
+        device.ram.load(0, snapshot)
+        for offset, data in preserved:
+            device.ram.load(offset, data)
+
+    # ------------------------------------------------------------------
+    # Phase III
+    # ------------------------------------------------------------------
+
+    #: How long Phase III waits after Phase II before replaying (the
+    #: paper's delta for the clock attack).
+    replay_wait_seconds: float = 30.0
+
+    def phase3_replay(self) -> None:
+        if self._recorded is None:
+            raise LookupError("nothing recorded to replay")
+        self.replayer.replay(self._recorded, delay=self.replay_wait_seconds)
+
+    def phase3_forge(self, stolen_key: bytes) -> AttestationRequest:
+        """Forge a *fresh* authentic request with the stolen key.
+
+        Section 5: "Adv_roam could extract Prv's K_Attest which would
+        allow it to generate authentic attreq-s."  With the key, freshness
+        defences are irrelevant -- the adversary stamps whatever counter or
+        timestamp the prover will accept.  Only symmetric schemes are
+        forgeable this way (with ECDSA the prover stores just the public
+        key, which is worthless for signing -- though the paper rules
+        ECDSA out on cost grounds anyway).
+        """
+        from ..core.authenticator import make_symmetric_authenticator
+        from ..crypto.rng import DeterministicRng
+
+        if self._recorded is None:
+            raise LookupError("run phase1_eavesdrop first")
+        recorded = self._recorded
+        rng = DeterministicRng(b"forger")
+        fields = {}
+        if recorded.counter is not None:
+            fields["counter"] = recorded.counter + 1_000
+        if recorded.timestamp_ticks is not None:
+            clock = self.device.clock
+            fields["timestamp_ticks"] = clock.ticks_for_seconds(
+                self.session.sim.now + self.replay_wait_seconds)
+        if recorded.nonce is not None:
+            fields["nonce"] = rng.bytes(len(recorded.nonce))
+        request = AttestationRequest(
+            challenge=rng.bytes(len(recorded.challenge)),
+            auth_scheme=recorded.auth_scheme, **fields)
+        authenticator = make_symmetric_authenticator(recorded.auth_scheme,
+                                                     stolen_key)
+        request = request.with_tag(
+            authenticator.tag(request.signed_payload()))
+        self.session.channel.inject(
+            "prover", request, spoofed_sender="verifier",
+            delay=self.replay_wait_seconds)
+        return request
+
+    # ------------------------------------------------------------------
+    # Full attack with outcome analysis
+    # ------------------------------------------------------------------
+
+    def execute(self, strategy: str, *,
+                golden_digest: bytes | None = None) -> RoamingOutcome:
+        """Run all three phases and assess the result.
+
+        ``strategy`` is ``"counter-rollback"``, ``"clock-reset"`` (both
+        end in a replay) or ``"key-forgery"`` (Phase II only extracts the
+        key; Phase III sends a freshly forged request).  Requires at
+        least one genuine attestation to have crossed the channel already
+        (Phase I needs something to record).
+        """
+        outcome = RoamingOutcome(strategy=strategy)
+        self.phase1_eavesdrop()
+        if strategy == "key-forgery":
+            outcome.compromise = self.phase2_compromise("key-extract")
+            accepted_before = self.session.anchor.stats.accepted
+            cycles_before = self.device.cpu.cycle_count
+            stolen = outcome.compromise.stolen_key
+            if stolen is not None:
+                self.phase3_forge(stolen)
+            self.session.sim.run(
+                until=self.session.sim.now + self.replay_wait_seconds + 10.0)
+            outcome.replay_accepted = (
+                self.session.anchor.stats.accepted > accepted_before)
+            if outcome.replay_accepted:
+                outcome.prover_wasted_cycles = (
+                    self.device.cpu.cycle_count - cycles_before)
+            outcome.clock_left_behind = self._clock_is_behind()
+            if golden_digest is not None:
+                current = self.device.digest_writable_memory(
+                    self.device.context("Code_Attest"))
+                outcome.state_digest_clean = current == golden_digest
+            return outcome
+
+        outcome.compromise = self.phase2_compromise(strategy)
+
+        accepted_before = self.session.anchor.stats.accepted
+        cycles_before = self.device.cpu.cycle_count
+        self.phase3_replay()
+        self.session.sim.run(
+            until=self.session.sim.now + self.replay_wait_seconds + 10.0)
+
+        outcome.replay_accepted = (
+            self.session.anchor.stats.accepted > accepted_before)
+        if outcome.replay_accepted:
+            outcome.prover_wasted_cycles = (
+                self.device.cpu.cycle_count - cycles_before)
+
+        # -- after-the-fact forensics ------------------------------------
+        outcome.clock_left_behind = self._clock_is_behind()
+        if golden_digest is not None:
+            current = self.device.digest_writable_memory(
+                self.device.context("Code_Attest"))
+            outcome.state_digest_clean = current == golden_digest
+        return outcome
+
+    def _clock_is_behind(self) -> bool:
+        device = self.device
+        if device.clock is None:
+            return False
+        true_ticks = device.clock.ticks_for_seconds(
+            device.cpu.elapsed_seconds)
+        read = device.read_clock_ticks(device.context("Code_Attest"))
+        # Tolerate rounding of a couple of ticks.
+        return read < true_ticks - max(2, true_ticks // 1_000_000)

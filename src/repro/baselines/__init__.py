@@ -1,0 +1,13 @@
+"""Baseline schemes the paper positions itself against (Section 2)."""
+
+from .swatt import (AccuracyPoint, CheatingSwattProver, NetworkTimingModel,
+                    SwattChallenge, SwattProver, SwattResponse,
+                    SwattVerifier, ToctouSwattProver, checksum_walk,
+                    evaluate_over_network, evaluate_over_paths)
+
+__all__ = [
+    "AccuracyPoint", "CheatingSwattProver", "NetworkTimingModel",
+    "SwattChallenge", "SwattProver", "SwattResponse", "SwattVerifier",
+    "ToctouSwattProver", "checksum_walk", "evaluate_over_network",
+    "evaluate_over_paths",
+]

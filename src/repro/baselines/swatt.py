@@ -1,0 +1,361 @@
+"""SWATT-style software-based attestation: the baseline the paper rejects.
+
+Section 2: software-based attestation (SWATT, Pioneer) computes a
+time-bounded checksum over memory using a challenge-seeded pseudo-random
+walk; cheating (e.g. redirecting reads around a malware region) forces
+extra work per access, and the *verifier detects the slowdown* -- no
+hardware trust anchor needed.  But, as the paper notes, the schemes "only
+work if the verifier communicates directly to the prover, with no
+intermediate hops": the timing margin that separates honest from cheating
+provers is a few percent of the computation time, and network jitter of
+the same order washes it out.
+
+This module makes that argument executable:
+
+* :class:`SwattProver` -- the checksum routine on the simulated device,
+  with per-access cycle accounting;
+* :class:`CheatingSwattProver` -- a compromised prover hiding a malware
+  region behind an address-redirection check (the classic attack cost: a
+  compare-and-branch per memory access, modelled as a constant per-access
+  cycle overhead);
+* :class:`SwattVerifier` -- challenge issue + response-time thresholding,
+  with a jitter allowance a network-facing verifier is forced to grant;
+* :func:`evaluate_over_network` -- accept/reject accuracy as a function
+  of channel jitter, reproducing the direct-link-works /
+  multi-hop-fails collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+from ..crypto.sha1 import SHA1
+from ..errors import ConfigurationError
+from ..mcu.device import Device
+
+__all__ = ["SwattChallenge", "SwattResponse", "SwattProver",
+           "CheatingSwattProver", "ToctouSwattProver", "SwattVerifier",
+           "NetworkTimingModel", "evaluate_over_network",
+           "evaluate_over_paths", "AccuracyPoint"]
+
+#: Honest per-access cost of the checksum loop (load + mix), in cycles.
+ACCESS_CYCLES = 12
+
+#: Extra cycles a cheating prover pays per access for the address
+#: redirection check (SWATT's analysis: one compare + branch, a ~17 %
+#: slowdown of the loop body).
+CHEAT_OVERHEAD_CYCLES = 2
+
+_M32 = 0xFFFFFFFF
+
+
+def _xorshift32(x: int) -> int:
+    x ^= (x << 13) & _M32
+    x ^= x >> 17
+    x ^= (x << 5) & _M32
+    return x & _M32
+
+
+def checksum_walk(seed: bytes, iterations: int, image: bytes) -> bytes:
+    """The SWATT checksum: a seeded pseudo-random walk over ``image``.
+
+    Per access: one xorshift step selects the address, the byte is mixed
+    into a rotating accumulator; the final state is hashed.  O(1) Python
+    work per access -- the *simulated* cost is charged separately by the
+    prover at :data:`ACCESS_CYCLES` per access.
+    """
+    if not image:
+        raise ConfigurationError("cannot checksum an empty image")
+    x = int.from_bytes(SHA1(seed).digest()[:4], "big") or 1
+    accumulator = int.from_bytes(SHA1(b"acc" + seed).digest()[:8], "big")
+    size = len(image)
+    for _ in range(iterations):
+        x = _xorshift32(x)
+        index = x % size
+        accumulator = (((accumulator << 7) | (accumulator >> 57))
+                       + image[index] + index) & 0xFFFFFFFFFFFFFFFF
+    return SHA1(seed + accumulator.to_bytes(8, "big")).digest()
+
+
+@dataclass(frozen=True)
+class SwattChallenge:
+    """Verifier challenge: seed + number of pseudo-random accesses."""
+
+    seed: bytes
+    iterations: int
+
+
+@dataclass(frozen=True)
+class SwattResponse:
+    """Checksum plus the measured response latency in seconds."""
+
+    checksum: bytes
+    latency_seconds: float
+
+
+class SwattProver:
+    """Honest prover: checksum over a pseudo-random walk of its memory."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.context = device.context("Code_Attest")
+
+    def _memory_image(self) -> bytes:
+        parts = []
+        for start, end in self.device.attested_spans():
+            region = self.device.memory.find(start)
+            parts.append(region.raw_read(start - region.start, end - start))
+        return b"".join(parts)
+
+    def access_cycles(self) -> int:
+        return ACCESS_CYCLES
+
+    def respond(self, challenge: SwattChallenge) -> SwattResponse:
+        """Compute the checksum, charging device time."""
+        image = self._memory_image()
+        start = self.device.cpu.elapsed_seconds
+        digest = checksum_walk(challenge.seed, challenge.iterations, image)
+        self.device.cpu.consume_cycles(
+            challenge.iterations * self.access_cycles())
+        return SwattResponse(checksum=digest,
+                             latency_seconds=self.device.cpu.elapsed_seconds
+                             - start)
+
+
+class CheatingSwattProver(SwattProver):
+    """Compromised prover hiding a malware region.
+
+    Keeps a pristine copy of the bytes it overwrote and serves checksum
+    reads from the copy -- producing the *correct* checksum -- at the cost
+    of an address check on every access (:data:`CHEAT_OVERHEAD_CYCLES`).
+    Detection therefore rests entirely on the verifier noticing the
+    slowdown.
+    """
+
+    def __init__(self, device: Device, *, malware_size: int = 1024):
+        super().__init__(device)
+        if malware_size <= 0:
+            raise ConfigurationError("malware must occupy some memory")
+        app_start, app_end = device.firmware.span("app")
+        if app_end - app_start < malware_size:
+            raise ConfigurationError("malware larger than the application")
+        region = device.flash
+        offset = app_end - malware_size - region.start
+        self.pristine = region.raw_read(offset, malware_size)
+        region.load(offset, b"\xEB" * malware_size)
+        self._window_start = app_end - malware_size
+        self.malware_size = malware_size
+
+    def _memory_image(self) -> bytes:
+        """The cheater reads real memory but *serves pristine bytes*."""
+        image = bytearray(super()._memory_image())
+        offset = 0
+        for start, end in self.device.attested_spans():
+            if start <= self._window_start < end:
+                window = offset + (self._window_start - start)
+                image[window:window + self.malware_size] = self.pristine
+                break
+            offset += end - start
+        return bytes(image)
+
+    def access_cycles(self) -> int:
+        return ACCESS_CYCLES + CHEAT_OVERHEAD_CYCLES
+
+
+class ToctouSwattProver(SwattProver):
+    """Time-of-check-time-of-use attacker (the paper's footnote 1).
+
+    Instead of hiding behind read redirection, this malware simply
+    *uninstalls itself* when a challenge arrives, lets the honest
+    checksum routine run over genuinely clean memory at genuine speed,
+    and reinstalls afterwards.  Both the checksum and the timing check
+    pass -- software-based attestation is blind to it even over a direct
+    link, which is why [Kovah et al., IEEE S&P 2011] treat TOCTOU as a
+    fundamental limitation of the approach.  (The paper's hardware-
+    anchored protocol does not fix TOCTOU either -- no snapshot scheme
+    can -- but it also never claims to; its guarantees are about the
+    measured instant and about prover-side DoS.)
+    """
+
+    def __init__(self, device: Device, *, malware_size: int = 1024):
+        super().__init__(device)
+        if malware_size <= 0:
+            raise ConfigurationError("malware must occupy some memory")
+        app_start, app_end = device.firmware.span("app")
+        if app_end - app_start < malware_size:
+            raise ConfigurationError("malware larger than the application")
+        region = device.flash
+        self._offset = app_end - malware_size - region.start
+        self.pristine = region.raw_read(self._offset, malware_size)
+        self.malware_size = malware_size
+        self.reinstalls = 0
+        self._install()
+
+    def _install(self) -> None:
+        self.device.flash.load(self._offset, b"\xEB" * self.malware_size)
+
+    def _uninstall(self) -> None:
+        self.device.flash.load(self._offset, self.pristine)
+
+    @property
+    def installed(self) -> bool:
+        probe = self.device.flash.raw_read(self._offset, self.malware_size)
+        return probe == b"\xEB" * self.malware_size
+
+    def respond(self, challenge: SwattChallenge) -> SwattResponse:
+        """Uninstall, answer honestly, reinstall."""
+        self._uninstall()
+        try:
+            return super().respond(challenge)
+        finally:
+            self._install()
+            self.reinstalls += 1
+
+
+class SwattVerifier:
+    """Challenge issue and time-bounded response validation.
+
+    ``jitter_allowance_seconds`` is the slack a network-facing verifier
+    must grant so honest provers behind a jittery channel are not mass-
+    rejected -- and exactly the slack a cheating prover hides in.
+    """
+
+    def __init__(self, *, iterations: int = 40_000,
+                 frequency_hz: int = 24_000_000,
+                 margin: float = 0.5,
+                 jitter_allowance_seconds: float = 0.0,
+                 seed: str = "swatt-verifier"):
+        if not 0.0 < margin < 1.0:
+            raise ConfigurationError("margin must be in (0, 1)")
+        if iterations < 1:
+            raise ConfigurationError("need at least one access")
+        self.iterations = iterations
+        self.frequency_hz = frequency_hz
+        self.margin = margin
+        self.jitter_allowance_seconds = jitter_allowance_seconds
+        self._rng = DeterministicRng(seed)
+
+    def challenge(self) -> SwattChallenge:
+        return SwattChallenge(seed=self._rng.bytes(16),
+                              iterations=self.iterations)
+
+    @property
+    def honest_seconds(self) -> float:
+        return self.iterations * ACCESS_CYCLES / self.frequency_hz
+
+    @property
+    def cheating_seconds(self) -> float:
+        return (self.iterations * (ACCESS_CYCLES + CHEAT_OVERHEAD_CYCLES)
+                / self.frequency_hz)
+
+    @property
+    def threshold_seconds(self) -> float:
+        """Accept at honest + margin * overhead + jitter allowance."""
+        return (self.honest_seconds
+                + self.margin * (self.cheating_seconds - self.honest_seconds)
+                + self.jitter_allowance_seconds)
+
+    def expected_checksum(self, challenge: SwattChallenge,
+                          golden_image: bytes) -> bytes:
+        """The verifier holds a byte-exact copy of the expected memory --
+        the software-attestation assumption."""
+        return checksum_walk(challenge.seed, challenge.iterations,
+                             golden_image)
+
+    def accept(self, challenge: SwattChallenge, response: SwattResponse,
+               golden_image: bytes) -> bool:
+        """Checksum must match AND the response must beat the clock."""
+        if response.checksum != self.expected_checksum(challenge,
+                                                       golden_image):
+            return False
+        return response.latency_seconds <= self.threshold_seconds
+
+
+@dataclass(frozen=True)
+class NetworkTimingModel:
+    """Round-trip delay the verifier cannot separate from compute time."""
+
+    base_latency_seconds: float
+    jitter_seconds: float      # uniform in [0, jitter]
+
+    def sample(self, rng: DeterministicRng) -> float:
+        return self.base_latency_seconds + rng.uniform(
+            0.0, self.jitter_seconds)
+
+
+@dataclass
+class AccuracyPoint:
+    """Detection quality of SWATT at one network jitter level."""
+
+    jitter_seconds: float
+    false_accepts: int      # cheater passed
+    false_rejects: int      # honest prover failed
+    trials: int
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - (self.false_accepts + self.false_rejects) / (
+            2 * self.trials)
+
+
+def evaluate_over_paths(*, device_factory, paths: dict,
+                        trials: int = 10, iterations: int = 40_000,
+                        seed: str = "swatt-paths") -> dict:
+    """SWATT accuracy per named :class:`~repro.net.path.NetworkPath`.
+
+    Convenience wrapper over :func:`evaluate_over_network`: each path
+    contributes its total jitter span; returns ``{name: AccuracyPoint}``.
+    """
+    jitters = [path.jitter_span_seconds for path in paths.values()]
+    points = evaluate_over_network(device_factory=device_factory,
+                                   jitters=jitters, trials=trials,
+                                   iterations=iterations, seed=seed)
+    return dict(zip(paths.keys(), points))
+
+
+def evaluate_over_network(*, device_factory, jitters: list[float],
+                          trials: int = 10, iterations: int = 40_000,
+                          seed: str = "swatt-net") -> list[AccuracyPoint]:
+    """Measure SWATT accept/reject accuracy across channel jitter levels.
+
+    The verifier knows the base latency (subtracted) and grants half the
+    jitter span as allowance, the best single-threshold policy against
+    uniform jitter.  With negligible jitter the timing margin separates
+    honest from cheating provers perfectly; once jitter approaches the
+    cheat overhead (iterations * 2 cycles = 3.3 ms at the defaults),
+    accuracy collapses towards coin-flipping -- the paper's "not viable
+    for attestation performed over a network".
+    """
+    rng = DeterministicRng(seed)
+    points = []
+    golden = SwattProver(device_factory())._memory_image()
+    for jitter in jitters:
+        network = NetworkTimingModel(base_latency_seconds=0.005,
+                                     jitter_seconds=jitter)
+        verifier = SwattVerifier(iterations=iterations,
+                                 jitter_allowance_seconds=jitter / 2,
+                                 seed=f"{seed}-{jitter}")
+        false_accepts = 0
+        false_rejects = 0
+        provers = {False: SwattProver(device_factory()),
+                   True: CheatingSwattProver(device_factory())}
+        for _trial in range(trials):
+            for cheating, prover in provers.items():
+                challenge = verifier.challenge()
+                response = prover.respond(challenge)
+                observed = SwattResponse(
+                    checksum=response.checksum,
+                    latency_seconds=response.latency_seconds
+                    + network.sample(rng)
+                    - network.base_latency_seconds)
+                accepted = verifier.accept(challenge, observed, golden)
+                if cheating and accepted:
+                    false_accepts += 1
+                if not cheating and not accepted:
+                    false_rejects += 1
+        points.append(AccuracyPoint(jitter_seconds=jitter,
+                                    false_accepts=false_accepts,
+                                    false_rejects=false_rejects,
+                                    trials=trials))
+    return points

@@ -1,0 +1,341 @@
+"""Command-line interface: reproduce the paper's experiments directly.
+
+Usage::
+
+    python -m repro table1                 # Table 1 crypto costs
+    python -m repro table2 [--strict]      # Table 2 mitigation matrix
+    python -m repro table3                 # Table 3 component costs
+    python -m repro overhead               # Section 6.3 overheads + clocks
+    python -m repro roam [--clock sw]      # Section 5 roaming grid
+    python -m repro flood [--rate R] [--duration S]
+    python -m repro attest [--ram-kb N] [--scheme S] [--policy P]
+
+Each subcommand prints the same tables the benchmark harness writes to
+``benchmarks/results/``; the CLI exists so a downstream user can poke at
+parameters without driving pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.analysis import render_table
+from .crypto.costmodel import CryptoCostModel
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> int:
+    model = CryptoCostModel(frequency_hz=args.mhz * 1_000_000)
+    rows = [["primitive op", "ms"],
+            ["hmac fixed", f"{model.cycles_to_ms(model.hmac_cycles(0, 'table')):.3f}"],
+            ["hmac / 64 B block",
+             f"{model.cycles_to_ms(model.hmac_cycles(128, 'table') - model.hmac_cycles(64, 'table')):.3f}"],
+            ["aes key expansion",
+             f"{model.cycles_to_ms(model.aes_key_expansion_cycles()):.3f}"],
+            ["aes encrypt / block",
+             f"{model.cycles_to_ms(model.aes_encrypt_cycles(1)):.3f}"],
+            ["aes decrypt / block",
+             f"{model.cycles_to_ms(model.aes_decrypt_cycles(1)):.3f}"],
+            ["speck key expansion",
+             f"{model.cycles_to_ms(model.speck_key_expansion_cycles()):.3f}"],
+            ["speck encrypt / block",
+             f"{model.cycles_to_ms(model.speck_encrypt_cycles(1)):.3f}"],
+            ["speck decrypt / block",
+             f"{model.cycles_to_ms(model.speck_decrypt_cycles(1)):.3f}"],
+            ["ecdsa sign", f"{model.cycles_to_ms(model.ecdsa_sign_cycles()):.3f}"],
+            ["ecdsa verify",
+             f"{model.cycles_to_ms(model.ecdsa_verify_cycles()):.3f}"]]
+    print(render_table(rows, title=f"Table 1 at {args.mhz} MHz"))
+    print(f"\nattestation of {args.ram_kb} KB: "
+          f"{model.attestation_ms(args.ram_kb * 1024):.3f} ms")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    if args.model_check:
+        from .core.modelcheck import table2_from_model_checking
+        table = table2_from_model_checking(
+            paper_assumptions=not args.strict)
+        rows = [["feature", "mitigates"]]
+        for feature in ("nonce", "counter", "timestamp"):
+            rows.append([feature, ", ".join(sorted(table[feature])) or "-"])
+        print(render_table(rows, title="Table 2 via exhaustive model "
+                                       "checking"))
+        if args.strict:
+            print("\n(unrestricted adversary: immediate replays exposed; "
+                  "rerun without --strict for the paper's assumptions)")
+    else:
+        from .attacks.scenarios import TABLE2_EXPECTED, run_table2_matrix
+        matrix = run_table2_matrix(seed="cli")
+        print(render_table(matrix.as_rows(),
+                           title="Table 2, derived by attack simulation"))
+        match = matrix.matches(TABLE2_EXPECTED)
+        print(f"\nagreement with the printed Table 2: "
+              f"{'EXACT' if match else 'MISMATCH'}")
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .hwcost import TABLE3_COMPONENTS
+    rows = [["component", "rules", "registers", "LUTs"]]
+    for component in TABLE3_COMPONENTS:
+        if component.registers_per_rule:
+            reg = f"{component.registers}+{component.registers_per_rule}*#r"
+            lut = f"{component.luts}+{component.luts_per_rule}*#r"
+        else:
+            reg, lut = str(component.registers), str(component.luts)
+        rows.append([component.name, str(component.mpu_rules), reg, lut])
+    print(render_table(rows, title="Table 3: hardware cost per component"))
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from .hwcost import HardwareCostModel
+    model = HardwareCostModel()
+    base = model.baseline()
+    print(f"baseline: {base.registers} registers / {base.luts} LUTs "
+          f"({base.rules} EA-MPU rules)\n")
+    rows = [["variant", "+reg", "reg %", "+LUT", "LUT %"]]
+    for kind in ("hw64", "hw32div", "sw"):
+        o = model.variant_overhead(kind)
+        rows.append([kind, str(o.extra_registers),
+                     f"{o.register_overhead_percent:.2f}",
+                     str(o.extra_luts),
+                     f"{o.lut_overhead_percent:.2f}"])
+    print(render_table(rows, title="Section 6.3 overheads"))
+    rows = [["width/divider", "resolution (ms)", "wrap-around (years)"]]
+    for width, divider in ((64, 1), (32, 1), (32, 1 << 20)):
+        t = model.clock_tradeoff(width, divider)
+        rows.append([f"{width}b / {divider}",
+                     f"{t['resolution_seconds'] * 1000:.4f}",
+                     f"{t['wraparound_years']:.4f}"])
+    print()
+    print(render_table(rows, title="Clock trade-offs @ 24 MHz"))
+    return 0
+
+
+def _cmd_roam(args) -> int:
+    from .attacks.scenarios import run_roaming_suite
+    clock_kinds = tuple(args.clock) if args.clock else ("hw64", "sw")
+    records = run_roaming_suite(clock_kinds=clock_kinds, seed="cli-roam")
+    rows = [["strategy", "profile", "clock", "DoS", "detectable"]]
+    for r in records:
+        rows.append([r.strategy, r.profile, r.clock_kind,
+                     "SUCCEEDS" if r.dos_succeeded else "blocked",
+                     "yes" if r.detectable else "no"])
+    print(render_table(rows, title="Section 5: roaming adversary results"))
+    return 0
+
+
+def _cmd_flood(args) -> int:
+    from .attacks.scenarios import run_dos_flood
+    from .mcu.device import DeviceConfig
+    rows = [["auth scheme", "accepted", "rejected", "CPU busy (s)",
+             "energy (mJ)"]]
+    for scheme in ("none", "speck-64/128-cbc-mac", "hmac-sha1",
+                   "ecdsa-secp160r1"):
+        result = run_dos_flood(
+            auth_scheme=scheme, rate_per_second=args.rate,
+            duration_seconds=args.duration,
+            device_config=DeviceConfig(ram_size=args.ram_kb * 1024,
+                                       flash_size=32 * 1024,
+                                       app_size=4 * 1024),
+            seed="cli-flood")
+        rows.append([scheme, str(result.accepted), str(result.rejected),
+                     f"{result.active_seconds:.3f}",
+                     f"{result.energy_mj:.4f}"])
+    print(render_table(rows, title=f"Forged-request flood: {args.rate}/s "
+                                   f"for {args.duration:.0f}s on a "
+                                   f"{args.ram_kb} KB prover"))
+    return 0
+
+
+def _cmd_attest(args) -> int:
+    import json
+
+    from .core.protocol import build_session
+    from .mcu.device import DeviceConfig
+    session = build_session(
+        auth_scheme=args.scheme, policy_name=args.policy,
+        device_config=DeviceConfig(ram_size=args.ram_kb * 1024),
+        seed="cli-attest")
+    session.learn_reference_state()
+    result = session.attest_once(settle_seconds=20.0)
+    if args.json:
+        summary = session.summary()
+        summary["verdict"] = {"trusted": result.trusted,
+                              "detail": result.detail}
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if result.trusted else 1
+    stats = session.anchor.stats
+    print(f"verdict: trusted={result.trusted} ({result.detail})")
+    print(f"request validation: {stats.validation_cycles / 24_000:.3f} ms")
+    print(f"memory measurement: {stats.attestation_cycles / 24_000:.1f} ms")
+    session.device.sync_energy()
+    print(f"prover energy: {session.device.battery.consumed_mj:.3f} mJ")
+    return 0 if result.trusted else 1
+
+
+def _cmd_modelcheck(args) -> int:
+    from .core.modelcheck import PROPERTIES, check_policy
+    rows = [["policy"] + list(PROPERTIES) + ["schedules"]]
+    policies = [("none", {}), ("nonce", {}), ("counter", {}),
+                ("timestamp", {}),
+                ("timestamp+monotonic", {"monotonic_timestamps": True})]
+    for label, kwargs in policies:
+        name = label.split("+")[0]
+        result = check_policy(name, requests=args.requests, **kwargs)
+        rows.append([label]
+                    + ["holds" if prop in result.holds else "FAILS"
+                       for prop in PROPERTIES]
+                    + [str(result.schedules_checked)])
+    print(render_table(rows, title="Freshness policies, exhaustively "
+                                   "checked (unrestricted adversary)"))
+    print("\nProperty-to-Table-2 mapping: no-double-acceptance=replay, "
+          "order-safety=reorder, no-stale-acceptance=delay.")
+    return 0
+
+
+def _cmd_swatt(args) -> int:
+    from .baselines.swatt import evaluate_over_paths
+    from .mcu.device import Device, DeviceConfig
+    from .mcu.profiles import BASELINE
+    from .net.path import DIRECT_LINK, campus_path, wan_path
+
+    def factory():
+        device = Device(DeviceConfig(ram_size=8 * 1024,
+                                     flash_size=16 * 1024,
+                                     app_size=4 * 1024))
+        device.provision(b"K" * 16)
+        device.boot(BASELINE)
+        return device
+
+    paths = {"direct": DIRECT_LINK, "campus": campus_path(),
+             "wan": wan_path()}
+    results = evaluate_over_paths(device_factory=factory, paths=paths,
+                                  trials=args.trials,
+                                  iterations=args.iterations,
+                                  seed="cli-swatt")
+    rows = [["topology", "jitter (ms)", "accuracy"]]
+    for name, path in paths.items():
+        rows.append([name, f"{path.jitter_span_seconds * 1000:.2f}",
+                     f"{results[name].accuracy:.2f}"])
+    print(render_table(rows, title="SWATT-style timing attestation by "
+                                   "topology (Section 2)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Aggregate benchmarks/results/*.txt into one markdown report."""
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    if not results.is_dir():
+        print(f"no results directory at {results}; run "
+              f"'pytest benchmarks/ --benchmark-only' first",
+              file=sys.stderr)
+        return 1
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"no result files in {results}", file=sys.stderr)
+        return 1
+    sections = ["# Experiment report",
+                "",
+                f"Aggregated from {len(files)} result files in "
+                f"`{results}`.  Regenerate with "
+                f"`pytest benchmarks/ --benchmark-only`.",
+                ""]
+    for path in files:
+        sections.append(f"## {path.stem.replace('_', ' ')}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    output = "\n".join(sections)
+    if args.output:
+        pathlib.Path(args.output).write_text(output)
+        print(f"wrote {args.output} ({len(files)} sections)")
+    else:
+        print(output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Remote Attestation for Low-End Embedded "
+                    "Devices: the Prover's Perspective' (DAC 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="crypto primitive costs")
+    p.add_argument("--mhz", type=int, default=24)
+    p.add_argument("--ram-kb", type=int, default=512)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("table2", help="attack-vs-feature matrix")
+    p.add_argument("--model-check", action="store_true",
+                   help="derive via exhaustive schedule enumeration")
+    p.add_argument("--strict", action="store_true",
+                   help="unrestricted adversary (with --model-check)")
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("table3", help="hardware component costs")
+    p.set_defaults(fn=_cmd_table3)
+
+    p = sub.add_parser("overhead", help="Section 6.3 overheads and clocks")
+    p.set_defaults(fn=_cmd_overhead)
+
+    p = sub.add_parser("roam", help="Section 5 roaming adversary grid")
+    p.add_argument("--clock", action="append",
+                   choices=["hw64", "hw32div", "sw"],
+                   help="clock designs to attack (repeatable)")
+    p.set_defaults(fn=_cmd_roam)
+
+    p = sub.add_parser("flood", help="forged-request DoS flood")
+    p.add_argument("--rate", type=float, default=0.5)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--ram-kb", type=int, default=16)
+    p.set_defaults(fn=_cmd_flood)
+
+    p = sub.add_parser("attest", help="one end-to-end attestation round")
+    p.add_argument("--ram-kb", type=int, default=64)
+    p.add_argument("--scheme", default="speck-64/128-cbc-mac",
+                   choices=["none", "speck-64/128-cbc-mac",
+                            "aes-128-cbc-mac", "hmac-sha1",
+                            "ecdsa-secp160r1"])
+    p.add_argument("--policy", default="counter",
+                   choices=["none", "nonce", "counter", "timestamp"])
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable session summary")
+    p.set_defaults(fn=_cmd_attest)
+
+    p = sub.add_parser("modelcheck",
+                       help="exhaustive freshness-policy verification")
+    p.add_argument("--requests", type=int, default=3)
+    p.set_defaults(fn=_cmd_modelcheck)
+
+    p = sub.add_parser("swatt",
+                       help="software-attestation baseline vs topology")
+    p.add_argument("--trials", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=8000)
+    p.set_defaults(fn=_cmd_swatt)
+
+    p = sub.add_parser("report",
+                       help="aggregate benchmark results into markdown")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument("--output", default=None,
+                   help="write to a file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The attestation protocol: the paper's primary contribution.
+
+Request/response wire formats (:mod:`~repro.core.messages`), request
+authentication schemes (:mod:`~repro.core.authenticator`, Section 4.1),
+freshness policies (:mod:`~repro.core.freshness`, Section 4.2), the
+prover trust anchor and verifier (:mod:`~repro.core.prover`,
+:mod:`~repro.core.verifier`), and session assembly
+(:mod:`~repro.core.protocol`).
+"""
+
+from .analysis import AttackOutcome, MitigationMatrix, render_table
+from .authenticator import (AesCbcMacAuthenticator, EcdsaAuthenticator,
+                            HmacAuthenticator, NullAuthenticator,
+                            RequestAuthenticator, SpeckCbcMacAuthenticator,
+                            make_symmetric_authenticator)
+from .freshness import (CounterPolicy, FreshnessPolicy, InMemoryStateView,
+                        NoFreshness, NonceHistoryPolicy, POLICY_NAMES,
+                        TimestampPolicy, VerifierFreshnessState, make_policy)
+from .messages import AttestationRequest, AttestationResponse
+from .modelcheck import (ModelCheckResult, check_policy,
+                         table2_from_model_checking)
+from .protocol import ProverNode, Session, VerifierNode, build_session
+from .prover import DeviceStateView, ProverStats, ProverTrustAnchor
+from .verifier import VerificationResult, Verifier
+
+__all__ = [
+    "AesCbcMacAuthenticator", "AttackOutcome", "AttestationRequest",
+    "AttestationResponse", "CounterPolicy", "DeviceStateView",
+    "EcdsaAuthenticator", "FreshnessPolicy", "HmacAuthenticator",
+    "InMemoryStateView", "MitigationMatrix", "ModelCheckResult",
+    "NoFreshness",
+    "NonceHistoryPolicy", "NullAuthenticator", "POLICY_NAMES", "ProverNode",
+    "ProverStats", "ProverTrustAnchor", "RequestAuthenticator", "Session",
+    "SpeckCbcMacAuthenticator", "TimestampPolicy", "VerificationResult",
+    "Verifier", "VerifierFreshnessState", "VerifierNode", "build_session",
+    "check_policy", "make_policy", "make_symmetric_authenticator",
+    "render_table", "table2_from_model_checking",
+]

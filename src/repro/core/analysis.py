@@ -1,0 +1,108 @@
+"""Result types and report rendering for the security experiments.
+
+The attack scenarios in :mod:`repro.attacks` produce
+:class:`AttackOutcome` records; this module aggregates them into the
+paper's tables -- most importantly the Table 2 mitigation matrix -- and
+renders aligned-text reports the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AttackOutcome", "MitigationMatrix", "render_table",
+           "CHECK", "DASH"]
+
+CHECK = "yes"
+DASH = "-"
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of running one attack scenario.
+
+    Attributes
+    ----------
+    attack:
+        Attack name, e.g. ``"replay"``, ``"roam-counter-rollback"``.
+    defence:
+        The configuration under attack, e.g. ``"counter"`` or
+        ``"roam-hardened/hw64"``.
+    succeeded:
+        True when the adversary achieved its goal (the prover performed
+        unauthorised attestation work / accepted a stale request).
+    detectable:
+        Whether the attack left after-the-fact evidence on the prover
+        (Section 5 distinguishes the counter rollback, which is
+        undetectable, from the clock reset, which leaves the clock
+        behind).  ``None`` when not applicable.
+    prover_wasted_cycles:
+        Cycles the prover burned because of the attack.
+    detail:
+        Free-form explanation for the report.
+    """
+
+    attack: str
+    defence: str
+    succeeded: bool
+    detectable: bool | None = None
+    prover_wasted_cycles: int = 0
+    detail: str = ""
+
+    @property
+    def mitigated(self) -> bool:
+        return not self.succeeded
+
+
+@dataclass
+class MitigationMatrix:
+    """Attack x feature grid (the shape of Table 2)."""
+
+    attacks: list[str]
+    features: list[str]
+    outcomes: dict = field(default_factory=dict)  # (attack, feature) -> AttackOutcome
+
+    def record(self, outcome: AttackOutcome) -> None:
+        self.outcomes[(outcome.attack, outcome.defence)] = outcome
+
+    def mitigated(self, attack: str, feature: str) -> bool:
+        return self.outcomes[(attack, feature)].mitigated
+
+    def cell(self, attack: str, feature: str) -> str:
+        return CHECK if self.mitigated(attack, feature) else DASH
+
+    def as_rows(self) -> list[list[str]]:
+        header = ["Attack"] + list(self.features)
+        rows = [header]
+        for attack in self.attacks:
+            rows.append([attack] + [self.cell(attack, f)
+                                    for f in self.features])
+        return rows
+
+    def matches(self, expectations: dict) -> bool:
+        """Compare against Table 2 expectations:
+        ``{feature: set-of-mitigated-attacks}``."""
+        for feature in self.features:
+            expected = expectations.get(feature, set())
+            for attack in self.attacks:
+                if self.mitigated(attack, feature) != (attack in expected):
+                    return False
+        return True
+
+
+def render_table(rows: list[list[str]], *, title: str | None = None) -> str:
+    """Render rows as an aligned text table (first row is the header)."""
+    if not rows:
+        return ""
+    widths = [max(len(str(row[i])) for row in rows)
+              for i in range(len(rows[0]))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(rows):
+        lines.append(" | ".join(str(cell).ljust(width)
+                                for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)

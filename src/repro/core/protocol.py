@@ -1,0 +1,273 @@
+"""End-to-end protocol sessions: verifier and prover on a Dolev-Yao channel.
+
+:func:`build_session` is the library's main entry point: it assembles a
+simulated deployment -- a provisioned, booted prover device with its
+trust anchor, a verifier, and the channel between them -- from a handful
+of choices (protection profile, request-auth scheme, freshness policy,
+clock design).  Examples and attack scenarios all start from a session.
+
+Time model: the network simulation clock is authoritative.  The prover
+device sleeps between deliveries (:meth:`ProverNode.deliver` fast-forwards
+the device to the simulation time before handling), and request handling
+time feeds back as response latency, so a 754 ms measurement really does
+delay the response by 754 simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.ecc import SECP160R1, generate_keypair
+from ..crypto.rng import DeterministicRng
+from ..errors import ConfigurationError
+from ..mcu.device import Device, DeviceConfig
+from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
+from ..net.channel import ChannelAdversary, DolevYaoChannel
+from ..net.simulator import Simulation
+from .authenticator import (EcdsaAuthenticator, RequestAuthenticator,
+                            make_symmetric_authenticator)
+from .freshness import FreshnessPolicy, make_policy
+from .messages import AttestationRequest, AttestationResponse
+from .prover import ProverTrustAnchor
+from .verifier import VerificationResult, Verifier
+
+__all__ = ["ProverNode", "VerifierNode", "Session", "build_session"]
+
+
+class ProverNode:
+    """Channel endpoint wrapping a :class:`ProverTrustAnchor`."""
+
+    def __init__(self, name: str, anchor: ProverTrustAnchor,
+                 channel: DolevYaoChannel, sim: Simulation):
+        self.name = name
+        self.anchor = anchor
+        self.channel = channel
+        self.sim = sim
+        channel.attach(self)
+
+    @property
+    def device(self) -> Device:
+        return self.anchor.device
+
+    def _sync_device_time(self) -> None:
+        lag = self.sim.now - self.device.cpu.elapsed_seconds
+        if lag > 0:
+            self.device.idle_seconds(lag)
+
+    def deliver(self, message, sender: str) -> None:
+        """Handle an inbound attestation request."""
+        if not isinstance(message, AttestationRequest):
+            return  # unknown traffic is dropped silently
+        self._sync_device_time()
+        response, reason = self.anchor.handle_request(message)
+        if response is not None:
+            # The response leaves the device when its CPU finishes -- in
+            # absolute device time, so a request that queued behind an
+            # earlier measurement is delayed by both (the device may be
+            # ahead of the simulation clock after back-to-back requests).
+            done_at = self.device.cpu.elapsed_seconds
+            delay = max(0.0, done_at - self.sim.now)
+            self.sim.schedule(
+                delay,
+                lambda: self.channel.send(self.name, sender, response))
+
+
+class VerifierNode:
+    """Channel endpoint wrapping a :class:`Verifier`."""
+
+    def __init__(self, name: str, verifier: Verifier,
+                 channel: DolevYaoChannel, prover_name: str,
+                 sim: Simulation):
+        self.name = name
+        self.verifier = verifier
+        self.channel = channel
+        self.prover_name = prover_name
+        self.sim = sim
+        self._outstanding: list[AttestationRequest] = []
+        self.results: list[VerificationResult] = []
+        channel.attach(self)
+
+    def request_attestation(self) -> AttestationRequest:
+        """Issue one attestation request towards the prover."""
+        request = self.verifier.make_request()
+        self._outstanding.append(request)
+        self.channel.send(self.name, self.prover_name, request)
+        return request
+
+    def deliver(self, message, sender: str) -> None:
+        if not isinstance(message, AttestationResponse):
+            return
+        request = self._match_request(message)
+        if request is None:
+            self.results.append(VerificationResult(
+                False, None, "unsolicited-response"))
+            return
+        self.results.append(self.verifier.check_response(request, message))
+
+    def _match_request(self, response: AttestationResponse
+                       ) -> AttestationRequest | None:
+        for request in self._outstanding:
+            if request.challenge == response.challenge:
+                self._outstanding.remove(request)
+                return request
+        return None
+
+
+@dataclass
+class Session:
+    """A fully-wired attestation deployment."""
+
+    sim: Simulation
+    channel: DolevYaoChannel
+    device: Device
+    anchor: ProverTrustAnchor
+    verifier: Verifier
+    prover_node: ProverNode
+    verifier_node: VerifierNode
+    policy: FreshnessPolicy
+    key: bytes
+
+    def attest_once(self, settle_seconds: float = 5.0) -> VerificationResult:
+        """Run one complete attestation round and return the verdict."""
+        if self.sim.now == 0.0:
+            # A timestamp of exactly 0 is indistinguishable from the
+            # prover's initial last-accepted value; start after the epoch.
+            self.sim.run(until=0.001)
+        self.verifier_node.request_attestation()
+        self.sim.run(until=self.sim.now + settle_seconds)
+        if not self.verifier_node.results:
+            return VerificationResult(False, None, "no-response")
+        return self.verifier_node.results[-1]
+
+    def summary(self) -> dict:
+        """Machine-readable snapshot of the deployment and its history.
+
+        Stable keys for scripting/CI: device geometry, configuration
+        choices, protocol statistics, and energy accounting.
+        """
+        self.device.sync_energy()
+        stats = self.anchor.stats
+        config = self.device.config
+        return {
+            "device": {
+                "frequency_hz": config.frequency_hz,
+                "ram_bytes": config.ram_size,
+                "flash_bytes": config.flash_size,
+                "writable_bytes": self.device.writable_memory_bytes,
+                "clock_kind": config.clock_kind,
+                "profile": self.device.boot_profile.name
+                if self.device.boot_profile else None,
+                "mpu_rules": self.device.mpu.active_rule_count,
+            },
+            "protocol": {
+                "auth_scheme": self.anchor.authenticator.scheme,
+                "freshness_policy": self.policy.name,
+            },
+            "stats": {
+                "requests_received": stats.received,
+                "accepted": stats.accepted,
+                "rejected": dict(stats.rejected),
+                "validation_ms": stats.validation_cycles
+                / (config.frequency_hz / 1000),
+                "attestation_ms": stats.attestation_cycles
+                / (config.frequency_hz / 1000),
+            },
+            "energy": {
+                "consumed_mj": self.device.battery.consumed_mj,
+                "battery_fraction_remaining":
+                    self.device.battery.fraction_remaining,
+            },
+            "time": {
+                "simulated_seconds": self.sim.now,
+                "device_seconds": self.device.cpu.elapsed_seconds,
+            },
+        }
+
+    def learn_reference_state(self) -> bytes:
+        """Deployment-time step: record the golden state digest.
+
+        Reads the device directly (trusted provisioning environment, not
+        the network path) so the verifier can later flag modified states.
+        """
+        digest = self.device.digest_writable_memory(
+            self.device.context("Code_Attest"))
+        self.verifier.learn_reference(digest)
+        return digest
+
+
+def build_session(*, profile: ProtectionProfile = ROAM_HARDENED,
+                  auth_scheme: str = "speck-64/128-cbc-mac",
+                  policy_name: str = "counter",
+                  device_config: DeviceConfig | None = None,
+                  adversary: ChannelAdversary | None = None,
+                  timestamp_window_seconds: float = 1.0,
+                  monotonic_timestamps: bool = False,
+                  latency_seconds: float = 0.005,
+                  network_path=None,
+                  key: bytes | None = None,
+                  rate_limit_seconds: float = 0.0,
+                  seed: str = "session-0") -> Session:
+    """Assemble a simulated attestation deployment.
+
+    Parameters mirror the paper's design space: ``profile`` picks the
+    hardware protection level (Section 6), ``auth_scheme`` the request
+    authentication primitive (Section 4.1, Table 1), ``policy_name`` the
+    freshness feature (Section 4.2, Table 2), and
+    ``device_config.clock_kind`` the clock implementation (Figure 1).
+    ``key`` provisions an externally-derived ``K_Attest`` (e.g. from
+    :func:`repro.crypto.kdf.derive_device_key`); by default a key is
+    drawn from the session seed.
+    """
+    config = device_config if device_config is not None else DeviceConfig()
+    if policy_name == "timestamp" and config.clock_kind == "none":
+        raise ConfigurationError(
+            "timestamp freshness requires a device clock")
+
+    rng = DeterministicRng(seed)
+    if key is None:
+        key = rng.substream("k-attest").bytes(16)
+    elif len(key) != 16:
+        raise ConfigurationError("provisioned K_Attest must be 16 bytes")
+
+    device = Device(config)
+    device.provision(key)
+    device.boot(profile)
+
+    sim = Simulation()
+    channel = DolevYaoChannel(sim, latency_seconds=latency_seconds,
+                              adversary=adversary, path=network_path,
+                              seed=seed)
+
+    # Clock plumbing for timestamps: the verifier converts simulation
+    # seconds into prover ticks (synchronised-clocks assumption).
+    if device.clock is not None:
+        resolution = device.clock.resolution_seconds
+        clock_ticks = lambda: int(sim.now / resolution)  # noqa: E731
+        window_ticks = max(1, int(timestamp_window_seconds / resolution))
+    else:
+        clock_ticks = None
+        window_ticks = 1
+
+    policy = make_policy(policy_name, window_ticks=window_ticks,
+                         monotonic_timestamps=monotonic_timestamps)
+
+    if auth_scheme == "ecdsa-secp160r1":
+        keypair = generate_keypair(SECP160R1, rng.substream("ecdsa"))
+        verifier_auth: RequestAuthenticator = EcdsaAuthenticator.signer(keypair)
+        prover_auth: RequestAuthenticator = EcdsaAuthenticator.checker(
+            keypair.public)
+    else:
+        verifier_auth = make_symmetric_authenticator(auth_scheme, key)
+        prover_auth = make_symmetric_authenticator(auth_scheme, key)
+
+    verifier = Verifier(key, verifier_auth, policy,
+                        clock_ticks=clock_ticks, seed=seed + ":verifier")
+    anchor = ProverTrustAnchor(device, prover_auth, policy,
+                               min_interval_seconds=rate_limit_seconds)
+
+    prover_node = ProverNode("prover", anchor, channel, sim)
+    verifier_node = VerifierNode("verifier", verifier, channel, "prover", sim)
+
+    return Session(sim=sim, channel=channel, device=device, anchor=anchor,
+                   verifier=verifier, prover_node=prover_node,
+                   verifier_node=verifier_node, policy=policy, key=key)

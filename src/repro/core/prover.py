@@ -1,0 +1,226 @@
+"""The prover's trust anchor (``Code_Attest``) and its device-backed state.
+
+Section 3: "Prv has a trust anchor responsible for measuring Prv's state
+and sending the result back to Vrf."  :class:`ProverTrustAnchor` is that
+anchor, running on a simulated :class:`~repro.mcu.device.Device`.  Every
+piece of sensitive state it touches goes through the device bus under the
+``Code_Attest`` (or ``Code_Clock``) execution context, so the EA-MPU
+rules installed at boot genuinely gate each access -- on an unprotected
+device, malware can manipulate the same words and the attacks of
+Section 5 succeed.
+
+The request-handling pipeline charges the simulated cycle costs of
+Table 1:
+
+1. validate the authentication tag (0.015 ms Speck ... 170.9 ms ECDSA);
+2. check freshness (counter / timestamp / nonce against protected state);
+3. measure all writable memory (the 754 ms/512 KB operation);
+4. authenticate the response.
+
+Rejections happen as early as possible -- that ordering is the entire
+DoS defence: a bogus request must die at step 1-2 cost, never step 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.hmac import hmac_sha1
+from ..errors import ConfigurationError
+from ..mcu.cpu import ExecutionContext
+from ..mcu.device import Device
+from .authenticator import RequestAuthenticator
+from .freshness import FreshnessPolicy
+from .messages import AttestationRequest, AttestationResponse
+
+__all__ = ["DeviceStateView", "ProverStats", "ProverTrustAnchor"]
+
+
+class DeviceStateView:
+    """Freshness state backed by real (protected) device memory.
+
+    * the counter / last-timestamp word is ``counter_R`` at
+      :attr:`Device.counter_address`, read and written under the
+      ``Code_Attest`` context;
+    * the clock is whatever :attr:`Device.clock` the device was built
+      with, read under ``Code_Attest``;
+    * the nonce history lives in ordinary RAM; its growth is tracked so
+      the Section 4.2 memory objection is measurable.
+    """
+
+    def __init__(self, device: Device, context: ExecutionContext):
+        self.device = device
+        self.context = context
+        self._nonces: set[bytes] = set()
+
+    def get_counter(self) -> int:
+        return self.device.read_counter(self.context)
+
+    def set_counter(self, value: int) -> None:
+        self.device.write_counter(self.context, value)
+
+    def clock_ticks(self) -> int | None:
+        if self.device.clock is None:
+            return None
+        return self.device.read_clock_ticks(self.context)
+
+    def nonce_seen(self, nonce: bytes) -> bool:
+        return nonce in self._nonces
+
+    def forget_nonce(self, nonce: bytes) -> None:
+        """Eviction hook used by bounded nonce caches."""
+        self._nonces.discard(nonce)
+
+    def remember_nonce(self, nonce: bytes) -> None:
+        self._nonces.add(nonce)
+        # Nonce history must persist across power cycles, i.e. it occupies
+        # non-volatile memory.  Model the capacity limit of the flash.
+        capacity = self.device.config.flash_size // 4
+        if len(self._nonces) * 16 > capacity:
+            raise ConfigurationError(
+                "nonce history exhausted prover non-volatile storage "
+                f"({len(self._nonces)} nonces)")
+
+    @property
+    def nonce_count(self) -> int:
+        return len(self._nonces)
+
+
+@dataclass
+class ProverStats:
+    """Operational counters of one trust anchor."""
+
+    received: int = 0
+    accepted: int = 0
+    rejected: dict = field(default_factory=dict)
+    validation_cycles: int = 0
+    attestation_cycles: int = 0
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+
+class ProverTrustAnchor:
+    """``Code_Attest``: validates requests and produces measurements.
+
+    Parameters
+    ----------
+    device:
+        A provisioned, booted :class:`~repro.mcu.device.Device`.
+    authenticator:
+        Request authentication scheme (prover side).  The shared key it
+        embeds must equal the device's provisioned ``K_Attest`` for the
+        end-to-end protocol to verify -- the anchor double-checks by
+        reading the key through the EA-MPU at construction.
+    policy:
+        Freshness policy (prover half).
+    """
+
+    def __init__(self, device: Device, authenticator: RequestAuthenticator,
+                 policy: FreshnessPolicy, *,
+                 min_interval_seconds: float = 0.0):
+        if not device.booted:
+            raise ConfigurationError("device must be booted before attaching "
+                                     "the trust anchor")
+        if min_interval_seconds < 0:
+            raise ConfigurationError("rate-limit interval cannot be negative")
+        self.device = device
+        self.authenticator = authenticator
+        self.policy = policy
+        #: Naive alternative defence: refuse to attest more often than
+        #: once per interval.  Kept for the ablation that shows why the
+        #: paper authenticates instead -- a rate limit caps flood damage
+        #: but hands the adversary a cheap lock-out of *genuine* requests
+        #: (send one forgery just before each real request).
+        self.min_interval_seconds = min_interval_seconds
+        self._last_attest_seconds: float | None = None
+        self.context = device.context("Code_Attest")
+        self.state = DeviceStateView(device, self.context)
+        self.stats = ProverStats()
+        #: (start_seconds, end_seconds) intervals the CPU spent attesting,
+        #: for the primary-task interference analysis.
+        self.busy_intervals: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+
+    def read_attestation_key(self) -> bytes:
+        """Fetch ``K_Attest`` under the ``Code_Attest`` context."""
+        return self.device.read_key(self.context)
+
+    def handle_request(self, request: AttestationRequest
+                       ) -> tuple[AttestationResponse | None, str]:
+        """Process one ``attreq``.
+
+        Returns ``(response, "ok")`` on acceptance or ``(None, reason)``
+        on rejection.  All cycle costs are charged to the device.
+        """
+        self.stats.received += 1
+        cpu = self.device.cpu
+
+        # Step 1: authenticate the request.
+        start = cpu.cycle_count
+        cpu.consume_cycles(
+            self.authenticator.prover_validation_cycles(self.device.cost_model))
+        authentic = self.authenticator.verify(request.signed_payload(),
+                                              request.auth_tag)
+        self.stats.validation_cycles += cpu.cycle_count - start
+        if not authentic:
+            self.stats.reject("bad-auth")
+            return None, "bad-auth"
+
+        # Step 2: freshness.
+        fresh, reason = self.policy.check(request, self.state)
+        if not fresh:
+            self.stats.reject(reason)
+            return None, reason
+
+        # Step 2b (optional, naive-alternative ablation): rate limiting.
+        # Checked before commit so a limited request burns no freshness
+        # state.
+        if self.min_interval_seconds > 0.0:
+            now = cpu.elapsed_seconds
+            if (self._last_attest_seconds is not None
+                    and now - self._last_attest_seconds
+                    < self.min_interval_seconds):
+                self.stats.reject("rate-limited")
+                return None, "rate-limited"
+            self._last_attest_seconds = now
+        self.policy.commit(request, self.state)
+
+        # Step 3: the expensive measurement.
+        start = cpu.cycle_count
+        start_seconds = cpu.elapsed_seconds
+        digest = self.device.digest_writable_memory(self.context)
+
+        # Step 4: authenticate the response.
+        response = AttestationResponse(
+            challenge=request.challenge, measurement=digest,
+            request_counter=request.counter,
+            request_timestamp=request.timestamp_ticks)
+        key = self.read_attestation_key()
+        payload = response.tagged_payload()
+        cpu.consume_cycles(
+            self.device.cost_model.hmac_cycles(len(payload), mode="table"))
+        response = response.with_tag(hmac_sha1(key, payload))
+
+        self.stats.attestation_cycles += cpu.cycle_count - start
+        self.stats.accepted += 1
+        self.busy_intervals.append((start_seconds, cpu.elapsed_seconds))
+        return response, "ok"
+
+    # ------------------------------------------------------------------
+
+    @property
+    def wasted_cycles(self) -> int:
+        """Cycles spent on requests that were ultimately rejected, plus
+        validation of accepted ones -- the DoS overhead a defended prover
+        still pays (the Section 4.1 paradox in cycle form)."""
+        return self.stats.validation_cycles
+
+    def freshness_state_bytes(self) -> int:
+        """Prover memory the freshness policy currently occupies."""
+        return self.policy.prover_state_bytes(self.state)

@@ -1,0 +1,258 @@
+"""Cycle-cost model of cryptographic primitives, calibrated to Table 1.
+
+The paper's entire DoS argument is quantitative: attestation is expensive
+*for the prover* because MACing all writable memory takes hundreds of
+milliseconds on a 24 MHz MCU, while validating a single authenticated
+request is cheap -- unless public-key crypto is used, in which case request
+authentication itself becomes a DoS vector (Section 4.1).
+
+Table 1 (Intel Siskiyou Peak @ 24 MHz, all values in milliseconds):
+
+======================  ==========  =======================================
+Primitive               Cost (ms)   Meaning
+======================  ==========  =======================================
+SHA1-HMAC fix           0.340       fixed setup/finalisation overhead
+SHA1-HMAC per block     0.092       per 64-byte message block
+AES-128 key expansion   0.074       once per key
+AES-128 encrypt         0.288       per 16-byte block
+AES-128 decrypt         0.570       per 16-byte block
+Speck 64/128 key exp.   0.016       once per key
+Speck 64/128 encrypt    0.017       per 8-byte block
+Speck 64/128 decrypt    0.015       per 8-byte block
+ECC secp160r1 sign      183.464     per signature
+ECC secp160r1 verify    170.907     per verification
+======================  ==========  =======================================
+
+The model converts these to *cycle* costs at the platform frequency, so a
+simulated device at a different frequency scales naturally.  Two HMAC
+accounting modes are offered:
+
+``table``
+    Table 1 reading: ``fix + blocks * per_block`` where ``blocks`` is the
+    number of 64-byte message blocks.  A one-block request validates in
+    0.432 ms, matching the paper's quoted "0.430 ms".
+
+``exact``
+    Exact SHA-1 compression counting of the HMAC construction (key blocks,
+    padding, outer hash), at ``per_block`` per compression.  For 512 KB of
+    RAM this yields 8196 compressions = **754.032 ms**, the exact figure in
+    Section 3.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .hmac import HmacSha1
+
+__all__ = [
+    "PrimitiveCosts", "SISKIYOU_PEAK_COSTS_MS", "CryptoCostModel",
+    "REQUEST_MESSAGE_BITS", "AuthScheme",
+]
+
+#: Section 4.1: "Messages are assumed to fit into one block for each
+#: cryptographic primitive (in bits): ECC: 160, AES: 256, Speck: 64; and
+#: HMAC: 512."
+REQUEST_MESSAGE_BITS = {
+    "ecdsa-secp160r1": 160,
+    "aes-128-cbc-mac": 256,
+    "speck-64/128-cbc-mac": 64,
+    "hmac-sha1": 512,
+}
+
+#: Canonical request-authentication scheme names used across the library.
+AuthScheme = str
+
+
+@dataclass(frozen=True)
+class PrimitiveCosts:
+    """Per-operation costs of the crypto primitives, in milliseconds."""
+
+    hmac_fixed_ms: float = 0.340
+    hmac_block_ms: float = 0.092            # per 64-byte SHA-1 block
+    aes_key_expansion_ms: float = 0.074
+    aes_encrypt_block_ms: float = 0.288     # per 16-byte block
+    aes_decrypt_block_ms: float = 0.570
+    speck_key_expansion_ms: float = 0.016
+    speck_encrypt_block_ms: float = 0.017   # per 8-byte block
+    speck_decrypt_block_ms: float = 0.015
+    ecc_sign_ms: float = 183.464
+    ecc_verify_ms: float = 170.907
+
+
+#: Table 1 as published (Siskiyou Peak, 24 MHz).
+SISKIYOU_PEAK_COSTS_MS = PrimitiveCosts()
+
+_HMAC_BLOCK_BYTES = 64
+_AES_BLOCK_BYTES = 16
+_SPECK_BLOCK_BYTES = 8
+
+
+@dataclass
+class CryptoCostModel:
+    """Converts primitive operation counts into simulated CPU cycles.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency of the modelled MCU.  Table 1 was measured at
+        24 MHz; cycle counts are frequency-independent, wall-clock times
+        scale with ``frequency_hz``.
+    costs:
+        The per-operation millisecond costs *at 24 MHz* used for
+        calibration.
+    """
+
+    frequency_hz: int = 24_000_000
+    costs: PrimitiveCosts = field(default_factory=lambda: SISKIYOU_PEAK_COSTS_MS)
+
+    _CALIBRATION_HZ = 24_000_000
+
+    def __post_init__(self):
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+
+    # -- unit conversions ---------------------------------------------------
+
+    def _ms_to_cycles(self, ms: float) -> int:
+        """Milliseconds at the calibration frequency -> cycle count."""
+        return round(ms * self._CALIBRATION_HZ / 1000.0)
+
+    def cycles_to_ms(self, cycles: int) -> float:
+        """Cycle count -> milliseconds at the modelled frequency."""
+        return cycles * 1000.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / self.frequency_hz
+
+    # -- HMAC-SHA1 -----------------------------------------------------------
+
+    def hmac_cycles(self, message_length: int, mode: str = "table") -> int:
+        """Cycles to HMAC a ``message_length``-byte message.
+
+        ``mode='table'`` charges Table 1's fixed + per-block reading;
+        ``mode='exact'`` counts actual SHA-1 compressions (reproduces the
+        paper's 754.032 ms for 512 KB).
+        """
+        if message_length < 0:
+            raise ValueError("message_length must be non-negative")
+        if mode == "table":
+            blocks = math.ceil(message_length / _HMAC_BLOCK_BYTES)
+            ms = self.costs.hmac_fixed_ms + blocks * self.costs.hmac_block_ms
+        elif mode == "exact":
+            compressions = HmacSha1.total_compressions(message_length)
+            ms = compressions * self.costs.hmac_block_ms
+        else:
+            raise ConfigurationError(f"unknown HMAC cost mode {mode!r}")
+        return self._ms_to_cycles(ms)
+
+    def sha1_cycles(self, message_length: int) -> int:
+        """Cycles for a plain SHA-1 over ``message_length`` bytes.
+
+        Charged at Table 1's per-block compression cost; used for the
+        unkeyed state digest and secure-boot measurements.
+        """
+        if message_length < 0:
+            raise ValueError("message_length must be non-negative")
+        remainder = message_length % _HMAC_BLOCK_BYTES
+        blocks = message_length // _HMAC_BLOCK_BYTES + (1 if remainder < 56 else 2)
+        return self._ms_to_cycles(blocks * self.costs.hmac_block_ms)
+
+    # -- AES-128 --------------------------------------------------------------
+
+    def aes_key_expansion_cycles(self) -> int:
+        return self._ms_to_cycles(self.costs.aes_key_expansion_ms)
+
+    def aes_encrypt_cycles(self, n_blocks: int) -> int:
+        return self._ms_to_cycles(n_blocks * self.costs.aes_encrypt_block_ms)
+
+    def aes_decrypt_cycles(self, n_blocks: int) -> int:
+        return self._ms_to_cycles(n_blocks * self.costs.aes_decrypt_block_ms)
+
+    def aes_cbc_mac_cycles(self, message_length: int,
+                           key_preexpanded: bool = True) -> int:
+        """Cycles for an AES-128 CBC-MAC over ``message_length`` bytes."""
+        blocks = max(1, math.ceil(message_length / _AES_BLOCK_BYTES))
+        cycles = self.aes_encrypt_cycles(blocks)
+        if not key_preexpanded:
+            cycles += self.aes_key_expansion_cycles()
+        return cycles
+
+    # -- Speck 64/128 -----------------------------------------------------------
+
+    def speck_key_expansion_cycles(self) -> int:
+        return self._ms_to_cycles(self.costs.speck_key_expansion_ms)
+
+    def speck_encrypt_cycles(self, n_blocks: int) -> int:
+        return self._ms_to_cycles(n_blocks * self.costs.speck_encrypt_block_ms)
+
+    def speck_decrypt_cycles(self, n_blocks: int) -> int:
+        return self._ms_to_cycles(n_blocks * self.costs.speck_decrypt_block_ms)
+
+    def speck_cbc_mac_cycles(self, message_length: int,
+                             key_preexpanded: bool = True) -> int:
+        """Cycles for a Speck 64/128 CBC-MAC over ``message_length`` bytes.
+
+        With a pre-expanded key and a one-block message this is the paper's
+        headline "0.015 ms" fast path (Section 4.1).
+        """
+        blocks = max(1, math.ceil(message_length / _SPECK_BLOCK_BYTES))
+        # The paper quotes the *decrypt* per-block figure (0.015 ms) for
+        # request validation; validating an appended tag by recomputation
+        # uses encryption (0.017 ms).  We charge the cheaper published
+        # figure to stay faithful to the text.
+        cycles = self.speck_decrypt_cycles(blocks)
+        if not key_preexpanded:
+            cycles += self.speck_key_expansion_cycles()
+        return cycles
+
+    # -- ECDSA --------------------------------------------------------------
+
+    def ecdsa_sign_cycles(self) -> int:
+        return self._ms_to_cycles(self.costs.ecc_sign_ms)
+
+    def ecdsa_verify_cycles(self) -> int:
+        return self._ms_to_cycles(self.costs.ecc_verify_ms)
+
+    # -- derived quantities used by the paper -------------------------------
+
+    def attestation_cycles(self, memory_bytes: int, mode: str = "exact") -> int:
+        """Cycles for the prover's attestation measurement: a SHA1-HMAC over
+        ``memory_bytes`` of writable memory (Section 3.1)."""
+        return self.hmac_cycles(memory_bytes, mode=mode)
+
+    def attestation_ms(self, memory_bytes: int, mode: str = "exact") -> float:
+        return self.cycles_to_ms(self.attestation_cycles(memory_bytes, mode))
+
+    def request_validation_cycles(self, scheme: AuthScheme) -> int:
+        """Cycles for the *prover* to validate one authenticated request.
+
+        Message sizes follow Section 4.1's one-block-per-primitive
+        assumption (:data:`REQUEST_MESSAGE_BITS`).  Keys for the symmetric
+        schemes are assumed pre-expanded, as in the paper's fast path.
+        """
+        bits = REQUEST_MESSAGE_BITS.get(scheme)
+        if bits is None:
+            if scheme == "none":
+                return 0
+            raise ConfigurationError(f"unknown auth scheme {scheme!r}")
+        nbytes = bits // 8
+        if scheme == "hmac-sha1":
+            return self.hmac_cycles(nbytes, mode="table")
+        if scheme == "aes-128-cbc-mac":
+            # Section 4.1 claims AES performs "slightly better" than the
+            # 0.430 ms HMAC validation, which only holds for a single
+            # 16-byte block (0.288 ms).  The "AES: 256" bits in the text is
+            # inconsistent with AES-128's 128-bit block, so the one-block
+            # assumption takes precedence.
+            return self.aes_encrypt_cycles(1)
+        if scheme == "speck-64/128-cbc-mac":
+            return self.speck_cbc_mac_cycles(nbytes)
+        if scheme == "ecdsa-secp160r1":
+            return self.ecdsa_verify_cycles()
+        raise ConfigurationError(f"unknown auth scheme {scheme!r}")
+
+    def request_validation_ms(self, scheme: AuthScheme) -> float:
+        return self.cycles_to_ms(self.request_validation_cycles(scheme))

@@ -1,0 +1,270 @@
+"""Elliptic-curve cryptography over secp160r1, with ECDSA (SHA-1).
+
+Section 4.1 of the paper evaluates public-key authentication of attestation
+requests and *rules it out*: on Siskiyou Peak at 24 MHz an ECC (secp160r1)
+signature verification costs ~170 ms, so "a supposed way of preventing DoS
+attacks can itself result in DoS" (Table 1: sign 183.464 ms, verify
+170.907 ms).  We implement the curve anyway -- the benchmark harness needs
+the baseline to demonstrate the paradox, and the verifier may legitimately
+use ECDSA on its (powerful) side.
+
+The implementation is textbook short-Weierstrass arithmetic in Jacobian
+coordinates with double-and-add scalar multiplication, plus RFC 6979-style
+deterministic nonces (via our HMAC-DRBG) so that signing is reproducible
+and never leaks the key through nonce reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidKeyError, InvalidSignatureError
+from .hmac import HmacSha1
+from .sha1 import SHA1
+
+__all__ = ["CurveParams", "SECP160R1", "EccPoint", "EcdsaKeyPair",
+           "ecdsa_sign", "ecdsa_verify", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Domain parameters of a short-Weierstrass curve y^2 = x^3 + ax + b."""
+
+    name: str
+    p: int      # field prime
+    a: int      # curve coefficient a
+    b: int      # curve coefficient b
+    gx: int     # base point x
+    gy: int     # base point y
+    n: int      # base point order
+    h: int      # cofactor
+
+    @property
+    def key_bytes(self) -> int:
+        """Bytes needed to serialise a scalar modulo ``n``."""
+        return (self.n.bit_length() + 7) // 8
+
+
+#: SEC 2 secp160r1, the curve the paper benchmarks (Table 1).
+SECP160R1 = CurveParams(
+    name="secp160r1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFC,
+    b=0x1C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45,
+    gx=0x4A96B5688EF573284664698968C38BB913CBFC82,
+    gy=0x23A628553168947D59DCC912042351377AC5FB32,
+    n=0x0100000000000000000001F4C8F927AED3CA752257,
+    h=1,
+)
+
+
+class EccPoint:
+    """A point on a :class:`CurveParams` curve (affine representation).
+
+    The identity (point at infinity) is represented by ``x is None``.
+    """
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: CurveParams, x: int | None, y: int | None):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if x is not None and not self._on_curve():
+            raise InvalidKeyError(f"point ({x:#x}, {y:#x}) is not on {curve.name}")
+
+    @classmethod
+    def infinity(cls, curve: CurveParams) -> "EccPoint":
+        return cls(curve, None, None)
+
+    @classmethod
+    def generator(cls, curve: CurveParams) -> "EccPoint":
+        return cls(curve, curve.gx, curve.gy)
+
+    def _on_curve(self) -> bool:
+        p, a, b = self.curve.p, self.curve.a, self.curve.b
+        return (self.y * self.y - (self.x ** 3 + a * self.x + b)) % p == 0
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EccPoint):
+            return NotImplemented
+        return (self.curve == other.curve and self.x == other.x
+                and self.y == other.y)
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"EccPoint({self.curve.name}, infinity)"
+        return f"EccPoint({self.curve.name}, x={self.x:#x}, y={self.y:#x})"
+
+    # -- group law ---------------------------------------------------------
+
+    def __neg__(self) -> "EccPoint":
+        if self.is_infinity:
+            return self
+        return EccPoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "EccPoint") -> "EccPoint":
+        if not isinstance(other, EccPoint):
+            return NotImplemented
+        if self.curve != other.curve:
+            raise ValueError("cannot add points on different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        p = self.curve.p
+        if self.x == other.x:
+            if (self.y + other.y) % p == 0:
+                return EccPoint.infinity(self.curve)
+            # Doubling.
+            slope = (3 * self.x * self.x + self.curve.a) * pow(2 * self.y, p - 2, p)
+        else:
+            slope = (other.y - self.y) * pow(other.x - self.x, p - 2, p)
+        slope %= p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        result = EccPoint.__new__(EccPoint)
+        result.curve, result.x, result.y = self.curve, x3, y3
+        return result
+
+    def __rmul__(self, scalar: int) -> "EccPoint":
+        return self.__mul__(scalar)
+
+    def __mul__(self, scalar: int) -> "EccPoint":
+        """Double-and-add scalar multiplication."""
+        if not isinstance(scalar, int):
+            return NotImplemented
+        scalar %= self.curve.n
+        result = EccPoint.infinity(self.curve)
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend + addend
+            scalar >>= 1
+        return result
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed SEC 1 encoding (0x04 || X || Y)."""
+        if self.is_infinity:
+            return b"\x00"
+        size = (self.curve.p.bit_length() + 7) // 8
+        return b"\x04" + self.x.to_bytes(size, "big") + self.y.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, curve: CurveParams, data: bytes) -> "EccPoint":
+        """Decode a SEC 1 uncompressed point (validates curve membership)."""
+        if data == b"\x00":
+            return cls.infinity(curve)
+        size = (curve.p.bit_length() + 7) // 8
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise InvalidKeyError("malformed uncompressed point encoding")
+        x = int.from_bytes(data[1:1 + size], "big")
+        y = int.from_bytes(data[1 + size:], "big")
+        return cls(curve, x, y)
+
+
+@dataclass(frozen=True)
+class EcdsaKeyPair:
+    """An ECDSA private scalar and the matching public point."""
+
+    curve: CurveParams
+    private: int
+    public: EccPoint
+
+    def __post_init__(self):
+        if not 1 <= self.private < self.curve.n:
+            raise InvalidKeyError("private scalar out of range")
+
+
+def generate_keypair(curve: CurveParams, rng) -> EcdsaKeyPair:
+    """Generate a key pair using a :class:`~repro.crypto.rng.DeterministicRng`."""
+    d = rng.randint(1, curve.n - 1)
+    public = d * EccPoint.generator(curve)
+    return EcdsaKeyPair(curve, d, public)
+
+
+def _hash_to_int(message: bytes, curve: CurveParams) -> int:
+    """SHA-1 the message and truncate to the bit length of ``n`` (SEC 1)."""
+    digest = SHA1(message).digest()
+    e = int.from_bytes(digest, "big")
+    excess = 8 * len(digest) - curve.n.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e
+
+
+def _deterministic_nonce(key: EcdsaKeyPair, message: bytes) -> int:
+    """RFC 6979-flavoured deterministic nonce (HMAC-SHA1 based)."""
+    size = key.curve.key_bytes
+    priv = key.private.to_bytes(size, "big")
+    h1 = SHA1(message).digest()
+    v = b"\x01" * 20
+    k = b"\x00" * 20
+    k = HmacSha1(k, v + b"\x00" + priv + h1).digest()
+    v = HmacSha1(k, v).digest()
+    k = HmacSha1(k, v + b"\x01" + priv + h1).digest()
+    v = HmacSha1(k, v).digest()
+    while True:
+        t = b""
+        while len(t) < size:
+            v = HmacSha1(k, v).digest()
+            t += v
+        candidate = int.from_bytes(t[:size], "big")
+        excess = 8 * size - key.curve.n.bit_length()
+        if excess > 0:
+            candidate >>= excess
+        if 1 <= candidate < key.curve.n:
+            return candidate
+        k = HmacSha1(k, v + b"\x00").digest()
+        v = HmacSha1(k, v).digest()
+
+
+def ecdsa_sign(key: EcdsaKeyPair, message: bytes) -> tuple[int, int]:
+    """Produce an ECDSA signature (r, s) over ``message``."""
+    curve = key.curve
+    e = _hash_to_int(message, curve)
+    while True:
+        k = _deterministic_nonce(key, message)
+        point = k * EccPoint.generator(curve)
+        r = point.x % curve.n
+        if r == 0:
+            message = message + b"\x00"  # retry with perturbed input
+            continue
+        s = (pow(k, curve.n - 2, curve.n) * (e + r * key.private)) % curve.n
+        if s == 0:
+            message = message + b"\x00"
+            continue
+        return r, s
+
+
+def ecdsa_verify(curve: CurveParams, public: EccPoint, message: bytes,
+                 signature: tuple[int, int]) -> bool:
+    """Check an ECDSA ``signature`` over ``message`` against ``public``.
+
+    Structural violations (out-of-range r/s, identity public key) raise
+    :class:`InvalidSignatureError`; a well-formed but wrong signature simply
+    returns ``False``.
+    """
+    r, s = signature
+    if public.is_infinity:
+        raise InvalidSignatureError("public key is the identity point")
+    if not (1 <= r < curve.n and 1 <= s < curve.n):
+        raise InvalidSignatureError("signature component out of range")
+    e = _hash_to_int(message, curve)
+    w = pow(s, curve.n - 2, curve.n)
+    u1 = (e * w) % curve.n
+    u2 = (r * w) % curve.n
+    point = u1 * EccPoint.generator(curve) + u2 * public
+    if point.is_infinity:
+        return False
+    return point.x % curve.n == r

@@ -1,0 +1,111 @@
+"""HMAC-SHA1 per RFC 2104 (Krawczyk, Bellare, Canetti), from scratch.
+
+This is the prover's attestation MAC in the paper: the response is a
+SHA1-HMAC computed over the prover's entire writable memory (Section 3.1),
+and the verifier's attestation *requests* may also be authenticated with
+the same primitive (Section 4.1, "a SHA-1-based HMAC can be validated in
+0.430 ms").
+
+The implementation follows RFC 2104 exactly: ``H(K ^ opad || H(K ^ ipad
+|| message))`` with 64-byte block size.  Keys longer than one block are
+first hashed; shorter keys are zero-padded.
+"""
+
+from __future__ import annotations
+
+from .sha1 import BLOCK_SIZE, DIGEST_SIZE, SHA1
+
+__all__ = ["HmacSha1", "hmac_sha1", "constant_time_compare"]
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+def _prepare_key(key: bytes) -> bytes:
+    """Normalise ``key`` to exactly one SHA-1 block (64 bytes)."""
+    if len(key) > BLOCK_SIZE:
+        key = SHA1(key).digest()
+    return key.ljust(BLOCK_SIZE, b"\x00")
+
+
+class HmacSha1:
+    """Incremental HMAC-SHA1 object.
+
+    >>> HmacSha1(b"key", b"The quick brown fox jumps over the lazy dog"
+    ...          ).hexdigest()
+    'de7c9b85b8b78aa6bc8a7a36f70a90701c9db4d9'
+    """
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, key: bytes, data: bytes = b""):
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("HMAC key must be bytes")
+        padded = _prepare_key(bytes(key))
+        self._inner = SHA1(bytes(b ^ _IPAD for b in padded))
+        self._outer_key = bytes(b ^ _OPAD for b in padded)
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb message ``data``."""
+        self._inner.update(data)
+
+    def copy(self) -> "HmacSha1":
+        clone = HmacSha1.__new__(HmacSha1)
+        clone._inner = self._inner.copy()
+        clone._outer_key = self._outer_key
+        return clone
+
+    def digest(self) -> bytes:
+        """Return the 20-byte HMAC tag."""
+        outer = SHA1(self._outer_key)
+        outer.update(self._inner.digest())
+        return outer.digest()
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    @property
+    def blocks_processed(self) -> int:
+        """Message blocks absorbed so far (excludes key/finalise blocks)."""
+        return self._inner.blocks_processed
+
+    @staticmethod
+    def total_compressions(message_length: int) -> int:
+        """Exact number of SHA-1 compression calls for a one-shot HMAC.
+
+        Inner hash: 1 key block + the padded message blocks; outer hash:
+        1 key block + 1 block holding the 20-byte inner digest.  For the
+        paper's 512 KB example this yields 1 + 8193 + 2 = 8196 compressions,
+        and 8196 * 0.092 ms = 754.032 ms -- exactly the figure in
+        Section 3.1.  See :mod:`repro.crypto.costmodel`.
+        """
+        if message_length < 0:
+            raise ValueError("message_length must be non-negative")
+        inner_payload = BLOCK_SIZE + message_length  # ipad block + message
+        remainder = inner_payload % BLOCK_SIZE
+        inner_blocks = inner_payload // BLOCK_SIZE + (1 if remainder < 56 else 2)
+        outer_blocks = 2  # opad block + (20-byte digest + padding)
+        return inner_blocks + outer_blocks
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """One-shot HMAC-SHA1 tag of ``message`` under ``key``."""
+    return HmacSha1(key, message).digest()
+
+
+def constant_time_compare(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on mismatch.
+
+    Prevents timing side channels when the prover validates a request MAC.
+    Length differences still return ``False``, but only after scanning the
+    shorter input.
+    """
+    if not isinstance(a, (bytes, bytearray)) or not isinstance(b, (bytes, bytearray)):
+        raise TypeError("constant_time_compare expects bytes")
+    result = len(a) ^ len(b)
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,68 @@
+"""HKDF-SHA1 key derivation (RFC 5869, instantiated with our HMAC).
+
+Fleet deployments need per-device ``K_Attest`` values: a single shared
+key would let one compromised prover impersonate every other (the
+roaming adversary of Section 5 extracts keys wherever hardware allows).
+HKDF derives independent device keys from one provisioning master, so
+the back office stores a single secret while each device's compromise
+stays contained.
+
+``extract`` and ``expand`` follow RFC 5869 exactly (with SHA-1 as the
+hash, matching the platform's primitive set); test vectors are checked
+in the suite.
+"""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+from .hmac import hmac_sha1
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf", "derive_device_key"]
+
+_HASH_LEN = 20
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha1(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 expand: derive ``length`` bytes bound to ``info``."""
+    if length < 1:
+        raise CryptoError("requested length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("requested length exceeds HKDF-SHA1 maximum")
+    if len(prk) < _HASH_LEN:
+        raise CryptoError("PRK shorter than the hash output")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha1(prk, block + info + bytes([counter]))
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
+         length: int = 16) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def derive_device_key(master_key: bytes, device_id: str, *,
+                      length: int = 16) -> bytes:
+    """Per-device ``K_Attest`` from a fleet master key.
+
+    Distinct device ids yield independent keys; the derivation is
+    deterministic, so the verifier back office re-derives on demand
+    instead of storing a key database.
+    """
+    if not device_id:
+        raise CryptoError("device_id must be non-empty")
+    return hkdf(master_key, salt=b"repro-fleet-v1",
+                info=b"k-attest:" + device_id.encode("utf-8"),
+                length=length)

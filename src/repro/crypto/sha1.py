@@ -1,0 +1,152 @@
+"""Pure-Python SHA-1, implemented from the FIPS 180-4 specification.
+
+The paper's prover computes a SHA1-HMAC over its entire writable memory
+(Section 3.1), so SHA-1 is the workhorse primitive of the whole system.
+This implementation is written from scratch (no ``hashlib``) so that the
+simulated MCU genuinely executes the compression function; the test suite
+cross-checks digests against ``hashlib.sha1``.
+
+The incremental API mirrors ``hashlib``: :meth:`SHA1.update`,
+:meth:`SHA1.digest`, :meth:`SHA1.hexdigest`, :meth:`SHA1.copy`.  The module
+also tracks how many 64-byte blocks were compressed
+(:attr:`SHA1.blocks_processed`), which the MCU cycle-cost model uses to
+charge simulated time (Table 1: 0.092 ms per block + 0.340 ms fixed).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA1", "sha1", "BLOCK_SIZE", "DIGEST_SIZE"]
+
+BLOCK_SIZE = 64
+DIGEST_SIZE = 20
+
+_MASK32 = 0xFFFFFFFF
+
+# FIPS 180-4 section 5.3.1: initial hash value.
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+# FIPS 180-4 section 4.2.1: round constants.
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _rotl(value: int, amount: int) -> int:
+    """Rotate a 32-bit ``value`` left by ``amount`` bits."""
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def _compress(state: tuple[int, int, int, int, int],
+              block: bytes) -> tuple[int, int, int, int, int]:
+    """Apply the SHA-1 compression function to one 64-byte ``block``."""
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+            k = _K[0]
+        elif t < 40:
+            f = b ^ c ^ d
+            k = _K[1]
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = _K[2]
+        else:
+            f = b ^ c ^ d
+            k = _K[3]
+        temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK32
+        e = d
+        d = c
+        c = _rotl(b, 30)
+        b = a
+        a = temp
+
+    return (
+        (state[0] + a) & _MASK32,
+        (state[1] + b) & _MASK32,
+        (state[2] + c) & _MASK32,
+        (state[3] + d) & _MASK32,
+        (state[4] + e) & _MASK32,
+    )
+
+
+class SHA1:
+    """Incremental SHA-1 hash object (API-compatible subset of ``hashlib``).
+
+    >>> SHA1(b"abc").hexdigest()
+    'a9993e364706816aba3e25717850c26c9cd0d89d'
+    """
+
+    name = "sha1"
+    block_size = BLOCK_SIZE
+    digest_size = DIGEST_SIZE
+
+    def __init__(self, data: bytes = b""):
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        self.blocks_processed = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb ``data`` into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        buf = self._buffer + data
+        offset = 0
+        while len(buf) - offset >= BLOCK_SIZE:
+            self._state = _compress(self._state, buf[offset:offset + BLOCK_SIZE])
+            self.blocks_processed += 1
+            offset += BLOCK_SIZE
+        self._buffer = buf[offset:]
+
+    def copy(self) -> "SHA1":
+        """Return an independent clone of the current hash state."""
+        clone = SHA1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        clone.blocks_processed = self.blocks_processed
+        return clone
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest of all data absorbed so far."""
+        # Pad a copy so the object remains usable for further updates.
+        state = self._state
+        blocks = 0
+        bit_length = self._length * 8
+        padded = self._buffer + b"\x80"
+        pad_len = (56 - len(padded)) % BLOCK_SIZE
+        padded += b"\x00" * pad_len + struct.pack(">Q", bit_length)
+        for offset in range(0, len(padded), BLOCK_SIZE):
+            state = _compress(state, padded[offset:offset + BLOCK_SIZE])
+            blocks += 1
+        return struct.pack(">5I", *state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    @property
+    def total_blocks_for_digest(self) -> int:
+        """Number of compression-function calls a full digest of the current
+        message requires, including padding blocks.
+
+        Used by the cycle-cost model: the per-block cost in Table 1 applies
+        to every compression, and padding may add one extra block.
+        """
+        remainder = self._length % BLOCK_SIZE
+        # 1 byte of 0x80 plus 8 length bytes must fit after the remainder.
+        tail_blocks = 1 if remainder < 56 else 2
+        return self._length // BLOCK_SIZE + tail_blocks
+
+
+def sha1(data: bytes = b"") -> SHA1:
+    """Convenience constructor, mirroring ``hashlib.sha1``."""
+    return SHA1(data)

@@ -1,0 +1,138 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems add their own subclasses:
+
+* crypto errors (:class:`CryptoError` and friends),
+* device/hardware errors (:class:`DeviceError`, :class:`MemoryAccessViolation`),
+* protocol errors (:class:`ProtocolError`, :class:`RequestRejected`),
+* configuration errors (:class:`ConfigurationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic errors."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key had the wrong length or an otherwise invalid value."""
+
+
+class InvalidBlockError(CryptoError):
+    """A block passed to a block cipher had the wrong length."""
+
+
+class InvalidSignatureError(CryptoError):
+    """An ECDSA signature failed structural validation."""
+
+
+class PaddingError(CryptoError):
+    """CBC padding was malformed during unpadding."""
+
+
+# ---------------------------------------------------------------------------
+# Device / MCU simulator
+# ---------------------------------------------------------------------------
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the MCU simulator."""
+
+
+class MemoryAccessViolation(DeviceError):
+    """A memory access was denied by the EA-MPU or region attributes.
+
+    Attributes
+    ----------
+    address:
+        The absolute byte address of the faulting access.
+    access:
+        One of ``"read"``, ``"write"``, ``"execute"``.
+    context:
+        Name of the execution context (code region) that issued the access,
+        or ``None`` when no context was active.
+    """
+
+    def __init__(self, message: str, *, address: int | None = None,
+                 access: str | None = None, context: str | None = None):
+        super().__init__(message)
+        self.address = address
+        self.access = access
+        self.context = context
+
+
+class MPULockedError(DeviceError):
+    """An attempt was made to reconfigure a locked-down EA-MPU."""
+
+
+class SecureBootError(DeviceError):
+    """Secure boot refused to start the device (measurement mismatch)."""
+
+
+class ClockError(DeviceError):
+    """A clock was misconfigured or manipulated in a way hardware forbids."""
+
+
+class InterruptError(DeviceError):
+    """Interrupt subsystem misconfiguration (bad vector, masked trusted IRQ)."""
+
+
+class EntryPointViolation(DeviceError):
+    """Execution of protected code attempted at a non-entry address.
+
+    SMART-style hardware enforces that trusted code is entered only at
+    its canonical entry point; a code-reuse jump into its body traps with
+    this error instead of running with trusted privileges (Section 6.2).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+class ProtocolError(ReproError):
+    """Base class for attestation protocol errors."""
+
+
+class RequestRejected(ProtocolError):
+    """The prover rejected an attestation request.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable reason code, e.g. ``"bad-mac"``, ``"stale-counter"``,
+        ``"stale-timestamp"``, ``"replayed-nonce"``.
+    """
+
+    def __init__(self, message: str, *, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+class VerificationFailed(ProtocolError):
+    """The verifier could not validate an attestation response."""
+
+
+# ---------------------------------------------------------------------------
+# Network simulation
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for network-simulation errors."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

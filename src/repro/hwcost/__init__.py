@@ -1,0 +1,13 @@
+"""Analytical hardware-cost model reproducing Table 3 and Section 6.3."""
+
+from .components import (ATTEST_KEY, CLOCK_32, CLOCK_64, COUNTER, Component,
+                         EA_MPU, SISKIYOU_PEAK, SW_CLOCK, TABLE3_COMPONENTS)
+from .model import (ClockVariantCost, HardwareCostModel, SystemCost,
+                    resolution_seconds, wraparound_seconds, wraparound_years)
+
+__all__ = [
+    "ATTEST_KEY", "CLOCK_32", "CLOCK_64", "COUNTER", "ClockVariantCost",
+    "Component", "EA_MPU", "HardwareCostModel", "SISKIYOU_PEAK", "SW_CLOCK",
+    "SystemCost", "TABLE3_COMPONENTS", "resolution_seconds",
+    "wraparound_seconds", "wraparound_years",
+]

@@ -1,0 +1,87 @@
+"""Table 3: hardware cost per component (registers / LUTs / EA-MPU rules).
+
+The paper synthesised its prototype on the Intel Siskiyou Peak FPGA soft
+core with a TrustLite EA-MPU; Table 3 reports the component costs that
+the Section 6.3 overhead arithmetic builds on:
+
+=================  =========  ==========================  =====
+Component          MPU rules  Registers                   LUTs
+=================  =========  ==========================  =====
+Siskiyou Peak      0          5528                        14361
+EA-MPU             1          278 + 116 * #r              417 + 182 * #r
+Attest-Key         1          0                           0
+Counter            1          0                           0
+64-bit clock       0          64                          64
+32-bit clock       0          32                          32
+SW-clock           2          0                           0
+=================  =========  ==========================  =====
+
+(#r = number of protection rules the EA-MPU is configured for.  The
+per-rule register/LUT increments -- 116 and 182 -- are therefore the
+price of each additional protected component.)
+
+Note the paper's own small inconsistency: Table 3 lists the SW-clock at
+2 rules and the hardware clocks at 0, while the Section 6.3 overhead
+arithmetic charges 3 rules for the SW-clock and 1 for each hardware
+clock.  We encode Table 3 verbatim here and follow Section 6.3's
+arithmetic in :mod:`repro.hwcost.model` (its printed totals are
+self-consistent); the discrepancy is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Component", "SISKIYOU_PEAK", "EA_MPU", "ATTEST_KEY", "COUNTER",
+           "CLOCK_64", "CLOCK_32", "SW_CLOCK", "TABLE3_COMPONENTS",
+           "MPU_BASE_REGISTERS", "MPU_REGISTERS_PER_RULE", "MPU_BASE_LUTS",
+           "MPU_LUTS_PER_RULE"]
+
+MPU_BASE_REGISTERS = 278
+MPU_REGISTERS_PER_RULE = 116
+MPU_BASE_LUTS = 417
+MPU_LUTS_PER_RULE = 182
+
+
+@dataclass(frozen=True)
+class Component:
+    """One Table 3 column.
+
+    ``registers``/``luts`` are the fixed direct costs;
+    ``registers_per_rule``/``luts_per_rule`` are non-zero only for the
+    EA-MPU itself, whose size scales with the configured rule count.
+    """
+
+    name: str
+    mpu_rules: int
+    registers: int
+    luts: int
+    registers_per_rule: int = 0
+    luts_per_rule: int = 0
+
+    def cost(self, rules: int = 0) -> tuple[int, int]:
+        """(registers, luts) for this component at ``rules`` rule slots."""
+        return (self.registers + self.registers_per_rule * rules,
+                self.luts + self.luts_per_rule * rules)
+
+
+SISKIYOU_PEAK = Component("Siskiyou Peak", mpu_rules=0,
+                          registers=5528, luts=14361)
+
+EA_MPU = Component("EA-MPU (TrustLite)", mpu_rules=1,
+                   registers=MPU_BASE_REGISTERS, luts=MPU_BASE_LUTS,
+                   registers_per_rule=MPU_REGISTERS_PER_RULE,
+                   luts_per_rule=MPU_LUTS_PER_RULE)
+
+ATTEST_KEY = Component("Attest-Key", mpu_rules=1, registers=0, luts=0)
+
+COUNTER = Component("Counter", mpu_rules=1, registers=0, luts=0)
+
+CLOCK_64 = Component("64 bit clock", mpu_rules=0, registers=64, luts=64)
+
+CLOCK_32 = Component("32 bit clock", mpu_rules=0, registers=32, luts=32)
+
+SW_CLOCK = Component("SW-clock", mpu_rules=2, registers=0, luts=0)
+
+TABLE3_COMPONENTS = (SISKIYOU_PEAK, EA_MPU, ATTEST_KEY, COUNTER,
+                     CLOCK_64, CLOCK_32, SW_CLOCK)

@@ -1,0 +1,216 @@
+"""Section 6.3's cost arithmetic: baselines, clock variants, overheads.
+
+The evaluation compares three ``Adv_roam`` countermeasure variants
+against a baseline that "supports attestation without protection against
+Adv_ext or Adv_roam":
+
+* baseline = Siskiyou Peak + EA-MPU with 2 rules (self-lockdown +
+  ``K_Attest``) = **6038 registers / 15142 LUTs**;
+* 64-bit clock: +1 rule +64-bit register = +180 reg (+2.98 %) / +246
+  LUTs (+1.62 %);
+* 32-bit clock with divider: +1 rule +32-bit register = +148 (+2.45 %) /
+  +214 (+1.41 %);
+* SW-clock: +3 rules = +348 (+5.76 %) / +546 (+3.61 %).
+
+:class:`HardwareCostModel` reproduces those numbers from the Table 3
+component data and generalises them: arbitrary rule counts, clock widths
+and dividers, plus the wrap-around-time analysis (24 372.6 years for the
+64-bit register at 24 MHz; ~3 minutes for a bare 32-bit register; ~6
+years at ~44 ms resolution behind a /2^20 divider).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .components import (CLOCK_32, CLOCK_64, EA_MPU,
+                         MPU_LUTS_PER_RULE, MPU_REGISTERS_PER_RULE,
+                         SISKIYOU_PEAK)
+
+__all__ = ["SystemCost", "ClockVariantCost", "HardwareCostModel",
+           "wraparound_seconds", "wraparound_years", "resolution_seconds"]
+
+# 365-day years: 2^64 / 24 MHz / (365*24*3600) = 24372.6 years, matching
+# the figure printed in Section 6.3 (Julian years would give 24355.9).
+_SECONDS_PER_YEAR = 365 * 24 * 3600
+
+
+def resolution_seconds(divider: int, frequency_hz: int = 24_000_000) -> float:
+    """Seconds per clock tick at ``frequency_hz`` behind ``divider``."""
+    if divider < 1 or frequency_hz <= 0:
+        raise ConfigurationError("divider and frequency must be positive")
+    return divider / frequency_hz
+
+
+def wraparound_seconds(width_bits: int, divider: int = 1,
+                       frequency_hz: int = 24_000_000) -> float:
+    """Time until a ``width_bits`` counter wraps (Section 6.3)."""
+    if width_bits < 1:
+        raise ConfigurationError("counter width must be positive")
+    return (1 << width_bits) * resolution_seconds(divider, frequency_hz)
+
+
+def wraparound_years(width_bits: int, divider: int = 1,
+                     frequency_hz: int = 24_000_000) -> float:
+    return wraparound_seconds(width_bits, divider, frequency_hz) / _SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Total register/LUT cost of one configuration."""
+
+    name: str
+    rules: int
+    registers: int
+    luts: int
+
+    def overhead_over(self, base: "SystemCost") -> "ClockVariantCost":
+        return ClockVariantCost(
+            name=self.name,
+            extra_registers=self.registers - base.registers,
+            extra_luts=self.luts - base.luts,
+            register_overhead=(self.registers - base.registers) / base.registers,
+            lut_overhead=(self.luts - base.luts) / base.luts)
+
+
+@dataclass(frozen=True)
+class ClockVariantCost:
+    """Extra cost of a clock variant relative to the baseline."""
+
+    name: str
+    extra_registers: int
+    extra_luts: int
+    register_overhead: float   # fraction, e.g. 0.0298
+    lut_overhead: float
+
+    @property
+    def register_overhead_percent(self) -> float:
+        return 100.0 * self.register_overhead
+
+    @property
+    def lut_overhead_percent(self) -> float:
+        return 100.0 * self.lut_overhead
+
+
+class HardwareCostModel:
+    """Builds configurations from Table 3 components and compares them."""
+
+    #: Section 6.3's per-variant rule counts and direct clock costs.
+    _VARIANTS = {
+        "hw64": (1, CLOCK_64),
+        "hw32div": (1, CLOCK_32),
+        "sw": (3, None),
+    }
+
+    def __init__(self, frequency_hz: int = 24_000_000):
+        self.frequency_hz = frequency_hz
+
+    # -- generic assembly ---------------------------------------------------
+
+    def system_cost(self, name: str, *, rules: int,
+                    clock_registers: int = 0,
+                    clock_luts: int = 0) -> SystemCost:
+        """Cost of Siskiyou Peak + an EA-MPU with ``rules`` slots + clock."""
+        if rules < 0:
+            raise ConfigurationError("rule count cannot be negative")
+        core_reg, core_lut = SISKIYOU_PEAK.cost()
+        mpu_reg, mpu_lut = EA_MPU.cost(rules)
+        return SystemCost(name=name, rules=rules,
+                          registers=core_reg + mpu_reg + clock_registers,
+                          luts=core_lut + mpu_lut + clock_luts)
+
+    def baseline(self) -> SystemCost:
+        """Section 6.3's baseline: 2 rules, no prover-side DoS protection.
+
+        5528 + 278 + 116*2 = 6038 registers;
+        14361 + 417 + 182*2 = 15142 LUTs.
+        """
+        return self.system_cost("baseline", rules=2)
+
+    def variant(self, clock_kind: str) -> SystemCost:
+        """Baseline extended with one Adv_roam clock countermeasure."""
+        try:
+            extra_rules, clock = self._VARIANTS[clock_kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown clock variant {clock_kind!r}; choose from "
+                f"{sorted(self._VARIANTS)}") from None
+        clock_reg, clock_lut = clock.cost() if clock is not None else (0, 0)
+        return self.system_cost(f"baseline+{clock_kind}",
+                                rules=2 + extra_rules,
+                                clock_registers=clock_reg,
+                                clock_luts=clock_lut)
+
+    def variant_overhead(self, clock_kind: str) -> ClockVariantCost:
+        """The Section 6.3 overhead numbers for one clock variant."""
+        return self.variant(clock_kind).overhead_over(self.baseline())
+
+    def all_overheads(self) -> dict[str, ClockVariantCost]:
+        return {kind: self.variant_overhead(kind) for kind in self._VARIANTS}
+
+    # -- wrap-around / resolution trade-off ----------------------------------
+
+    def clock_tradeoff(self, width_bits: int,
+                       divider: int = 1) -> dict[str, float]:
+        """Resolution vs lifetime of a clock register configuration."""
+        return {
+            "width_bits": width_bits,
+            "divider": divider,
+            "resolution_seconds": resolution_seconds(divider,
+                                                     self.frequency_hz),
+            "wraparound_seconds": wraparound_seconds(width_bits, divider,
+                                                     self.frequency_hz),
+            "wraparound_years": wraparound_years(width_bits, divider,
+                                                 self.frequency_hz),
+            "registers": width_bits,
+            "luts": width_bits,
+        }
+
+    def rule_scaling(self, max_rules: int = 8) -> list[tuple[int, int, int]]:
+        """(rules, registers, LUTs) of the EA-MPU alone as #r grows."""
+        return [(r, *EA_MPU.cost(r)) for r in range(1, max_rules + 1)]
+
+    # -- design-space search ---------------------------------------------------
+
+    def recommend_clock(self, *, lifetime_years: float,
+                        resolution_seconds: float,
+                        widths=(16, 24, 32, 48, 64),
+                        max_divider_log2: int = 24) -> dict | None:
+        """Cheapest protected-clock register meeting both requirements.
+
+        Searches width x divider for the configuration with minimal
+        register cost whose wrap-around exceeds ``lifetime_years`` and
+        whose resolution is at least as fine as ``resolution_seconds``
+        (the freshness window dictates the resolution; the deployment
+        dictates the lifetime -- Section 6.3's trade-off, automated).
+        Returns the :meth:`clock_tradeoff` dict of the winner plus its
+        overhead over the baseline, or ``None`` when nothing fits.
+        """
+        if lifetime_years <= 0 or resolution_seconds <= 0:
+            raise ConfigurationError("requirements must be positive")
+        best = None
+        for width in widths:
+            for divider_log2 in range(max_divider_log2 + 1):
+                divider = 1 << divider_log2
+                candidate = self.clock_tradeoff(width, divider)
+                if candidate["resolution_seconds"] > resolution_seconds:
+                    break   # larger dividers only get coarser
+                if candidate["wraparound_years"] < lifetime_years:
+                    continue
+                if best is None or candidate["registers"] < best["registers"]:
+                    best = candidate
+                # Register cost depends only on width, so the first
+                # acceptable divider (finest resolution) settles this width.
+                break
+        if best is None:
+            return None
+        # The protected clock costs one EA-MPU rule + the register.
+        best = dict(best)
+        best["extra_registers"] = (best["registers"]
+                                   + MPU_REGISTERS_PER_RULE)
+        best["extra_luts"] = best["luts"] + MPU_LUTS_PER_RULE
+        base = self.baseline()
+        best["register_overhead_percent"] = (
+            100.0 * best["extra_registers"] / base.registers)
+        return best

@@ -1,0 +1,36 @@
+"""Behavioural simulator of the low-end prover MCU.
+
+Models everything Section 6 relies on: byte-accurate memory with an
+execution-aware MPU (:mod:`repro.mcu.mpu`), interrupt handling with an
+in-memory IDT (:mod:`repro.mcu.interrupts`), the three real-time clock
+designs (:mod:`repro.mcu.clock`), secure boot, firmware images, and an
+energy/battery model for the DoS quantification.  :class:`Device` wires
+it all together.
+"""
+
+from .clock import SoftwareClock, WideHardwareClock
+from .cpu import CPU, ExecutionContext
+from .device import (Device, DeviceConfig, FLASH_BASE, MMIO_BASE, RAM_BASE,
+                     ROM_BASE)
+from .firmware import FirmwareImage, FirmwareModule
+from .interrupts import InterruptController, MaskRegister
+from .memory import MemoryBus, MemoryMap, MemoryRegion, MemoryType
+from .mpu import ALL_CODE, ExecutionAwareMPU, MPURule, NO_CODE
+from .power import Battery, DutyCycleTask, EnergyModel
+from .profiles import (ALL_PROFILES, BASELINE, EXT_HARDENED, ProtectionProfile,
+                       ROAM_HARDENED, UNPROTECTED)
+from .scheduler import (CooperativeScheduler, JobRecord, PeriodicTask,
+                        ScheduleReport)
+from .timer import HardwareCounter
+
+__all__ = [
+    "ALL_CODE", "ALL_PROFILES", "BASELINE", "Battery", "CPU",
+    "CooperativeScheduler", "Device", "DeviceConfig", "DutyCycleTask",
+    "EXT_HARDENED", "EnergyModel", "ExecutionAwareMPU", "ExecutionContext",
+    "FLASH_BASE", "FirmwareImage", "FirmwareModule", "HardwareCounter",
+    "InterruptController", "JobRecord", "MMIO_BASE", "MPURule",
+    "MaskRegister", "MemoryBus", "MemoryMap", "MemoryRegion", "MemoryType",
+    "NO_CODE", "PeriodicTask", "ProtectionProfile", "RAM_BASE",
+    "ROAM_HARDENED", "ROM_BASE", "ScheduleReport", "SoftwareClock",
+    "UNPROTECTED", "WideHardwareClock",
+]

@@ -1,0 +1,220 @@
+"""CPU model: execution contexts, cycle accounting, interrupt dispatch.
+
+This is a *behavioural* CPU, not an ISA emulator.  What the paper's
+mechanisms need from the CPU is exactly two things:
+
+1. **A program counter region** -- the EA-MPU grants or denies a memory
+   access depending on *where the current instruction lives* (Section 6.1:
+   "the CPU allows a particular memory access based on the value of the
+   current program counter").  We model this with
+   :class:`ExecutionContext`: a named code address range.  Every bus
+   access made while a context is active is attributed to that range.
+
+2. **A cycle counter** -- the DoS argument is about time and energy, so
+   simulated code charges cycles (crypto via the Table 1 cost model,
+   peripherals via fixed costs).  Hardware counters/timers observe cycle
+   progress and raise interrupts.
+
+Interrupt dispatch preempts the current context: the controller pushes
+the handler's context, runs the handler, and pops, exactly like a
+hardware interrupt frame.  A context may be marked *uninterruptible* to
+model SMART-style atomic ROM code (Section 2: "the security-critical
+code in ROM of SMART cannot be interrupted during execution"); TrustLite
+style interruptible trusted code is the default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from ..errors import ConfigurationError, EntryPointViolation, SimulationError
+
+__all__ = ["ExecutionContext", "CPU"]
+
+
+class ExecutionContext:
+    """A piece of code identified by its (immutable) address range.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identity, e.g. ``"Code_Attest"``, ``"app"``,
+        ``"malware"``.
+    code_start, code_end:
+        Half-open address range the code occupies; this is what EA-MPU
+        rules match against.
+    uninterruptible:
+        When True, pending interrupts are deferred until the context is
+        left (SMART-style atomic execution).
+    entry_points:
+        Addresses at which execution of this context may legitimately
+        begin, or ``None`` for unconstrained code.  Section 6.2: "Runtime
+        attacks on Code_Attest can be addressed, e.g., by limiting code
+        entry points" -- SMART enforces a single hardware entry so a
+        code-reuse jump into the middle of the trusted code (past its
+        request-validation prologue, straight to the key-handling body)
+        traps instead of executing with the trusted code's EA-MPU
+        privileges.
+    """
+
+    __slots__ = ("name", "code_start", "code_end", "uninterruptible",
+                 "entry_points")
+
+    def __init__(self, name: str, code_start: int, code_end: int, *,
+                 uninterruptible: bool = False,
+                 entry_points: tuple[int, ...] | None = None):
+        if code_start > code_end:
+            raise ConfigurationError(
+                f"context {name!r} has inverted code range")
+        if entry_points is not None:
+            for address in entry_points:
+                if not code_start <= address < code_end:
+                    raise ConfigurationError(
+                        f"entry point {address:#x} outside {name!r}")
+        self.name = name
+        self.code_start = code_start
+        self.code_end = code_end
+        self.uninterruptible = uninterruptible
+        self.entry_points = entry_points
+
+    @property
+    def code_range(self) -> tuple[int, int]:
+        return (self.code_start, self.code_end)
+
+    def __repr__(self) -> str:
+        return (f"ExecutionContext({self.name!r}, "
+                f"[{self.code_start:#x}, {self.code_end:#x}))")
+
+
+#: Callback invoked on cycle progress: f(now_cycles, elapsed_cycles).
+CycleListener = Callable[[int, int], None]
+
+
+class CPU:
+    """Cycle-accounting CPU with a context stack.
+
+    >>> cpu = CPU(frequency_hz=24_000_000)
+    >>> ctx = ExecutionContext("app", 0x1000, 0x2000)
+    >>> with cpu.running(ctx):
+    ...     cpu.consume_cycles(24_000)
+    >>> cpu.elapsed_ms
+    1.0
+    """
+
+    def __init__(self, frequency_hz: int = 24_000_000, *,
+                 enforce_entry_points: bool = True):
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        self.frequency_hz = frequency_hz
+        #: Hardware entry-point enforcement (SMART's single-entry
+        #: property).  False models cores without it, where a code-reuse
+        #: jump into trusted code inherits its EA-MPU privileges.
+        self.enforce_entry_points = enforce_entry_points
+        self.cycle_count = 0
+        self._context_stack: list[ExecutionContext] = []
+        self._cycle_listeners: list[CycleListener] = []
+        self._dispatching = False
+
+    # -- context management --------------------------------------------------
+
+    @property
+    def current_context(self) -> ExecutionContext | None:
+        """The context of the code currently executing (top of stack)."""
+        return self._context_stack[-1] if self._context_stack else None
+
+    def push_context(self, context: ExecutionContext,
+                     entry: int | None = None) -> None:
+        """Begin executing ``context``, optionally at a specific address.
+
+        When the context declares entry points and the hardware enforces
+        them (:attr:`enforce_entry_points`), beginning execution anywhere
+        else raises :class:`EntryPointViolation` -- the trap SMART's
+        single-entry hardware produces on a code-reuse jump.  ``entry``
+        of ``None`` means "the context's canonical entry" and always
+        passes.
+        """
+        if (entry is not None and self.enforce_entry_points
+                and context.entry_points is not None
+                and entry not in context.entry_points):
+            raise EntryPointViolation(
+                f"execution of {context.name!r} may not begin at "
+                f"{entry:#x} (entry points: "
+                f"{', '.join(hex(a) for a in context.entry_points)})")
+        self._context_stack.append(context)
+
+    def pop_context(self) -> ExecutionContext:
+        if not self._context_stack:
+            raise SimulationError("context stack underflow")
+        return self._context_stack.pop()
+
+    @contextmanager
+    def running(self, context: ExecutionContext,
+                entry: int | None = None) -> Iterator[ExecutionContext]:
+        """Execute the body with ``context`` active."""
+        self.push_context(context, entry)
+        try:
+            yield context
+        finally:
+            popped = self.pop_context()
+            if popped is not context:
+                raise SimulationError(
+                    f"context stack corrupted: popped {popped.name!r}, "
+                    f"expected {context.name!r}")
+
+    @property
+    def interrupts_deferred(self) -> bool:
+        """True when the active context must not be preempted."""
+        ctx = self.current_context
+        return ctx is not None and ctx.uninterruptible
+
+    # -- time ----------------------------------------------------------------
+
+    def add_cycle_listener(self, listener: CycleListener) -> None:
+        """Register a hardware block that observes cycle progress
+        (timers, the energy model)."""
+        self._cycle_listeners.append(listener)
+
+    def consume_cycles(self, cycles: int) -> None:
+        """Charge ``cycles`` of execution time and tick the hardware.
+
+        Cycle listeners (timers) run after the counter advances and may
+        dispatch interrupts, which nest naturally through the context
+        stack.
+        """
+        if cycles < 0:
+            raise SimulationError("cannot consume negative cycles")
+        if cycles == 0:
+            return
+        self.cycle_count += cycles
+        now = self.cycle_count
+        if self._dispatching:
+            # A listener is already running (e.g. an interrupt handler is
+            # consuming cycles); let the outer dispatch loop observe the
+            # new time instead of recursing unboundedly.
+            return
+        self._dispatching = True
+        try:
+            for listener in self._cycle_listeners:
+                listener(now, cycles)
+        finally:
+            self._dispatching = False
+
+    def idle_until(self, target_cycle: int) -> None:
+        """Advance time to ``target_cycle`` (no-op when in the past)."""
+        if target_cycle > self.cycle_count:
+            self.consume_cycles(target_cycle - self.cycle_count)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.cycle_count / self.frequency_hz
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.cycle_count * 1000.0 / self.frequency_hz
+
+    def ms_to_cycles(self, ms: float) -> int:
+        return round(ms * self.frequency_hz / 1000.0)
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        return round(seconds * self.frequency_hz)

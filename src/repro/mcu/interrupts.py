@@ -1,0 +1,213 @@
+"""Interrupt subsystem: IDT in memory, controller, mask register.
+
+The SW-clock design of Figure 1b hinges on interrupt integrity: the
+short hardware counter ``Clock_LSB`` raises an interrupt at wrap-around
+(①), the *immutable interrupt handling engine* dispatches it to
+``Code_Clock`` (②), which increments ``Clock_MSB`` in protected RAM (③).
+Section 6.2 lists the attack surface this opens:
+
+* the adversary may rewrite the **interrupt descriptor table** so the
+  wrap-around vector no longer points at ``Code_Clock`` -- the IDT must
+  therefore live in memory that an EA-MPU rule makes read-only;
+* the adversary may **mask/disable the timer interrupt** -- the mask
+  register must be protected too;
+* the **location** of the IDT (the IDT base register) must be immutable.
+
+To make those attacks (and their mitigations) executable in the
+simulator, the IDT is genuinely stored in device RAM: each vector is a
+4-byte little-endian handler address, and hardware dispatch performs a
+*raw* (MPU-bypassing) read of the vector, exactly like a hardware vector
+fetch.  Handlers are firmware entry points registered at code addresses;
+if malware redirects a vector to its own code, its handler runs instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError, InterruptError
+from .cpu import CPU, ExecutionContext
+from .memory import MemoryBus
+
+__all__ = ["InterruptController", "MaskRegister", "VECTOR_SIZE"]
+
+VECTOR_SIZE = 4  # bytes per IDT entry
+
+#: An interrupt handler: callable taking the IRQ number.
+Handler = Callable[[int], None]
+
+
+class MaskRegister:
+    """Memory-mapped interrupt enable/mask register (one bit per IRQ).
+
+    Exposed as an MMIO peripheral so that an EA-MPU rule can protect it
+    ("disabling the timer interrupt must also be prevented", Section 6.2).
+    Bit i set = IRQ i enabled.
+    """
+
+    def __init__(self, num_irqs: int):
+        self.num_irqs = num_irqs
+        self._bits = (1 << num_irqs) - 1  # all enabled at reset
+
+    @property
+    def size(self) -> int:
+        """Register width in bytes (at least 4)."""
+        return max(4, (self.num_irqs + 7) // 8)
+
+    def is_enabled(self, irq: int) -> bool:
+        return bool(self._bits >> irq & 1)
+
+    def mmio_read(self, offset: int, context: str | None) -> int:
+        return self._bits >> (8 * offset) & 0xFF
+
+    def mmio_write(self, offset: int, value: int, context: str | None) -> None:
+        shift = 8 * offset
+        self._bits = (self._bits & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+    def disable(self, irq: int) -> None:
+        """Convenience used by simulation harnesses (not the MPU path)."""
+        self._bits &= ~(1 << irq)
+
+    def enable(self, irq: int) -> None:
+        self._bits |= 1 << irq
+
+
+class InterruptController:
+    """Vector-table based interrupt dispatch with nesting and deferral.
+
+    Parameters
+    ----------
+    cpu:
+        The CPU whose context stack dispatch nests into.
+    bus:
+        Memory bus used for *raw* vector fetches (via the underlying
+        memory map, bypassing the MPU like real vector-fetch hardware).
+    idt_base:
+        Absolute address of the interrupt descriptor table.
+    num_irqs:
+        Number of interrupt lines.
+    dispatch_cost_cycles:
+        Cycles charged per dispatch (context save/restore).
+    """
+
+    def __init__(self, cpu: CPU, bus: MemoryBus, idt_base: int,
+                 num_irqs: int = 8, dispatch_cost_cycles: int = 24,
+                 coalesce_pending: bool = True):
+        if num_irqs < 1:
+            raise ConfigurationError("need at least one IRQ line")
+        self.cpu = cpu
+        self.bus = bus
+        self.idt_base = idt_base
+        self.num_irqs = num_irqs
+        self.dispatch_cost_cycles = dispatch_cost_cycles
+        #: Real interrupt controllers latch ONE pending bit per line, so
+        #: repeated events on a line during a deferral window collapse into
+        #: a single dispatch.  This is what makes SMART-style atomic
+        #: (uninterruptible) attestation silently lose SW-clock wraps --
+        #: see the SMART-vs-TrustLite ablation.  Set False for an
+        #: idealised queueing controller.
+        self.coalesce_pending = coalesce_pending
+        self.mask = MaskRegister(num_irqs)
+        # Code present in the device: entry address -> (context, handler).
+        self._entry_points: dict[int, tuple[ExecutionContext, Handler]] = {}
+        self._pending: list[int] = []
+        self.coalesced_log: list[tuple[int, int]] = []
+        self.dispatch_log: list[tuple[int, int, str | None]] = []
+        self.dropped_log: list[tuple[int, int, str]] = []
+
+    @property
+    def idt_size(self) -> int:
+        return self.num_irqs * VECTOR_SIZE
+
+    # -- firmware registration ---------------------------------------------
+
+    def register_entry_point(self, address: int, context: ExecutionContext,
+                             handler: Handler) -> None:
+        """Declare that executable code exists at ``address``.
+
+        Any code (trusted firmware *or* injected malware) may register
+        entry points inside its own code range; the vector table decides
+        which one an IRQ reaches.
+        """
+        if not context.code_start <= address < context.code_end:
+            raise ConfigurationError(
+                f"entry point {address:#x} lies outside the code range of "
+                f"context {context.name!r}")
+        self._entry_points[address] = (context, handler)
+
+    def set_vector_raw(self, irq: int, handler_address: int) -> None:
+        """Write an IDT entry bypassing protection (boot-time setup)."""
+        self._check_irq(irq)
+        region = self.bus.memory_map.find(self.idt_base)
+        if region is None:
+            raise ConfigurationError("IDT base address is unmapped")
+        offset = self.idt_base - region.start + irq * VECTOR_SIZE
+        region.load(offset, handler_address.to_bytes(VECTOR_SIZE, "little"))
+
+    def get_vector(self, irq: int) -> int:
+        """Hardware vector fetch (raw read, like real dispatch)."""
+        self._check_irq(irq)
+        region = self.bus.memory_map.find(self.idt_base)
+        if region is None:
+            raise ConfigurationError("IDT base address is unmapped")
+        offset = self.idt_base - region.start + irq * VECTOR_SIZE
+        return int.from_bytes(region.raw_read(offset, VECTOR_SIZE), "little")
+
+    def _check_irq(self, irq: int) -> None:
+        if not 0 <= irq < self.num_irqs:
+            raise InterruptError(f"IRQ {irq} out of range 0..{self.num_irqs - 1}")
+
+    # -- dispatch -------------------------------------------------------------
+
+    def raise_irq(self, irq: int) -> bool:
+        """Signal IRQ ``irq``; dispatch now or defer.
+
+        Returns True when a handler ran (possibly later via
+        :meth:`run_pending` if the CPU was in an uninterruptible context).
+        Masked IRQs are dropped and logged.
+        """
+        self._check_irq(irq)
+        if not self.mask.is_enabled(irq):
+            self.dropped_log.append((self.cpu.cycle_count, irq, "masked"))
+            return False
+        if self.cpu.interrupts_deferred:
+            if self.coalesce_pending and irq in self._pending:
+                # The pending bit is already set: the event is absorbed.
+                self.coalesced_log.append((self.cpu.cycle_count, irq))
+                return False
+            self._pending.append(irq)
+            return True
+        self._dispatch(irq)
+        return True
+
+    def run_pending(self) -> int:
+        """Dispatch interrupts deferred during uninterruptible execution.
+
+        Called by the CPU harness when an uninterruptible context exits.
+        Returns the number of handlers run.
+        """
+        count = 0
+        while self._pending and not self.cpu.interrupts_deferred:
+            self._dispatch(self._pending.pop(0))
+            count += 1
+        return count
+
+    @property
+    def pending(self) -> list[int]:
+        return list(self._pending)
+
+    def _dispatch(self, irq: int) -> None:
+        vector = self.get_vector(irq)
+        registered = self._entry_points.get(vector)
+        if registered is None:
+            # Vector points at an address where no code entry exists: the
+            # interrupt is effectively lost (a crash/ignored trap on real
+            # hardware).  This is precisely the state the IDT-rewrite
+            # attack leaves the clock in, so log it rather than raise.
+            self.dropped_log.append((self.cpu.cycle_count, irq, "bad-vector"))
+            return
+        context, handler = registered
+        self.dispatch_log.append((self.cpu.cycle_count, irq, context.name))
+        self.cpu.consume_cycles(self.dispatch_cost_cycles)
+        with self.cpu.running(context):
+            handler(irq)

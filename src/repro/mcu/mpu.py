@@ -1,0 +1,372 @@
+"""Execution-aware memory protection unit (EA-MPU), TrustLite-style.
+
+Section 6.1: *"The main idea of EA-MAC is to limit read and/or write
+memory access depending on currently executing code."*  A rule associates
+a **code range** (who is executing, identified by the program counter)
+with a **data range** and the access kinds it grants.  Semantics follow
+TrustLite/SMART:
+
+* an address covered by *no* rule is ordinary memory -- any code may
+  access it;
+* an address covered by *at least one* rule is protected -- an access is
+  granted only if some covering rule matches the executing code range and
+  allows the access type.
+
+The rule table and control register are a genuine memory-mapped register
+file (:class:`MPURegisterFile` implements the bus peripheral protocol).
+That makes the paper's lockdown idiom work literally: secure boot
+programs the rules, then adds a final rule that covers the MPU's own
+configuration registers and grants write access to nobody.  From then on
+every reconfiguration attempt is itself an EA-MPU violation
+(Section 6.2, Figure 1a).  A SMART-style *hardwired* flag per rule is
+also supported: hardwired rules reject writes even before lockdown.
+
+Register map (little-endian, offsets relative to the MMIO region base)::
+
+    0x00  CTRL   u32   bit0 = enable, bit1 = sticky hardware lock
+    0x10 + 20*i  rule i (RULE_STRIDE = 20 bytes):
+        +0   code_start  u32
+        +4   code_end    u32   (exclusive)
+        +8   data_start  u32
+        +12  data_end    u32   (exclusive)
+        +16  flags       u32   bit0=read, bit1=write, bit2=valid,
+                               bit3=hardwired
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, MemoryAccessViolation, MPULockedError
+
+__all__ = ["MPURule", "ExecutionAwareMPU", "CTRL_OFFSET", "RULE_BASE_OFFSET",
+           "RULE_STRIDE", "FLAG_READ", "FLAG_WRITE", "FLAG_VALID",
+           "FLAG_HARDWIRED", "CTRL_ENABLE", "CTRL_LOCK", "NO_CODE", "ALL_CODE"]
+
+CTRL_OFFSET = 0x00
+RULE_BASE_OFFSET = 0x10
+RULE_STRIDE = 20
+
+FLAG_READ = 1 << 0
+FLAG_WRITE = 1 << 1
+FLAG_VALID = 1 << 2
+FLAG_HARDWIRED = 1 << 3
+
+CTRL_ENABLE = 1 << 0
+CTRL_LOCK = 1 << 1
+
+#: The empty code range: matches no executing code.  A rule with this
+#: selector makes its data range inaccessible to all software.
+NO_CODE = (0, 0)
+
+#: The full code range: matches any executing code.  A rule with this
+#: selector and ``read=True, write=False`` is the paper's lockdown idiom --
+#: everyone may read the protected range, nobody may write it (used for
+#: the EA-MPU's own config registers and for the IDT, Section 6.2).
+ALL_CODE = (0, 0xFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class MPURule:
+    """Decoded view of one EA-MPU rule.
+
+    ``code_start == code_end`` encodes the empty code range: the rule
+    matches *no* executing code, i.e. the protected data is inaccessible
+    to all software (hardware/debug accesses bypass the MPU).
+    """
+
+    index: int
+    code_start: int
+    code_end: int
+    data_start: int
+    data_end: int
+    allow_read: bool
+    allow_write: bool
+    hardwired: bool = False
+
+    def code_matches(self, ctx_start: int, ctx_end: int) -> bool:
+        """Whether code executing in [ctx_start, ctx_end) is selected.
+
+        Containment semantics: the executing code range must lie fully
+        inside the rule's code range.
+        """
+        if self.code_start == self.code_end:
+            return False
+        return self.code_start <= ctx_start and ctx_end <= self.code_end
+
+    def covers(self, address: int) -> bool:
+        return self.data_start <= address < self.data_end
+
+    def data_overlap(self, start: int, end: int) -> tuple[int, int] | None:
+        """Intersection of the rule's data range with [start, end), if any."""
+        lo = max(self.data_start, start)
+        hi = min(self.data_end, end)
+        return (lo, hi) if lo < hi else None
+
+
+class ExecutionAwareMPU:
+    """The EA-MPU: rule storage, the access check, and the register file.
+
+    The canonical configuration path is through the memory-mapped register
+    file (so protection of the registers themselves works); the
+    :meth:`program_rule` / :meth:`set_enabled` helpers are conveniences
+    that encode through the same path and therefore honour lock state.
+
+    Parameters
+    ----------
+    max_rules:
+        Number of rule slots (#r in Table 3 -- the hardware cost of the
+        MPU scales as ``278 + 116 * #r`` registers).
+    """
+
+    def __init__(self, max_rules: int = 8):
+        if max_rules < 1:
+            raise ConfigurationError("EA-MPU needs at least one rule slot")
+        self.max_rules = max_rules
+        self._registers = bytearray(RULE_BASE_OFFSET + RULE_STRIDE * max_rules)
+        self._decoded: list[MPURule] | None = []  # cache; None = dirty
+        self._violations: list[MemoryAccessViolation] = []
+
+    # ------------------------------------------------------------------
+    # Register file plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def register_file_size(self) -> int:
+        """Size in bytes of the MMIO register file."""
+        return len(self._registers)
+
+    def _read_u32(self, offset: int) -> int:
+        return int.from_bytes(self._registers[offset:offset + 4], "little")
+
+    def _store_u32(self, offset: int, value: int) -> None:
+        self._registers[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        self._decoded = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._read_u32(CTRL_OFFSET) & CTRL_ENABLE)
+
+    @property
+    def locked(self) -> bool:
+        """Sticky hardware lock bit (SMART-style static lockdown)."""
+        return bool(self._read_u32(CTRL_OFFSET) & CTRL_LOCK)
+
+    def _hardwired_span(self, offset: int) -> bool:
+        """Whether the byte at ``offset`` belongs to a hardwired rule."""
+        if offset < RULE_BASE_OFFSET:
+            return False
+        index = (offset - RULE_BASE_OFFSET) // RULE_STRIDE
+        if index >= self.max_rules:
+            return False
+        flags = self._read_u32(RULE_BASE_OFFSET + RULE_STRIDE * index + 16)
+        return bool(flags & FLAG_VALID and flags & FLAG_HARDWIRED)
+
+    # -- MmioPeripheral protocol -----------------------------------------
+
+    def mmio_read(self, offset: int, context: str | None) -> int:
+        """Byte read of the register file (always permitted)."""
+        if not 0 <= offset < len(self._registers):
+            raise MemoryAccessViolation(
+                f"MPU register read at invalid offset {offset:#x}",
+                address=offset, access="read", context=context)
+        return self._registers[offset]
+
+    def mmio_write(self, offset: int, value: int, context: str | None) -> None:
+        """Byte write of the register file.
+
+        Denied when the sticky lock is set or the byte belongs to a
+        hardwired rule.  The CTRL lock bit is write-1-sticky: once set it
+        cannot be cleared by any software write.
+        """
+        if not 0 <= offset < len(self._registers):
+            raise MemoryAccessViolation(
+                f"MPU register write at invalid offset {offset:#x}",
+                address=offset, access="write", context=context)
+        if self.locked:
+            raise MPULockedError(
+                f"write to EA-MPU register {offset:#x} denied: MPU locked "
+                f"(context {context!r})")
+        if self._hardwired_span(offset):
+            raise MPULockedError(
+                f"write to hardwired EA-MPU rule register {offset:#x} denied "
+                f"(context {context!r})")
+        if offset == CTRL_OFFSET:
+            # Lock bit is sticky within the byte holding CTRL bits 0-7.
+            value |= self._registers[offset] & CTRL_LOCK
+        self._registers[offset] = value & 0xFF
+        self._decoded = None
+
+    # ------------------------------------------------------------------
+    # Programming helpers (encode through the register file)
+    # ------------------------------------------------------------------
+
+    def program_rule(self, index: int, *, code: tuple[int, int],
+                     data: tuple[int, int], read: bool, write: bool,
+                     hardwired: bool = False,
+                     context: str | None = None) -> MPURule:
+        """Program rule slot ``index``.
+
+        ``code`` / ``data`` are (start, end) half-open address ranges;
+        use :data:`NO_CODE` to deny all software and :data:`ALL_CODE` with
+        ``read=True, write=False`` for the read-only lockdown idiom.
+        Honours lock state (raises :class:`MPULockedError` when locked).
+        """
+        if not 0 <= index < self.max_rules:
+            raise ConfigurationError(
+                f"rule index {index} out of range (max_rules={self.max_rules})")
+        code_start, code_end = code
+        data_start, data_end = data
+        if code_start > code_end or data_start > data_end:
+            raise ConfigurationError("rule ranges must satisfy start <= end")
+        base = RULE_BASE_OFFSET + RULE_STRIDE * index
+        flags = FLAG_VALID
+        if read:
+            flags |= FLAG_READ
+        if write:
+            flags |= FLAG_WRITE
+        if hardwired:
+            flags |= FLAG_HARDWIRED
+        payload = (code_start.to_bytes(4, "little")
+                   + code_end.to_bytes(4, "little")
+                   + data_start.to_bytes(4, "little")
+                   + data_end.to_bytes(4, "little")
+                   + flags.to_bytes(4, "little"))
+        # Write the flags' low byte (which carries VALID and HARDWIRED)
+        # last, so a hardwired rule only becomes immutable once fully
+        # programmed.
+        order = list(range(len(payload)))
+        order.remove(16)
+        order.append(16)
+        for i in order:
+            self.mmio_write(base + i, payload[i], context)
+        for rule in self.rules():
+            if rule.index == index:
+                return rule
+        raise ConfigurationError(f"rule {index} failed to program")
+
+    def clear_rule(self, index: int, context: str | None = None) -> None:
+        """Invalidate rule slot ``index`` (honours lock/hardwired state)."""
+        base = RULE_BASE_OFFSET + RULE_STRIDE * index + 16
+        for i in range(4):
+            self.mmio_write(base + i, 0, context)
+
+    def set_enabled(self, enabled: bool, context: str | None = None) -> None:
+        ctrl = self._read_u32(CTRL_OFFSET)
+        ctrl = (ctrl | CTRL_ENABLE) if enabled else (ctrl & ~CTRL_ENABLE)
+        self.mmio_write(CTRL_OFFSET, ctrl & 0xFF, context)
+
+    def lock(self, context: str | None = None) -> None:
+        """Set the sticky hardware lock bit (irreversible)."""
+        ctrl = self._read_u32(CTRL_OFFSET) | CTRL_LOCK
+        self.mmio_write(CTRL_OFFSET, ctrl & 0xFF, context)
+
+    # ------------------------------------------------------------------
+    # Rule decoding and the access check
+    # ------------------------------------------------------------------
+
+    def rules(self) -> list[MPURule]:
+        """Decode all valid rules from the register file (cached)."""
+        if self._decoded is None:
+            decoded = []
+            for index in range(self.max_rules):
+                base = RULE_BASE_OFFSET + RULE_STRIDE * index
+                flags = self._read_u32(base + 16)
+                if not flags & FLAG_VALID:
+                    continue
+                decoded.append(MPURule(
+                    index=index,
+                    code_start=self._read_u32(base),
+                    code_end=self._read_u32(base + 4),
+                    data_start=self._read_u32(base + 8),
+                    data_end=self._read_u32(base + 12),
+                    allow_read=bool(flags & FLAG_READ),
+                    allow_write=bool(flags & FLAG_WRITE),
+                    hardwired=bool(flags & FLAG_HARDWIRED),
+                ))
+            self._decoded = decoded
+        return list(self._decoded)
+
+    @property
+    def active_rule_count(self) -> int:
+        """Number of valid rules (the #r of Table 3)."""
+        return len(self.rules())
+
+    @property
+    def violations(self) -> list[MemoryAccessViolation]:
+        """All violations this MPU has raised (diagnostic log)."""
+        return list(self._violations)
+
+    def check_access(self, context, access: str, address: int,
+                     length: int) -> None:
+        """Arbitrate a software access; raise on denial.
+
+        ``context`` is ``None`` for hardware-internal accesses (which
+        bypass the MPU) or an object with ``name``, ``code_start`` and
+        ``code_end`` attributes (an execution context).
+        """
+        if context is None or not self.enabled:
+            return
+        ctx_start = context.code_start
+        ctx_end = context.code_end
+        start, end = address, address + length
+        rules = self.rules()
+        # Interval sweep: every covered byte must be granted by some
+        # matching rule.  Collect covered and granted sub-intervals.
+        covered: list[tuple[int, int]] = []
+        granted: list[tuple[int, int]] = []
+        for rule in rules:
+            overlap = rule.data_overlap(start, end)
+            if overlap is None:
+                continue
+            covered.append(overlap)
+            allows = rule.allow_read if access == "read" else rule.allow_write
+            if allows and rule.code_matches(ctx_start, ctx_end):
+                granted.append(overlap)
+        if not covered:
+            return
+        denied = _subtract_intervals(_merge_intervals(covered),
+                                     _merge_intervals(granted))
+        if denied:
+            lo, hi = denied[0]
+            violation = MemoryAccessViolation(
+                f"EA-MPU denied {access} of [{lo:#x}, {hi:#x}) to context "
+                f"{context.name!r}", address=lo, access=access,
+                context=context.name)
+            self._violations.append(violation)
+            raise violation
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping half-open intervals into a sorted disjoint list."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for lo, hi in ordered[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _subtract_intervals(minuend: list[tuple[int, int]],
+                        subtrahend: list[tuple[int, int]]
+                        ) -> list[tuple[int, int]]:
+    """Subtract one disjoint sorted interval list from another."""
+    result = []
+    for lo, hi in minuend:
+        cursor = lo
+        for s_lo, s_hi in subtrahend:
+            if s_hi <= cursor or s_lo >= hi:
+                continue
+            if s_lo > cursor:
+                result.append((cursor, s_lo))
+            cursor = max(cursor, s_hi)
+            if cursor >= hi:
+                break
+        if cursor < hi:
+            result.append((cursor, hi))
+    return result

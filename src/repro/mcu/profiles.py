@@ -1,0 +1,91 @@
+"""Protection profiles: which hardware defenses a device boots with.
+
+The paper builds its argument as an escalation ladder, and each step of
+the ladder is one profile here:
+
+``UNPROTECTED``
+    No EA-MPU at all; even the attestation key is only protected by
+    obscurity.  Software-based attestation lives here (Section 2) --
+    the roaming adversary extracts ``K_Attest`` outright.
+
+``BASELINE``
+    Section 6.3's reference point: hardware attestation in the classic
+    trusted-verifier model (SMART/TrustLite).  Two EA-MPU rules -- one
+    locks the MPU's own configuration registers, one restricts
+    ``K_Attest`` to ``Code_Attest``.  No prover-side DoS protection.
+
+``EXT_HARDENED``
+    Adds request freshness state protection: ``counter_R`` writable only
+    by ``Code_Attest``.  Defeats ``Adv_ext`` replay/reorder when combined
+    with authenticated counters -- but ``Adv_roam`` still resets the
+    (unprotected) clock.
+
+``ROAM_HARDENED``
+    Full Section 6 countermeasures: key + counter + clock protection.
+    The clock rules depend on the device's clock design (Figure 1a wide
+    hardware register vs Figure 1b SW-clock) and are emitted by
+    :meth:`repro.mcu.device.Device.boot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtectionProfile", "UNPROTECTED", "BASELINE", "EXT_HARDENED",
+           "ROAM_HARDENED", "ALL_PROFILES"]
+
+
+@dataclass(frozen=True)
+class ProtectionProfile:
+    """Feature switches secure boot consults when configuring the EA-MPU.
+
+    Attributes
+    ----------
+    name:
+        Profile identity used in reports.
+    mpu_enabled:
+        Whether the EA-MPU is enabled at all.
+    protect_key:
+        Rule restricting ``K_Attest`` to ``Code_Attest`` (read-only; the
+        key is additionally write-protected by its storage technology or
+        by the same rule when in flash).
+    protect_counter:
+        Rule making ``counter_R`` accessible only to ``Code_Attest``.
+    protect_clock:
+        Clock-design-specific rules: the wide hardware register becomes
+        read-only to all software, or (SW-clock) the IDT and mask register
+        are locked and ``Clock_MSB`` becomes writable only by
+        ``Code_Clock``.
+    lockdown:
+        Final rule making the EA-MPU's own configuration registers
+        read-only (the Figure 1a lockdown idiom).
+    """
+
+    name: str
+    mpu_enabled: bool
+    protect_key: bool
+    protect_counter: bool
+    protect_clock: bool
+    lockdown: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+UNPROTECTED = ProtectionProfile(
+    name="unprotected", mpu_enabled=False, protect_key=False,
+    protect_counter=False, protect_clock=False, lockdown=False)
+
+BASELINE = ProtectionProfile(
+    name="baseline", mpu_enabled=True, protect_key=True,
+    protect_counter=False, protect_clock=False, lockdown=True)
+
+EXT_HARDENED = ProtectionProfile(
+    name="ext-hardened", mpu_enabled=True, protect_key=True,
+    protect_counter=True, protect_clock=False, lockdown=True)
+
+ROAM_HARDENED = ProtectionProfile(
+    name="roam-hardened", mpu_enabled=True, protect_key=True,
+    protect_counter=True, protect_clock=True, lockdown=True)
+
+ALL_PROFILES = (UNPROTECTED, BASELINE, EXT_HARDENED, ROAM_HARDENED)

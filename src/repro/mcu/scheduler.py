@@ -1,0 +1,194 @@
+"""Non-preemptive task execution on the prover (Section 3.1's real-time cost).
+
+Low-end provers run their primary functions as a simple cyclic executive:
+jobs are released periodically and run to completion, and attestation --
+which on these devices "runs without interruption" -- simply occupies the
+CPU for its whole duration.  :class:`CooperativeScheduler` simulates that
+executive over a timeline of periodic tasks plus externally-imposed busy
+intervals (attestation runs, taken e.g. from
+:attr:`repro.core.prover.ProverTrustAnchor.busy_intervals`), and reports
+what actually happened to every job: met, late, missed or skipped.
+
+Two overload policies, matching real firmware styles:
+
+``skip``
+    A job that cannot start before its deadline is dropped (sensor
+    sampling: a stale sample is worthless).
+``catch-up``
+    Jobs queue and run late (data-logging: better late than never);
+    lateness is reported per job.
+
+This replaces the analytic gap-fitting bound of
+:class:`~repro.mcu.power.DutyCycleTask` with an execution-accurate
+account, including backlog effects when attestations arrive back-to-back.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["PeriodicTask", "JobRecord", "ScheduleReport",
+           "CooperativeScheduler"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One primary-function task of the prover."""
+
+    name: str
+    period_seconds: float
+    job_seconds: float
+    policy: str = "skip"        # "skip" | "catch-up"
+
+    def __post_init__(self):
+        if self.period_seconds <= 0 or self.job_seconds <= 0:
+            raise ConfigurationError("period and job length must be positive")
+        if self.job_seconds > self.period_seconds:
+            raise ConfigurationError(
+                f"task {self.name!r} is infeasible even unloaded")
+        if self.policy not in ("skip", "catch-up"):
+            raise ConfigurationError(f"unknown overload policy {self.policy!r}")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """What happened to one released job."""
+
+    task: str
+    release: float
+    started: float | None
+    finished: float | None
+    deadline: float
+    outcome: str                # met | late | skipped
+
+    @property
+    def lateness_seconds(self) -> float:
+        if self.finished is None:
+            return float("inf")
+        return max(0.0, self.finished - self.deadline)
+
+
+@dataclass
+class ScheduleReport:
+    """Aggregate outcome of a schedule run."""
+
+    horizon_seconds: float
+    jobs: list[JobRecord] = field(default_factory=list)
+
+    def of_task(self, name: str) -> list[JobRecord]:
+        return [job for job in self.jobs if job.task == name]
+
+    @property
+    def released(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def met(self) -> int:
+        return sum(1 for job in self.jobs if job.outcome == "met")
+
+    @property
+    def late(self) -> int:
+        return sum(1 for job in self.jobs if job.outcome == "late")
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for job in self.jobs if job.outcome == "skipped")
+
+    @property
+    def miss_ratio(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return (self.late + self.skipped) / len(self.jobs)
+
+    @property
+    def max_lateness_seconds(self) -> float:
+        finite = [job.lateness_seconds for job in self.jobs
+                  if job.finished is not None]
+        return max(finite, default=0.0)
+
+
+class CooperativeScheduler:
+    """Non-preemptive executive: tasks + externally-imposed busy intervals.
+
+    Busy intervals (attestation runs) have absolute priority and are
+    non-interruptible, exactly like the attestation code of SMART /
+    TrustLite-class devices.  Between them, released jobs run FIFO by
+    release time.
+    """
+
+    def __init__(self, tasks: list[PeriodicTask]):
+        if not tasks:
+            raise ConfigurationError("need at least one task")
+        names = [task.name for task in tasks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("task names must be unique")
+        self.tasks = list(tasks)
+
+    def run(self, horizon_seconds: float,
+            busy_intervals: list[tuple[float, float]] | None = None
+            ) -> ScheduleReport:
+        """Simulate [0, horizon) with the given attestation intervals."""
+        if horizon_seconds <= 0:
+            raise ConfigurationError("horizon must be positive")
+        busy = sorted(busy_intervals or [])
+        for (a_start, a_end), (b_start, b_end) in zip(busy, busy[1:]):
+            if b_start < a_end:
+                raise ConfigurationError("busy intervals overlap")
+
+        report = ScheduleReport(horizon_seconds=horizon_seconds)
+        # Release queue: (release_time, task_index, sequence).
+        releases: list[tuple[float, int, int]] = []
+        for index, task in enumerate(self.tasks):
+            count = int(horizon_seconds / task.period_seconds)
+            for sequence in range(count):
+                heapq.heappush(releases,
+                               (sequence * task.period_seconds, index,
+                                sequence))
+
+        cpu_free_at = 0.0
+
+        def next_gap(after: float, need: float) -> float:
+            """Earliest start >= ``after`` with ``need`` seconds free of
+            busy intervals."""
+            start = after
+            cursor = 0
+            while True:
+                if cursor < len(busy):
+                    b_start, b_end = busy[cursor]
+                    if start >= b_end:
+                        cursor += 1
+                        continue
+                    if start + need <= b_start:
+                        return start
+                    start = b_end
+                    cursor += 1
+                    continue
+                return start
+
+        while releases:
+            release, index, sequence = heapq.heappop(releases)
+            task = self.tasks[index]
+            deadline = release + task.period_seconds
+            earliest = max(release, cpu_free_at)
+            start = next_gap(earliest, task.job_seconds)
+            finish = start + task.job_seconds
+
+            if finish <= deadline:
+                outcome = "met"
+            elif task.policy == "catch-up":
+                outcome = "late"
+            else:
+                report.jobs.append(JobRecord(
+                    task=task.name, release=release, started=None,
+                    finished=None, deadline=deadline, outcome="skipped"))
+                continue
+
+            cpu_free_at = finish
+            report.jobs.append(JobRecord(
+                task=task.name, release=release, started=start,
+                finished=finish, deadline=deadline, outcome=outcome))
+        report.jobs.sort(key=lambda job: job.release)
+        return report

@@ -1,0 +1,13 @@
+"""Discrete-event network simulation with a Dolev-Yao adversary."""
+
+from .channel import (ChannelAdversary, DolevYaoChannel, Endpoint,
+                      PassthroughAdversary, Verdict)
+from .path import DIRECT_LINK, Hop, NetworkPath, campus_path, wan_path
+from .simulator import Simulation
+from .trace import Transcript, TranscriptEntry
+
+__all__ = [
+    "ChannelAdversary", "DIRECT_LINK", "DolevYaoChannel", "Endpoint",
+    "Hop", "NetworkPath", "PassthroughAdversary", "Simulation",
+    "Transcript", "TranscriptEntry", "Verdict", "campus_path", "wan_path",
+]

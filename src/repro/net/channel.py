@@ -1,0 +1,163 @@
+"""Dolev-Yao channel: the external adversary's vantage point.
+
+Section 3.2: the external adversary "can control all communication
+between Prv and Vrf ... can drop, insert and delay messages, following
+the well-known Dolev-Yao model."  :class:`DolevYaoChannel` gives an
+attached :class:`ChannelAdversary` exactly those powers on a per-message
+basis, while honest endpoints just see ``send``/``deliver``.
+
+Every message that transits the channel is recorded in a
+:class:`~repro.net.trace.Transcript`, which is also how the roaming
+adversary's Phase I eavesdropping works: it reads the transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..crypto.rng import DeterministicRng
+from ..errors import NetworkError
+from .simulator import Simulation
+from .trace import Transcript, TranscriptEntry
+
+__all__ = ["Endpoint", "ChannelAdversary", "PassthroughAdversary",
+           "DolevYaoChannel", "Verdict"]
+
+
+class Endpoint(Protocol):
+    """Anything that can receive channel messages."""
+
+    name: str
+
+    def deliver(self, message, sender: str) -> None: ...
+
+
+@dataclass
+class Verdict:
+    """An adversary's decision about one in-flight message.
+
+    Attributes
+    ----------
+    action:
+        ``"forward"`` -- deliver after ``extra_delay``;
+        ``"drop"`` -- never deliver.
+    extra_delay:
+        Seconds of adversarial delay on top of channel latency.
+    """
+
+    action: str = "forward"
+    extra_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.action not in ("forward", "drop"):
+            raise NetworkError(f"unknown verdict action {self.action!r}")
+        if self.extra_delay < 0:
+            raise NetworkError("adversarial delay cannot be negative")
+
+
+class ChannelAdversary(Protocol):
+    """Hook consulted for every message crossing the channel."""
+
+    def on_message(self, message, sender: str, receiver: str,
+                   time: float) -> Verdict: ...
+
+
+class PassthroughAdversary:
+    """The benign network: forward everything untouched."""
+
+    def on_message(self, message, sender: str, receiver: str,
+                   time: float) -> Verdict:
+        return Verdict("forward")
+
+
+class DolevYaoChannel:
+    """A bidirectional channel between two endpoints with an adversary.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel providing time and delivery scheduling.
+    latency_seconds:
+        One-way latency of the honest channel.
+    adversary:
+        The in-path adversary; defaults to benign passthrough.
+    """
+
+    def __init__(self, sim: Simulation, *, latency_seconds: float = 0.005,
+                 adversary: ChannelAdversary | None = None,
+                 path=None, seed: str = "channel-0"):
+        """``path`` (a :class:`~repro.net.path.NetworkPath`) makes the
+        per-message latency a sample of the multi-hop delay distribution
+        instead of the fixed ``latency_seconds``."""
+        if latency_seconds < 0:
+            raise NetworkError("latency cannot be negative")
+        self.sim = sim
+        self.latency_seconds = latency_seconds
+        self.path = path
+        self._latency_rng = DeterministicRng(seed + ":latency")
+        self.adversary = adversary if adversary is not None else PassthroughAdversary()
+        self.transcript = Transcript()
+        self._endpoints: dict[str, Endpoint] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.injected = 0
+
+    def _one_way_delay(self) -> float:
+        if self.path is not None:
+            return self.path.sample(self._latency_rng)
+        return self.latency_seconds
+
+    def attach(self, endpoint: Endpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise NetworkError(f"endpoint {endpoint.name!r} already attached")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def send(self, sender: str, receiver: str, message) -> TranscriptEntry:
+        """An honest endpoint puts ``message`` on the wire.
+
+        The adversary sees it first and decides its fate; the transcript
+        records it either way (the adversary can always eavesdrop).
+        """
+        if receiver not in self._endpoints:
+            raise NetworkError(f"unknown receiver {receiver!r}")
+        entry = self.transcript.record(self.sim.now, sender, receiver, message)
+        verdict = self.adversary.on_message(message, sender, receiver,
+                                            self.sim.now)
+        if verdict.action == "drop":
+            self.dropped += 1
+            entry.outcome = "dropped"
+            return entry
+        delay = self._one_way_delay() + verdict.extra_delay
+        entry.outcome = "forwarded" if verdict.extra_delay == 0 else "delayed"
+
+        def deliver():
+            self.delivered += 1
+            self._endpoints[receiver].deliver(message, sender)
+
+        self.sim.schedule(delay, deliver)
+        return entry
+
+    def inject(self, receiver: str, message, *, spoofed_sender: str,
+               delay: float = 0.0) -> None:
+        """The adversary inserts a message of its own making.
+
+        Injected traffic is not re-submitted to the adversary hook (it
+        already chose to send it) but *is* recorded in the transcript,
+        flagged as injected.
+        """
+        if receiver not in self._endpoints:
+            raise NetworkError(f"unknown receiver {receiver!r}")
+        entry = self.transcript.record(self.sim.now, spoofed_sender, receiver,
+                                       message)
+        entry.outcome = "injected"
+        self.injected += 1
+
+        def deliver():
+            self.delivered += 1
+            self._endpoints[receiver].deliver(message, spoofed_sender)
+
+        self.sim.schedule(self._one_way_delay() + delay, deliver)

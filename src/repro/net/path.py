@@ -1,0 +1,105 @@
+"""Multi-hop network paths: latency and jitter composition.
+
+The paper's Section 2 argument against software-based attestation is
+about network *hops*: each relay adds queueing delay whose variance the
+verifier cannot distinguish from prover compute time.  :class:`Hop`
+models one store-and-forward relay (fixed latency + uniform jitter);
+:class:`NetworkPath` composes hops into an end-to-end delay distribution
+and exposes the statistics the timing analyses need (worst-case spread,
+expected delay).  The SWATT evaluation and any session can source their
+delays from a path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+from ..errors import ConfigurationError
+
+__all__ = ["Hop", "NetworkPath", "DIRECT_LINK", "campus_path", "wan_path"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One store-and-forward relay."""
+
+    name: str
+    latency_seconds: float
+    jitter_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.latency_seconds < 0 or self.jitter_seconds < 0:
+            raise ConfigurationError("hop delays cannot be negative")
+
+    def sample(self, rng: DeterministicRng) -> float:
+        if self.jitter_seconds == 0.0:
+            return self.latency_seconds
+        return self.latency_seconds + rng.uniform(0.0, self.jitter_seconds)
+
+
+class NetworkPath:
+    """A sequence of hops between verifier and prover."""
+
+    def __init__(self, hops: list[Hop]):
+        if not hops:
+            raise ConfigurationError("a path needs at least one hop")
+        self.hops = list(hops)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def base_latency_seconds(self) -> float:
+        """Deterministic floor of the one-way delay."""
+        return sum(hop.latency_seconds for hop in self.hops)
+
+    @property
+    def jitter_span_seconds(self) -> float:
+        """Worst-case variable component of the one-way delay."""
+        return sum(hop.jitter_seconds for hop in self.hops)
+
+    @property
+    def expected_latency_seconds(self) -> float:
+        return self.base_latency_seconds + self.jitter_span_seconds / 2
+
+    def sample(self, rng: DeterministicRng) -> float:
+        """One end-to-end one-way delay draw."""
+        return sum(hop.sample(rng) for hop in self.hops)
+
+    def sample_round_trip(self, rng: DeterministicRng) -> float:
+        return self.sample(rng) + self.sample(rng)
+
+    def extended(self, hop: Hop) -> "NetworkPath":
+        """A new path with ``hop`` appended."""
+        return NetworkPath(self.hops + [hop])
+
+    def describe(self) -> str:
+        chain = " -> ".join(hop.name for hop in self.hops)
+        return (f"{chain}: {self.base_latency_seconds * 1000:.1f} ms base "
+                f"+ up to {self.jitter_span_seconds * 1000:.1f} ms jitter")
+
+
+#: A computer-peripheral-style direct connection (the only setting where
+#: software-based attestation's assumptions hold).
+DIRECT_LINK = NetworkPath([Hop("direct", 0.0001, 0.00001)])
+
+
+def campus_path() -> NetworkPath:
+    """A LAN with one gateway and one wireless hop."""
+    return NetworkPath([
+        Hop("ethernet", 0.0005, 0.0002),
+        Hop("gateway", 0.002, 0.003),
+        Hop("802.15.4", 0.005, 0.008),
+    ])
+
+
+def wan_path() -> NetworkPath:
+    """An internet path to a remote deployment."""
+    return NetworkPath([
+        Hop("isp", 0.010, 0.005),
+        Hop("backbone", 0.030, 0.010),
+        Hop("cellular", 0.040, 0.050),
+        Hop("gateway", 0.002, 0.003),
+        Hop("802.15.4", 0.005, 0.008),
+    ])

@@ -1,0 +1,64 @@
+"""Message transcripts: what an eavesdropper knows.
+
+The roaming adversary's Phase I is pure eavesdropping: "eavesdrops on
+genuine Vrf-Prv attestation requests" (Section 3.2).  The
+:class:`Transcript` kept by every channel is that knowledge -- attack
+code queries it for recorded requests to replay later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["TranscriptEntry", "Transcript"]
+
+
+@dataclass
+class TranscriptEntry:
+    """One observed message."""
+
+    time: float
+    sender: str
+    receiver: str
+    message: object
+    outcome: str = "pending"   # forwarded | delayed | dropped | injected
+
+    def __repr__(self) -> str:
+        return (f"TranscriptEntry(t={self.time:.6f}, {self.sender}->"
+                f"{self.receiver}, {self.outcome}, {self.message!r})")
+
+
+class Transcript:
+    """Append-only record of channel traffic."""
+
+    def __init__(self):
+        self._entries: list[TranscriptEntry] = []
+
+    def record(self, time: float, sender: str, receiver: str,
+               message) -> TranscriptEntry:
+        entry = TranscriptEntry(time, sender, receiver, message)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TranscriptEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TranscriptEntry:
+        return self._entries[index]
+
+    def filter(self, predicate: Callable[[TranscriptEntry], bool]
+               ) -> list[TranscriptEntry]:
+        """All entries satisfying ``predicate``."""
+        return [entry for entry in self._entries if predicate(entry)]
+
+    def to_receiver(self, receiver: str) -> list[TranscriptEntry]:
+        """Everything sent towards ``receiver`` (Phase I's loot)."""
+        return self.filter(lambda e: e.receiver == receiver)
+
+    def last_to(self, receiver: str) -> TranscriptEntry | None:
+        entries = self.to_receiver(receiver)
+        return entries[-1] if entries else None

@@ -1,0 +1,28 @@
+"""Services built on the attestation substrate (Sections 1 and 7).
+
+The paper's future-work list, implemented as optional extensions:
+authenticated clock synchronisation (:mod:`~repro.services.timesync`),
+IoT fleet deployment (:mod:`~repro.services.swarm`), and the two derived
+services its introduction motivates -- secure code update
+(:mod:`~repro.services.codeupdate`) and secure memory erasure
+(:mod:`~repro.services.erasure`).
+"""
+
+from .codeupdate import (UpdateAuthority, UpdateManager, UpdatePackage,
+                         UpdateReceipt)
+from .erasure import (EraseProof, EraseRequest, ErasureManager,
+                      ErasureVerifier)
+from .guard import CommandIssuer, GuardedCommand, GuardStats, RequestGuard
+from .monitor import AttestationMonitor, MonitorEvent, MonitorPolicy
+from .swarm import Swarm, SwarmMember, SweepReport
+from .timesync import (ClockSynchronizer, DriftingClock, SyncRequest,
+                       SyncResponse, SyncVerifier)
+
+__all__ = [
+    "AttestationMonitor", "ClockSynchronizer", "CommandIssuer",
+    "DriftingClock", "EraseProof", "EraseRequest", "ErasureManager",
+    "ErasureVerifier", "GuardStats", "GuardedCommand", "MonitorEvent",
+    "MonitorPolicy", "RequestGuard", "Swarm", "SwarmMember", "SweepReport",
+    "SyncRequest", "SyncResponse", "SyncVerifier", "UpdateAuthority",
+    "UpdateManager", "UpdatePackage", "UpdateReceipt",
+]

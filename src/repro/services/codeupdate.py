@@ -1,0 +1,189 @@
+"""Secure code update built on the attestation substrate (Section 1).
+
+The paper motivates attestation as "an important building block, useful
+for constructing more specialized services, such as secure code update
+and secure memory erasure [SCUBA]".  This service is the code-update
+half: the verifier ships a new application image; the prover's trust
+anchor authenticates it, enforces version anti-rollback, decrypts and
+installs it, then proves the installation with a fresh measurement.
+
+Package format (all integrity under ``K_Attest``):
+
+* header: target module name, new version, plaintext length;
+* body: AES-128-CBC ciphertext of the new code (confidentiality keeps
+  proprietary firmware off the air);
+* tag: HMAC-SHA1 over header || IV || ciphertext.
+
+Prover-side costs are charged at Table 1 rates (one HMAC over the
+package + one AES decryption per block + flash programming time), so the
+benchmarks can weigh update cost against attestation cost.
+
+Note on the boot reference: the prototype device stores its secure-boot
+reference measurement in ROM, so an updated application would fail a
+*reboot* measurement.  Production TrustLite-class systems keep the
+reference in EA-MPU-protected flash precisely so updates can refresh it;
+we model that by letting the update manager return the new reference for
+re-provisioning, and document the delta in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..crypto.aes import AES128
+from ..crypto.hmac import constant_time_compare, hmac_sha1
+from ..crypto.modes import CBC
+from ..crypto.rng import DeterministicRng
+from ..errors import ProtocolError
+from ..mcu.device import Device, FLASH_BASE
+from ..mcu.firmware import FirmwareModule
+
+__all__ = ["UpdatePackage", "UpdateAuthority", "UpdateManager",
+           "UpdateReceipt"]
+
+#: Flash programming cost: cycles per byte written (datasheet-style
+#: figure for embedded NOR flash word programming at 24 MHz).
+FLASH_WRITE_CYCLES_PER_BYTE = 120
+
+
+@dataclass(frozen=True)
+class UpdatePackage:
+    """An authenticated, encrypted firmware update."""
+
+    module_name: str
+    version: int
+    plaintext_length: int
+    iv: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def header(self) -> bytes:
+        name = self.module_name.encode("utf-8")
+        return (b"FWUP" + struct.pack(">BIH", len(name), self.version,
+                                      self.plaintext_length) + name)
+
+    def tagged_payload(self) -> bytes:
+        return self.header() + self.iv + self.ciphertext
+
+
+@dataclass(frozen=True)
+class UpdateReceipt:
+    """Result of a successful installation."""
+
+    module_name: str
+    version: int
+    new_reference: bytes      # measurement of the installed module
+    install_cycles: int
+
+
+class UpdateAuthority:
+    """Verifier side: builds signed update packages."""
+
+    def __init__(self, key: bytes, seed: str = "update-authority"):
+        self.key = bytes(key)
+        self._rng = DeterministicRng(seed)
+
+    def package(self, module: FirmwareModule) -> UpdatePackage:
+        """Encrypt and authenticate ``module`` for shipment."""
+        code = module.code_bytes()
+        iv = self._rng.bytes(16)
+        ciphertext = CBC(AES128(self.key)).encrypt(iv, code)
+        partial = UpdatePackage(
+            module_name=module.name, version=module.version,
+            plaintext_length=len(code), iv=iv, ciphertext=ciphertext,
+            tag=b"")
+        tag = hmac_sha1(self.key, partial.tagged_payload())
+        return UpdatePackage(
+            module_name=module.name, version=module.version,
+            plaintext_length=len(code), iv=iv, ciphertext=ciphertext,
+            tag=tag)
+
+
+class UpdateManager:
+    """Prover side: validates and installs updates as ``Code_Attest``."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.context = device.context("Code_Attest")
+        self.updates_applied = 0
+        self.updates_rejected = 0
+
+    @property
+    def installed_version(self) -> int:
+        """Current application version (the anti-rollback floor)."""
+        if self.device.app_module is None:
+            return 0
+        return self.device.app_module.version
+
+    def apply(self, package: UpdatePackage) -> UpdateReceipt:
+        """Authenticate, decrypt and install one update package.
+
+        Raises :class:`ProtocolError` on a bad tag, version rollback, a
+        target other than the application, or an image too large for the
+        flash application region.
+        """
+        device = self.device
+        cpu = device.cpu
+        start = cpu.cycle_count
+        key = device.read_key(self.context)
+
+        # Authenticate first, at Table 1 HMAC cost over the package.
+        payload = package.tagged_payload()
+        cpu.consume_cycles(
+            device.cost_model.hmac_cycles(len(payload), mode="table"))
+        if not constant_time_compare(hmac_sha1(key, payload), package.tag):
+            self.updates_rejected += 1
+            raise ProtocolError("update package failed authentication")
+
+        if package.module_name != "app":
+            self.updates_rejected += 1
+            raise ProtocolError(
+                f"update targets {package.module_name!r}; only the "
+                f"application is field-updatable")
+        if package.version <= self.installed_version:
+            self.updates_rejected += 1
+            raise ProtocolError(
+                f"version rollback: installed v{self.installed_version}, "
+                f"offered v{package.version}")
+
+        # Decrypt at Table 1 AES cost.
+        blocks = len(package.ciphertext) // 16
+        cpu.consume_cycles(device.cost_model.aes_key_expansion_cycles()
+                           + device.cost_model.aes_decrypt_cycles(blocks))
+        code = CBC(AES128(key)).decrypt(package.iv, package.ciphertext)
+        if len(code) != package.plaintext_length:
+            self.updates_rejected += 1
+            raise ProtocolError("update length mismatch after decryption")
+
+        app_start, app_end = device.firmware.span("app")
+        region_capacity = app_end - app_start
+        if len(code) > region_capacity:
+            self.updates_rejected += 1
+            raise ProtocolError(
+                f"image ({len(code)} B) exceeds application region "
+                f"({region_capacity} B)")
+
+        # Program the flash under the Code_Attest context.
+        with cpu.running(self.context):
+            device.bus.write(self.context, app_start, code)
+            if len(code) < region_capacity:
+                device.bus.write(self.context, app_start + len(code),
+                                 b"\xFF" * (region_capacity - len(code)))
+            cpu.consume_cycles(
+                FLASH_WRITE_CYCLES_PER_BYTE * region_capacity)
+
+        # Refresh the in-simulator firmware bookkeeping.
+        new_module = FirmwareModule("app", len(code),
+                                    version=package.version)
+        device.firmware.modules = [m for m in device.firmware.modules
+                                   if m.name != "app"]
+        del device.firmware.layout["app"]
+        device.firmware.add(new_module, FLASH_BASE)
+        device.app_module = new_module
+
+        self.updates_applied += 1
+        return UpdateReceipt(
+            module_name="app", version=package.version,
+            new_reference=new_module.measurement(),
+            install_cycles=cpu.cycle_count - start)

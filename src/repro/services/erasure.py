@@ -1,0 +1,138 @@
+"""Secure memory erasure with proof (Section 1's second derived service).
+
+The verifier orders the prover to wipe a memory range (decommissioning a
+node, destroying cached secrets, evicting suspected malware) and receives
+cryptographic evidence that the wipe happened: the trust anchor zeroes
+the range under its own execution context and returns
+``HMAC(K_Attest, nonce || digest-of-range)``, which the verifier can
+check against the digest of an all-zero range of the same length.
+
+Requests carry a verifier nonce and ride on the same authentication
+machinery as attestation, so the Section 3/4 analysis applies unchanged:
+an *unauthenticated* erase request would be a far worse DoS than bogus
+attestation (it destroys state, not just time), which is exactly the
+paper's argument for authenticating every prover-bound command.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..crypto.hmac import constant_time_compare, hmac_sha1
+from ..crypto.rng import DeterministicRng
+from ..crypto.sha1 import SHA1
+from ..errors import MemoryAccessViolation, ProtocolError
+from ..mcu.device import Device
+
+__all__ = ["EraseRequest", "EraseProof", "ErasureVerifier", "ErasureManager"]
+
+#: RAM store cost: cycles per byte zeroed.
+ERASE_CYCLES_PER_BYTE = 2
+
+
+@dataclass(frozen=True)
+class EraseRequest:
+    """Verifier -> prover: wipe [start, start+length)."""
+
+    start: int
+    length: int
+    nonce: bytes
+    tag: bytes
+
+    @staticmethod
+    def payload(start: int, length: int, nonce: bytes) -> bytes:
+        return b"ERAS" + struct.pack(">II", start, length) + nonce
+
+
+@dataclass(frozen=True)
+class EraseProof:
+    """Prover -> verifier: evidence of the wipe."""
+
+    nonce: bytes
+    digest: bytes
+    tag: bytes
+
+    @staticmethod
+    def payload(nonce: bytes, digest: bytes) -> bytes:
+        return b"ERPF" + nonce + digest
+
+
+class ErasureVerifier:
+    """Verifier side: issue erase orders, validate proofs."""
+
+    def __init__(self, key: bytes, seed: str = "erasure-verifier"):
+        self.key = bytes(key)
+        self._rng = DeterministicRng(seed)
+
+    def order(self, start: int, length: int) -> EraseRequest:
+        nonce = self._rng.bytes(16)
+        payload = EraseRequest.payload(start, length, nonce)
+        return EraseRequest(start=start, length=length, nonce=nonce,
+                            tag=hmac_sha1(self.key, payload))
+
+    def check_proof(self, request: EraseRequest, proof: EraseProof) -> bool:
+        """A valid proof authenticates and reports an all-zero digest."""
+        if proof.nonce != request.nonce:
+            return False
+        expected_tag = hmac_sha1(self.key,
+                                 EraseProof.payload(proof.nonce, proof.digest))
+        if not constant_time_compare(expected_tag, proof.tag):
+            return False
+        zero_digest = SHA1(b"\x00" * request.length).digest()
+        return proof.digest == zero_digest
+
+
+class ErasureManager:
+    """Prover side: performs authenticated wipes as ``Code_Attest``."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.context = device.context("Code_Attest")
+        self.erases_done = 0
+        self.erases_rejected = 0
+        self._seen_nonces: set[bytes] = set()
+
+    def handle(self, request: EraseRequest) -> EraseProof:
+        """Authenticate and execute one erase order.
+
+        Raises :class:`ProtocolError` on a bad tag or replayed nonce, and
+        propagates :class:`MemoryAccessViolation` if the range covers
+        memory even ``Code_Attest`` must not write (e.g. the locked MPU
+        configuration), leaving the prover untouched.
+        """
+        device = self.device
+        cpu = device.cpu
+        key = device.read_key(self.context)
+
+        payload = EraseRequest.payload(request.start, request.length,
+                                       request.nonce)
+        cpu.consume_cycles(
+            device.cost_model.hmac_cycles(len(payload), mode="table"))
+        if not constant_time_compare(hmac_sha1(key, payload), request.tag):
+            self.erases_rejected += 1
+            raise ProtocolError("erase request failed authentication")
+        if request.nonce in self._seen_nonces:
+            self.erases_rejected += 1
+            raise ProtocolError("erase request replayed")
+        self._seen_nonces.add(request.nonce)
+
+        # Wipe, then prove.  The digest is charged at Table 1 rates.
+        with cpu.running(self.context):
+            try:
+                device.bus.write(self.context, request.start,
+                                 b"\x00" * request.length)
+            except MemoryAccessViolation:
+                self.erases_rejected += 1
+                raise
+            cpu.consume_cycles(ERASE_CYCLES_PER_BYTE * request.length)
+            digest = SHA1(device.bus.read(self.context, request.start,
+                                          request.length)).digest()
+            cpu.consume_cycles(device.cost_model.sha1_cycles(request.length))
+
+        proof_payload = EraseProof.payload(request.nonce, digest)
+        cpu.consume_cycles(
+            device.cost_model.hmac_cycles(len(proof_payload), mode="table"))
+        self.erases_done += 1
+        return EraseProof(nonce=request.nonce, digest=digest,
+                          tag=hmac_sha1(key, proof_payload))

@@ -1,0 +1,165 @@
+"""Generalised prover-side request protection (future work item 3).
+
+Section 7: "Generalize proposed techniques to other network protocols
+(beyond attestation) to mitigate DoS attacks on other security services
+on embedded devices."  The generalisation is exactly the prover's
+request-handling pipeline with the service-specific work abstracted out:
+
+1. authenticate the command under a protected key (cheap, Table 1);
+2. check freshness against EA-MPU-protected state;
+3. only then run the (expensive) service handler;
+4. authenticate the reply.
+
+:class:`RequestGuard` packages steps 1-2-4 so *any* command handler --
+attestation, code update, erasure, actuation, configuration -- gets the
+same DoS posture with the same single counter word of protected state.
+Each command type gets its own domain-separation label folded into the
+MAC, so a recorded command of one type can never be replayed as another.
+
+Wire format of a guarded command::
+
+    GCMD | label-len u8 | label | counter u64 | body-len u16 | body | tag
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from ..crypto.hmac import constant_time_compare, hmac_sha1
+from ..errors import ConfigurationError, RequestRejected
+from ..mcu.device import Device
+
+__all__ = ["GuardedCommand", "GuardStats", "RequestGuard", "CommandIssuer"]
+
+
+@dataclass(frozen=True)
+class GuardedCommand:
+    """An authenticated, counter-fresh command for one service."""
+
+    label: str        # service/command type, e.g. "actuate", "config-set"
+    counter: int
+    body: bytes
+    tag: bytes = b""
+
+    def tagged_payload(self) -> bytes:
+        label = self.label.encode("utf-8")
+        if len(label) > 255:
+            raise ConfigurationError("command label too long")
+        return (b"GCMD" + struct.pack(">B", len(label)) + label
+                + struct.pack(">Q", self.counter)
+                + struct.pack(">H", len(self.body)) + self.body)
+
+    def with_tag(self, tag: bytes) -> "GuardedCommand":
+        return GuardedCommand(self.label, self.counter, self.body, tag)
+
+
+@dataclass
+class GuardStats:
+    """Per-guard acceptance accounting."""
+
+    received: int = 0
+    executed: int = 0
+    rejected_auth: int = 0
+    rejected_stale: int = 0
+    rejected_unknown: int = 0
+
+
+class CommandIssuer:
+    """Verifier side: issues guarded commands with a shared counter."""
+
+    def __init__(self, key: bytes):
+        self.key = bytes(key)
+        self.next_counter = 1
+
+    def issue(self, label: str, body: bytes = b"") -> GuardedCommand:
+        command = GuardedCommand(label=label, counter=self.next_counter,
+                                 body=body)
+        self.next_counter += 1
+        return command.with_tag(hmac_sha1(self.key,
+                                          command.tagged_payload()))
+
+
+class RequestGuard:
+    """Prover side: the Section 4/5 pipeline around arbitrary handlers.
+
+    Handlers are registered per label; the guard authenticates and
+    freshness-checks every inbound command *before* invoking one, charging
+    one HMAC validation (Table 1) per command.  Freshness state is the
+    device's protected ``counter_R`` word -- shared across all guarded
+    services, so the roaming adversary faces the same EA-MPU wall
+    regardless of which service it targets.
+
+    Raises :class:`RequestRejected` with a machine-readable reason; the
+    handler result is returned on acceptance.
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.context = device.context("Code_Attest")
+        self._handlers: dict[str, Callable[[bytes], object]] = {}
+        self.stats = GuardStats()
+
+    def register(self, label: str,
+                 handler: Callable[[bytes], object]) -> None:
+        """Attach ``handler`` for commands labelled ``label``."""
+        if label in self._handlers:
+            raise ConfigurationError(f"handler for {label!r} already set")
+        self._handlers[label] = handler
+
+    def handle(self, command: GuardedCommand) -> object:
+        """Authenticate, freshness-check, dispatch."""
+        self.stats.received += 1
+        device = self.device
+
+        # Step 1: authenticate (cheap; charged at Table 1 rates).
+        key = device.read_key(self.context)
+        payload = command.tagged_payload()
+        device.cpu.consume_cycles(
+            device.cost_model.hmac_cycles(len(payload), mode="table"))
+        if not constant_time_compare(hmac_sha1(key, payload), command.tag):
+            self.stats.rejected_auth += 1
+            raise RequestRejected("command failed authentication",
+                                  reason="bad-auth")
+
+        # Step 2: freshness against the protected counter word.
+        stored = device.read_counter(self.context)
+        if command.counter <= stored:
+            self.stats.rejected_stale += 1
+            raise RequestRejected(
+                f"stale counter {command.counter} (stored {stored})",
+                reason="stale-counter")
+
+        handler = self._handlers.get(command.label)
+        if handler is None:
+            self.stats.rejected_unknown += 1
+            raise RequestRejected(f"no handler for {command.label!r}",
+                                  reason="unknown-command")
+
+        # Commit freshness only for commands that will actually run, so a
+        # command for an unknown service cannot burn counters.
+        device.write_counter(self.context, command.counter)
+
+        # Step 3: the service work itself.
+        result = handler(command.body)
+        self.stats.executed += 1
+        return result
+
+    def authenticate_reply(self, command: GuardedCommand,
+                           reply_body: bytes) -> bytes:
+        """Step 4: tag a reply so the verifier can authenticate it."""
+        key = self.device.read_key(self.context)
+        payload = (b"GRPL" + command.tagged_payload()
+                   + struct.pack(">H", len(reply_body)) + reply_body)
+        self.device.cpu.consume_cycles(
+            self.device.cost_model.hmac_cycles(len(payload), mode="table"))
+        return hmac_sha1(key, payload)
+
+    @staticmethod
+    def check_reply(key: bytes, command: GuardedCommand, reply_body: bytes,
+                    tag: bytes) -> bool:
+        """Verifier side: validate a guarded reply."""
+        payload = (b"GRPL" + command.tagged_payload()
+                   + struct.pack(">H", len(reply_body)) + reply_body)
+        return constant_time_compare(hmac_sha1(key, payload), tag)

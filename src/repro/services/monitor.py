@@ -1,0 +1,122 @@
+"""Attestation monitoring: turning rounds into an operational policy.
+
+A verifier does not attest once; it runs a *policy*: attest every T, retry
+on silence, escalate after consecutive failures, and respect the prover's
+duty cycle (each attestation steals hundreds of milliseconds from the
+device's primary task, Section 3.1 -- so over-attesting is self-DoS).
+:class:`AttestationMonitor` implements that policy over a
+:class:`~repro.core.protocol.Session` and produces an auditable event log.
+
+Escalation ladder:
+
+* ``ok`` -- round trusted;
+* ``retry`` -- no response / untrusted, within the retry budget;
+* ``alarm`` -- ``failure_threshold`` consecutive failures: the device is
+  flagged for manual intervention (re-provisioning, physical recovery);
+* monitoring of a flagged device continues, so recovery is observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.protocol import Session
+from ..errors import ConfigurationError
+
+__all__ = ["MonitorEvent", "MonitorPolicy", "AttestationMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorPolicy:
+    """Tunable knobs of the monitoring loop."""
+
+    interval_seconds: float = 600.0
+    retry_delay_seconds: float = 5.0
+    max_retries: int = 2
+    failure_threshold: int = 3
+
+    def __post_init__(self):
+        if self.interval_seconds <= 0 or self.retry_delay_seconds <= 0:
+            raise ConfigurationError("monitor intervals must be positive")
+        if self.max_retries < 0 or self.failure_threshold < 1:
+            raise ConfigurationError("invalid retry/threshold settings")
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One entry of the monitoring audit log."""
+
+    time: float
+    kind: str         # ok | retry | failure | alarm | recovered
+    detail: str
+
+
+@dataclass
+class AttestationMonitor:
+    """Periodic attestation with retries and escalation."""
+
+    session: Session
+    policy: MonitorPolicy = field(default_factory=MonitorPolicy)
+
+    def __post_init__(self):
+        self.events: list[MonitorEvent] = []
+        self.consecutive_failures = 0
+        self.alarmed = False
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.events.append(MonitorEvent(self.session.sim.now, kind, detail))
+
+    def run_round(self) -> bool:
+        """One scheduled round: attempt + retries; returns success."""
+        attempts = 0
+        while True:
+            result = self.session.attest_once(
+                settle_seconds=self.policy.retry_delay_seconds)
+            self.rounds_run += 1
+            if result.trusted:
+                if self.alarmed:
+                    self.alarmed = False
+                    self._log("recovered", "device attests trusted again")
+                self.consecutive_failures = 0
+                self._log("ok", result.detail)
+                return True
+            attempts += 1
+            if attempts > self.policy.max_retries:
+                break
+            self._log("retry", f"attempt {attempts} failed: {result.detail}")
+        self.consecutive_failures += 1
+        self._log("failure", f"round failed after {attempts} attempts: "
+                             f"{result.detail}")
+        if (self.consecutive_failures >= self.policy.failure_threshold
+                and not self.alarmed):
+            self.alarmed = True
+            self._log("alarm", f"{self.consecutive_failures} consecutive "
+                               f"failed rounds")
+        return False
+
+    def run(self, rounds: int) -> list[MonitorEvent]:
+        """Run ``rounds`` scheduled rounds, spaced by the interval."""
+        if rounds < 1:
+            raise ConfigurationError("need at least one round")
+        for _ in range(rounds):
+            self.run_round()
+            self.session.sim.run(
+                until=self.session.sim.now + self.policy.interval_seconds)
+        return list(self.events)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def duty_cost_fraction(self) -> float:
+        """Share of the prover's time the monitoring policy consumes --
+        the operator-side view of Section 3.1's cost."""
+        device = self.session.device
+        stats = self.session.anchor.stats
+        if device.cpu.elapsed_seconds == 0:
+            return 0.0
+        busy = (stats.attestation_cycles + stats.validation_cycles) \
+            / device.cpu.frequency_hz
+        return busy / device.cpu.elapsed_seconds

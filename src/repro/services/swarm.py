@@ -1,0 +1,150 @@
+"""Many-prover (IoT) deployments (future work item 1).
+
+Section 7: "Trial-deploy proposed methods in the context of connected
+devices, such as Internet of Things (IoT)."  A swarm is N independent
+prover devices, each with its own ``K_Attest``, freshness state and
+channel, driven by one verifier that sweeps attestation across the fleet.
+
+What the swarm view adds over single-device sessions:
+
+* fleet-level schedules (round-robin sweeps with a configurable pace),
+* aggregate health reporting (which devices attested, which failed, how
+  much fleet energy attestation consumed),
+* staggered timing so the Section 3.1 cost asymmetry becomes visible at
+  scale: a verifier can trivially saturate a whole fleet of 24 MHz
+  provers from one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.protocol import Session, build_session
+from ..errors import ConfigurationError
+from ..mcu.device import DeviceConfig
+from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
+
+__all__ = ["SwarmMember", "SweepReport", "Swarm"]
+
+
+@dataclass
+class SwarmMember:
+    """One device in the fleet."""
+
+    device_id: str
+    session: Session
+
+    @property
+    def battery_fraction(self) -> float:
+        self.session.device.sync_energy()
+        return self.session.device.battery.fraction_remaining
+
+
+@dataclass
+class SweepReport:
+    """Result of one attestation sweep across the fleet."""
+
+    attempted: int = 0
+    trusted: int = 0
+    untrusted: list[str] = field(default_factory=list)
+    unresponsive: list[str] = field(default_factory=list)
+    fleet_energy_mj: float = 0.0
+    sweep_seconds: float = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.untrusted and not self.unresponsive
+
+
+class Swarm:
+    """A fleet of provers and the verifier-side sweep logic.
+
+    Each member gets an independent simulation/channel/key (devices do
+    not share a radio in this model; contention is out of scope for the
+    paper).  ``member_configs`` may override per-device hardware, e.g. to
+    mix clock designs in one fleet.
+    """
+
+    def __init__(self, size: int, *, profile: ProtectionProfile = ROAM_HARDENED,
+                 auth_scheme: str = "speck-64/128-cbc-mac",
+                 policy_name: str = "counter",
+                 device_config: DeviceConfig | None = None,
+                 member_configs: dict[int, DeviceConfig] | None = None,
+                 master_key: bytes | None = None,
+                 seed: str = "swarm"):
+        if size < 1:
+            raise ConfigurationError("swarm needs at least one member")
+        overrides = member_configs if member_configs is not None else {}
+        self.master_key = master_key
+        self.members: list[SwarmMember] = []
+        for index in range(size):
+            config = overrides.get(index, device_config)
+            if config is None:
+                config = DeviceConfig(ram_size=16 * 1024,
+                                      flash_size=32 * 1024,
+                                      app_size=4 * 1024)
+            device_id = f"device-{index:03d}"
+            key = None
+            if master_key is not None:
+                from ..crypto.kdf import derive_device_key
+                key = derive_device_key(master_key, device_id)
+            session = build_session(
+                profile=profile, auth_scheme=auth_scheme,
+                policy_name=policy_name, device_config=config,
+                key=key, seed=f"{seed}:{index}")
+            session.learn_reference_state()
+            self.members.append(SwarmMember(device_id, session))
+        self.sweeps_run = 0
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member(self, device_id: str) -> SwarmMember:
+        for candidate in self.members:
+            if candidate.device_id == device_id:
+                return candidate
+        raise KeyError(device_id)
+
+    # ------------------------------------------------------------------
+
+    def sweep(self, *, stagger_seconds: float = 0.0) -> SweepReport:
+        """Attest every member once; returns the fleet health report.
+
+        ``stagger_seconds`` spaces requests out (a real verifier paces
+        sweeps so fleet-wide attestation does not synchronise every
+        device's unavailability window).
+        """
+        report = SweepReport()
+        for index, member in enumerate(self.members):
+            session = member.session
+            if stagger_seconds:
+                session.sim.run(until=session.sim.now
+                                + index * stagger_seconds)
+            before_energy = session.device.battery.consumed_mj
+            start = session.sim.now
+            result = session.attest_once()
+            report.attempted += 1
+            report.sweep_seconds = max(report.sweep_seconds,
+                                       session.sim.now - start)
+            session.device.sync_energy()
+            report.fleet_energy_mj += (session.device.battery.consumed_mj
+                                       - before_energy)
+            if result.detail == "no-response":
+                report.unresponsive.append(member.device_id)
+            elif result.trusted:
+                report.trusted += 1
+            else:
+                report.untrusted.append(member.device_id)
+        self.sweeps_run += 1
+        return report
+
+    # ------------------------------------------------------------------
+
+    def fleet_battery_report(self) -> dict[str, float]:
+        """Remaining battery fraction per device."""
+        return {member.device_id: member.battery_fraction
+                for member in self.members}
+
+    def total_attestations(self) -> int:
+        return sum(member.session.anchor.stats.accepted
+                   for member in self.members)

@@ -1,0 +1,179 @@
+"""Secure verifier-prover clock synchronization (future work item 2).
+
+Section 7: "Develop mechanisms for secure and reliable synchronization of
+verifier's and prover's clocks."  The timestamp defence of Section 4.2
+assumes synchronised clocks; real oscillators drift (tens of ppm on
+low-end MCUs), so without resynchronisation the acceptance window slowly
+turns into either a DoS on genuine requests (window too small) or a
+replay window (too large).
+
+Protocol (prover-initiated, so it composes with the Section 5 threat
+model -- the prover never trusts unsolicited time):
+
+1. ``Code_Attest`` draws a nonce and sends ``syncreq(nonce)``, noting its
+   local send time.
+2. The verifier replies ``syncresp(nonce, t_v, MAC(K_Attest, nonce ||
+   t_v))`` where ``t_v`` is its clock in prover ticks.
+3. The prover checks the MAC and that the nonce matches the single
+   outstanding one (O(1) state -- no nonce history needed because the
+   prover only ever has one sync in flight), estimates one-way delay as
+   RTT/2, and stores ``offset = t_v + RTT/2 - local_receive`` in a
+   protected word.
+
+The *physical* clock register remains read-only (Section 6.2); only the
+software offset moves, and only ``Code_Attest`` may move it -- so the
+roaming adversary gains nothing new.
+
+Drift is modelled by :class:`DriftingClock`, a wrapper that skews any
+device clock by a ppm rate.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..crypto.hmac import constant_time_compare, hmac_sha1
+from ..crypto.rng import DeterministicRng
+from ..errors import ConfigurationError, ProtocolError
+from ..mcu.device import Device
+
+__all__ = ["SyncRequest", "SyncResponse", "DriftingClock",
+           "ClockSynchronizer", "SyncVerifier"]
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Prover -> verifier: please tell me the time (freshly)."""
+
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """Verifier -> prover: authenticated timestamp."""
+
+    nonce: bytes
+    verifier_ticks: int
+    tag: bytes
+
+    @staticmethod
+    def payload(nonce: bytes, verifier_ticks: int) -> bytes:
+        return b"SYNC" + nonce + struct.pack(">Q", verifier_ticks)
+
+
+class DriftingClock:
+    """A device clock skewed by a constant ppm rate.
+
+    Positive ``drift_ppm`` makes the prover clock run fast.  Wraps the
+    tick-reading path so all policy code sees drifted time, exactly as
+    firmware would.
+    """
+
+    def __init__(self, device: Device, drift_ppm: float):
+        if device.clock is None:
+            raise ConfigurationError("device has no clock to drift")
+        self.device = device
+        self.drift_ppm = drift_ppm
+
+    def read_ticks(self, context) -> int:
+        raw = self.device.read_clock_ticks(context)
+        return raw + int(raw * self.drift_ppm / 1e6)
+
+    @property
+    def resolution_seconds(self) -> float:
+        return self.device.clock.resolution_seconds
+
+
+class SyncVerifier:
+    """Verifier side: answer sync requests with authenticated time."""
+
+    def __init__(self, key: bytes, clock_ticks):
+        self.key = bytes(key)
+        self.clock_ticks = clock_ticks
+        self.responses_sent = 0
+
+    def respond(self, request: SyncRequest) -> SyncResponse:
+        ticks = int(self.clock_ticks())
+        payload = SyncResponse.payload(request.nonce, ticks)
+        self.responses_sent += 1
+        return SyncResponse(nonce=request.nonce, verifier_ticks=ticks,
+                            tag=hmac_sha1(self.key, payload))
+
+
+class ClockSynchronizer:
+    """Prover side: maintains the authenticated clock offset.
+
+    The corrected time is ``local + offset``; :meth:`begin_sync` /
+    :meth:`complete_sync` run one round of the protocol.  All costs are
+    charged to the device (one HMAC validation per response).
+    """
+
+    def __init__(self, device: Device, key: bytes, *,
+                 drifting_clock: DriftingClock | None = None,
+                 seed: str = "timesync"):
+        if device.clock is None:
+            raise ConfigurationError("device has no clock to synchronise")
+        self.device = device
+        self.key = bytes(key)
+        self.context = device.context("Code_Attest")
+        self.clock = (drifting_clock if drifting_clock is not None
+                      else DriftingClock(device, 0.0))
+        self.offset_ticks = 0
+        self._rng = DeterministicRng(seed)
+        self._outstanding: tuple[bytes, int] | None = None  # (nonce, sent_at)
+        self.syncs_completed = 0
+        self.syncs_rejected = 0
+
+    # ------------------------------------------------------------------
+
+    def corrected_ticks(self) -> int:
+        """The prover's best estimate of true time, in ticks."""
+        return self.clock.read_ticks(self.context) + self.offset_ticks
+
+    def corrected_seconds(self) -> float:
+        return self.corrected_ticks() * self.clock.resolution_seconds
+
+    def begin_sync(self) -> SyncRequest:
+        """Start a sync round; only one may be outstanding."""
+        nonce = self._rng.bytes(16)
+        self._outstanding = (nonce, self.clock.read_ticks(self.context))
+        return SyncRequest(nonce=nonce)
+
+    def complete_sync(self, response: SyncResponse) -> int:
+        """Validate the response and update the offset.
+
+        Returns the new offset in ticks.  Raises :class:`ProtocolError`
+        on a bad tag, an unexpected nonce, or no sync in flight -- a
+        replayed or forged response therefore cannot move the clock.
+        """
+        if self._outstanding is None:
+            self.syncs_rejected += 1
+            raise ProtocolError("no sync in flight")
+        nonce, sent_at = self._outstanding
+        # One HMAC validation, Table 1 cost.
+        self.device.cpu.consume_cycles(
+            self.device.cost_model.hmac_cycles(
+                len(SyncResponse.payload(nonce, response.verifier_ticks)),
+                mode="table"))
+        if response.nonce != nonce:
+            self.syncs_rejected += 1
+            raise ProtocolError("sync response nonce mismatch")
+        payload = SyncResponse.payload(response.nonce, response.verifier_ticks)
+        if not constant_time_compare(hmac_sha1(self.key, payload),
+                                     response.tag):
+            self.syncs_rejected += 1
+            raise ProtocolError("sync response failed authentication")
+        received_at = self.clock.read_ticks(self.context)
+        rtt = max(0, received_at - sent_at)
+        self.offset_ticks = (response.verifier_ticks + rtt // 2
+                             - received_at)
+        self._outstanding = None
+        self.syncs_completed += 1
+        return self.offset_ticks
+
+    # ------------------------------------------------------------------
+
+    def error_ticks(self, true_ticks: int) -> int:
+        """Signed synchronisation error against ground truth."""
+        return self.corrected_ticks() - true_ticks

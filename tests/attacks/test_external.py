@@ -1,0 +1,138 @@
+"""External adversary primitives: replay, delay, floods."""
+
+import pytest
+
+from repro.attacks.external import (BogusRequestFlooder,
+                                    DelayNthRequestAdversary, ReplayAttacker,
+                                    request_entries)
+from repro.core.messages import AttestationRequest
+from repro.net.channel import DolevYaoChannel, Verdict
+from repro.net.simulator import Simulation
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def deliver(self, message, sender):
+        self.received.append(message)
+
+
+def wire(adversary=None):
+    sim = Simulation()
+    channel = DolevYaoChannel(sim, latency_seconds=0.01,
+                              adversary=adversary)
+    verifier, prover = Sink("verifier"), Sink("prover")
+    channel.attach(verifier)
+    channel.attach(prover)
+    return sim, channel, verifier, prover
+
+
+def request(counter=1):
+    return AttestationRequest(challenge=b"c" * 16, counter=counter,
+                              auth_scheme="hmac-sha1", auth_tag=b"t" * 20)
+
+
+class TestDelayAdversary:
+    def test_delays_only_target(self):
+        adversary = DelayNthRequestAdversary(extra_delay=1.0, target_index=0)
+        sim, channel, verifier, prover = wire(adversary)
+        channel.send("verifier", "prover", request(1))
+        channel.send("verifier", "prover", request(2))
+        sim.run()
+        # Request 2 passed immediately; request 1 arrived after the delay.
+        assert [m.counter for m in prover.received] == [2, 1]
+        assert adversary.delayed[0].counter == 1
+
+    def test_non_request_traffic_untouched(self):
+        adversary = DelayNthRequestAdversary(extra_delay=5.0)
+        verdict = adversary.on_message("not a request", "a", "b", 0.0)
+        assert verdict.extra_delay == 0.0
+
+    def test_counts_only_requests(self):
+        adversary = DelayNthRequestAdversary(extra_delay=1.0, target_index=1)
+        adversary.on_message("noise", "a", "b", 0.0)
+        verdict0 = adversary.on_message(request(1), "a", "b", 0.0)
+        verdict1 = adversary.on_message(request(2), "a", "b", 0.0)
+        assert verdict0.extra_delay == 0.0
+        assert verdict1.extra_delay == 1.0
+
+
+class TestReplayAttacker:
+    def test_records_and_replays_verbatim(self):
+        sim, channel, verifier, prover = wire()
+        original = request(7)
+        channel.send("verifier", "prover", original)
+        sim.run()
+        attacker = ReplayAttacker(channel, sim)
+        assert attacker.recorded_requests() == [original]
+        replayed = attacker.replay_latest(delay=2.0)
+        sim.run()
+        assert replayed is original
+        assert prover.received == [original, original]
+        assert attacker.replays_sent == 1
+
+    def test_injected_copies_not_re_recorded_as_genuine(self):
+        sim, channel, verifier, prover = wire()
+        channel.send("verifier", "prover", request(7))
+        sim.run()
+        attacker = ReplayAttacker(channel, sim)
+        attacker.replay_latest()
+        sim.run()
+        assert len(attacker.recorded_requests()) == 1
+
+    def test_nothing_recorded(self):
+        sim, channel, verifier, prover = wire()
+        attacker = ReplayAttacker(channel, sim)
+        with pytest.raises(LookupError):
+            attacker.replay_latest()
+
+    def test_request_entries_filters_responses(self):
+        sim, channel, verifier, prover = wire()
+        channel.send("verifier", "prover", request(1))
+        channel.send("prover", "verifier", "a response object")
+        assert len(request_entries(channel, "prover")) == 1
+
+
+class TestFlooder:
+    def test_flood_schedules_requests(self):
+        sim, channel, verifier, prover = wire()
+        flooder = BogusRequestFlooder(channel, sim, auth_scheme="none")
+        count = flooder.flood(rate_per_second=10, duration_seconds=1.0)
+        sim.run()
+        assert count == len(prover.received)
+        assert count == 9  # arrivals at 0.1 .. 0.9
+        assert flooder.sent == count
+
+    def test_forged_requests_vary(self):
+        sim, channel, verifier, prover = wire()
+        flooder = BogusRequestFlooder(channel, sim, auth_scheme="hmac-sha1")
+        a = flooder.forge_request()
+        b = flooder.forge_request()
+        assert a.challenge != b.challenge
+        assert a.auth_tag != b""
+
+    def test_unauthenticated_forgeries_have_no_tag(self):
+        sim, channel, verifier, prover = wire()
+        flooder = BogusRequestFlooder(channel, sim, auth_scheme="none")
+        assert flooder.forge_request().auth_tag == b""
+
+    def test_poisson_flood(self):
+        sim, channel, verifier, prover = wire()
+        flooder = BogusRequestFlooder(channel, sim, auth_scheme="none")
+        count = flooder.flood(rate_per_second=20, duration_seconds=2.0,
+                              poisson=True)
+        sim.run()
+        assert 10 <= count <= 80   # ~40 expected
+        assert len(prover.received) == count
+
+    def test_policy_fields_with_counter_advance(self):
+        sim, channel, verifier, prover = wire()
+        flooder = BogusRequestFlooder(channel, sim, auth_scheme="hmac-sha1",
+                                      policy_fields={"counter": 100})
+        first = flooder.forge_request()
+        flooder.sent = 3
+        later = flooder.forge_request()
+        assert first.counter == 100
+        assert later.counter == 103

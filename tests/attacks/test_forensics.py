@@ -1,0 +1,140 @@
+"""Forensic examination after roaming attacks."""
+
+import pytest
+
+from repro.attacks.forensics import Finding, ForensicExaminer
+from repro.attacks.roaming import RoamingAdversary
+from repro.core import build_session
+from repro.mcu import BASELINE, ROAM_HARDENED
+from tests.conftest import tiny_config
+
+
+def attacked_session(strategy, policy, profile, seed):
+    session = build_session(profile=profile, policy_name=policy,
+                            device_config=tiny_config(),
+                            timestamp_window_seconds=1.0, seed=seed)
+    golden = session.learn_reference_state()
+    session.sim.run(until=60.0)
+    session.attest_once()
+    lag = session.sim.now - session.device.cpu.elapsed_seconds
+    if lag > 0:
+        session.device.idle_seconds(lag)
+    adversary = RoamingAdversary(session)
+    outcome = adversary.execute(strategy, golden_digest=golden)
+    return session, golden, outcome
+
+
+class TestCleanDevice:
+    def test_untouched_device_is_clean(self, session_factory):
+        session = session_factory()
+        golden = session.learn_reference_state()
+        session.attest_once()
+        examiner = ForensicExaminer(session.device, golden_digest=golden)
+        report = examiner.examine(
+            true_time_seconds=session.device.cpu.elapsed_seconds,
+            verifier_next_counter=session.verifier.freshness_state.next_counter)
+        assert report.clean
+        assert report.worst_severity == "info"
+
+
+class TestCounterRollbackInvisibility:
+    def test_successful_rollback_leaves_no_evidence(self):
+        """The paper's headline: on an *unhardened* device (which also
+        records no MPU denials for the rollback itself, since the write
+        was permitted), the attack is forensically invisible except for
+        the denied key read."""
+        session, golden, outcome = attacked_session(
+            "counter-rollback", "counter", BASELINE, "forensics-1")
+        assert outcome.dos_succeeded
+        examiner = ForensicExaminer(session.device, golden_digest=golden)
+        report = examiner.examine(
+            true_time_seconds=session.device.cpu.elapsed_seconds,
+            verifier_next_counter=session.verifier.freshness_state.next_counter)
+        # State digest and counter look perfectly normal.
+        assert report.of_check("state-digest")[0].severity == "info"
+        assert report.of_check("counter")[0].severity == "info"
+        assert report.of_check("clock")[0].severity == "info"
+
+    def test_failed_attempts_leave_mpu_traces(self):
+        session, golden, outcome = attacked_session(
+            "counter-rollback", "counter", ROAM_HARDENED, "forensics-2")
+        assert not outcome.dos_succeeded
+        report = ForensicExaminer(session.device,
+                                  golden_digest=golden).examine()
+        mpu = report.of_check("mpu-log")[0]
+        assert mpu.severity == "suspicious"
+        assert "malware" in mpu.detail
+
+
+class TestClockResetEvidence:
+    def test_clock_left_behind_flagged_as_compromise(self):
+        session, golden, outcome = attacked_session(
+            "clock-reset", "timestamp", BASELINE, "forensics-3")
+        assert outcome.dos_succeeded
+        examiner = ForensicExaminer(session.device, golden_digest=golden)
+        report = examiner.examine(
+            true_time_seconds=session.device.cpu.elapsed_seconds)
+        clock = report.of_check("clock")[0]
+        assert clock.severity == "compromise"
+        assert "behind" in clock.detail
+        assert not report.clean
+
+
+class TestIndividualChecks:
+    def test_state_digest_tamper_detected(self, session_factory):
+        session = session_factory()
+        golden = session.learn_reference_state()
+        session.device.flash.load(64, b"\xEB\xFE")
+        report = ForensicExaminer(session.device,
+                                  golden_digest=golden).examine()
+        assert report.of_check("state-digest")[0].severity == "compromise"
+
+    def test_no_golden_digest_is_informational(self, session_factory):
+        session = session_factory()
+        report = ForensicExaminer(session.device).examine()
+        assert report.of_check("state-digest")[0].severity == "info"
+
+    def test_counter_ahead_of_verifier_flagged(self, session_factory):
+        session = session_factory()
+        attest = session.device.context("Code_Attest")
+        session.device.write_counter(attest, 1_000_000)
+        report = ForensicExaminer(session.device).examine(
+            verifier_next_counter=5)
+        assert report.of_check("counter")[0].severity == "compromise"
+
+    def test_masked_interrupts_flagged(self):
+        session = build_session(policy_name="timestamp",
+                                device_config=tiny_config(clock_kind="sw"),
+                                profile=BASELINE, seed="forensics-mask")
+        device = session.device
+        device.interrupts.mask.disable(0)
+        device.idle_seconds(0.05)   # wraps get dropped
+        report = ForensicExaminer(device).examine()
+        interrupts = report.of_check("interrupts")
+        assert any(f.severity == "suspicious" and "mask" in f.detail
+                   for f in interrupts)
+
+    def test_idt_sabotage_flagged_as_compromise(self):
+        session = build_session(policy_name="timestamp",
+                                device_config=tiny_config(clock_kind="sw"),
+                                profile=BASELINE, seed="forensics-idt")
+        device = session.device
+        malware = device.make_malware_context()
+        with device.cpu.running(malware):
+            device.bus.write_u32(malware, device.idt_base, 0x0F00)
+        device.idle_seconds(0.05)
+        report = ForensicExaminer(device).examine()
+        assert any(f.severity == "compromise" and "IDT" in f.detail
+                   for f in report.of_check("interrupts"))
+
+    def test_finding_severity_validated(self):
+        with pytest.raises(ValueError):
+            Finding("x", "catastrophic", "detail")
+
+    def test_report_sorting(self, session_factory):
+        session = session_factory()
+        report = ForensicExaminer(session.device).examine()
+        ordered = report.sorted()
+        severities = ["compromise", "suspicious", "info"]
+        indices = [severities.index(f.severity) for f in ordered]
+        assert indices == sorted(indices)

@@ -1,0 +1,86 @@
+"""Memory snapshots and change-extent diffing."""
+
+import pytest
+
+from repro.attacks.forensics import (ChangedExtent, MemorySnapshot,
+                                     diff_snapshots)
+from repro.mcu import BASELINE, Device
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def device():
+    dev = Device(tiny_config())
+    dev.provision(b"K" * 16)
+    dev.boot(BASELINE)
+    return dev
+
+
+class TestDiff:
+    def test_identical_snapshots_no_extents(self, device):
+        before = MemorySnapshot(device)
+        after = MemorySnapshot(device)
+        assert diff_snapshots(before, after) == []
+
+    def test_single_change_located(self, device):
+        before = MemorySnapshot(device)
+        target = device.data_base
+        device.ram.load(target - device.ram.start, b"\xEB\xFE")
+        extents = diff_snapshots(before, MemorySnapshot(device))
+        assert len(extents) == 1
+        assert extents[0].region == "ram"
+        assert extents[0].start == target
+        assert extents[0].length == 2
+        assert extents[0].end == target + 2
+
+    def test_nearby_changes_merge(self, device):
+        before = MemorySnapshot(device)
+        offset = device.data_base - device.ram.start
+        device.ram.load(offset, b"\xAA")
+        device.ram.load(offset + 4, b"\xBB")     # 3-byte gap < min_gap
+        extents = diff_snapshots(before, MemorySnapshot(device), min_gap=8)
+        assert len(extents) == 1
+        assert extents[0].length == 5
+
+    def test_distant_changes_separate(self, device):
+        before = MemorySnapshot(device)
+        offset = device.data_base - device.ram.start
+        device.ram.load(offset, b"\xAA")
+        device.ram.load(offset + 100, b"\xBB")
+        extents = diff_snapshots(before, MemorySnapshot(device))
+        assert len(extents) == 2
+
+    def test_changes_across_regions(self, device):
+        before = MemorySnapshot(device)
+        device.ram.load(device.data_base - device.ram.start, b"\x01")
+        device.flash.load(50, b"\x02")
+        extents = diff_snapshots(before, MemorySnapshot(device))
+        assert {extent.region for extent in extents} == {"ram", "flash"}
+
+    def test_roaming_implant_localised(self, device):
+        """The diff pinpoints a Phase II implant that the digest only
+        detects."""
+        before = MemorySnapshot(device)
+        malware = device.make_malware_context(size=512)
+        device.ram.load(malware.code_start - device.ram.start,
+                        b"\xEB" * 512)
+        extents = diff_snapshots(before, MemorySnapshot(device))
+        assert len(extents) == 1
+        assert extents[0].start == malware.code_start
+        assert extents[0].length == 512
+
+    def test_erased_then_restored_leaves_nothing(self, device):
+        """The Phase II erase-and-restore cycle defeats snapshot diffing
+        too -- stealth is stealth."""
+        before = MemorySnapshot(device)
+        offset = device.data_base - device.ram.start
+        original = device.ram.raw_read(offset, 64)
+        device.ram.load(offset, b"\xEB" * 64)
+        device.ram.load(offset, original)
+        assert diff_snapshots(before, MemorySnapshot(device)) == []
+
+    def test_membership(self, device):
+        snapshot = MemorySnapshot(device)
+        assert "ram" in snapshot
+        assert "flash" in snapshot
+        assert "rom" not in snapshot

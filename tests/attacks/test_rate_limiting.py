@@ -1,0 +1,82 @@
+"""Rate limiting: the naive alternative defence and its lock-out attack."""
+
+import pytest
+
+from repro.attacks.scenarios import run_rate_limit_lockout
+from repro.core import build_session
+from repro.errors import ConfigurationError
+from repro.core.prover import ProverTrustAnchor
+from repro.core.authenticator import NullAuthenticator
+from repro.core.freshness import NoFreshness
+from repro.mcu import Device, ROAM_HARDENED
+from tests.conftest import tiny_config
+
+
+class TestLimiterMechanics:
+    def test_limits_back_to_back_requests(self):
+        session = build_session(device_config=tiny_config(),
+                                rate_limit_seconds=10.0,
+                                policy_name="none", auth_scheme="none",
+                                seed="rl-1")
+        session.sim.run(until=0.001)
+        session.verifier_node.request_attestation()
+        session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 5.0)
+        stats = session.anchor.stats
+        assert stats.accepted == 1
+        assert stats.rejected == {"rate-limited": 1}
+
+    def test_interval_expiry_restores_service(self):
+        session = build_session(device_config=tiny_config(),
+                                rate_limit_seconds=2.0,
+                                seed="rl-2")
+        session.learn_reference_state()
+        assert session.attest_once().trusted
+        session.sim.run(until=session.sim.now + 3.0)
+        assert session.attest_once().trusted
+        assert session.anchor.stats.rejected_total == 0
+
+    def test_limited_request_burns_no_freshness_state(self):
+        session = build_session(device_config=tiny_config(),
+                                rate_limit_seconds=30.0,
+                                policy_name="counter",
+                                seed="rl-3")
+        session.sim.run(until=0.001)
+        first = session.verifier_node.request_attestation()
+        second = session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 5.0)
+        assert session.anchor.stats.rejected == {"rate-limited": 1}
+        # The stored counter reflects only the accepted request.
+        attest = session.device.context("Code_Attest")
+        assert session.device.read_counter(attest) == first.counter
+
+    def test_disabled_by_default(self, session_factory):
+        session = session_factory()
+        session.sim.run(until=0.001)
+        session.verifier_node.request_attestation()
+        session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 5.0)
+        assert session.anchor.stats.accepted == 2
+
+    def test_negative_interval_rejected(self):
+        device = Device(tiny_config())
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        with pytest.raises(ConfigurationError):
+            ProverTrustAnchor(device, NullAuthenticator(), NoFreshness(),
+                              min_interval_seconds=-1.0)
+
+
+class TestLockoutAttack:
+    def test_unauthenticated_limiter_is_lockable(self):
+        result = run_rate_limit_lockout(auth_scheme="none", seed="rl-lock")
+        assert result.genuine_accepted == 0
+        assert result.forged_measured == result.genuine_sent
+        assert result.rejected_rate_limited == result.genuine_sent
+        assert result.genuine_service_ratio == 0.0
+
+    def test_authentication_makes_limiter_irrelevant(self):
+        result = run_rate_limit_lockout(auth_scheme="speck-64/128-cbc-mac",
+                                        seed="rl-lock")
+        assert result.genuine_service_ratio == 1.0
+        assert result.forged_measured == 0

@@ -1,0 +1,210 @@
+"""The three-phase roaming adversary against single configurations."""
+
+import pytest
+
+from repro.attacks.roaming import RoamingAdversary
+from repro.attacks.scenarios import run_roaming_attack
+from repro.mcu import BASELINE, EXT_HARDENED, ROAM_HARDENED, UNPROTECTED
+
+
+class TestCounterRollback:
+    def test_succeeds_on_baseline_and_undetectable(self):
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=BASELINE,
+                                    seed="t-roam-1")
+        assert record.dos_succeeded
+        assert record.outcome.compromise.counter_rolled_back
+        # Section 5: "the DoS attack is undetectable after the fact".
+        assert not record.detectable
+        assert record.outcome.state_digest_clean
+
+    def test_blocked_by_counter_protection(self):
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=EXT_HARDENED,
+                                    seed="t-roam-2")
+        assert not record.dos_succeeded
+        assert "write-counter" in record.outcome.compromise.denied
+
+    def test_wasted_cycles_accounted_on_success(self):
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=BASELINE,
+                                    seed="t-roam-3")
+        assert record.outcome.prover_wasted_cycles > 0
+
+
+class TestClockReset:
+    def test_succeeds_on_baseline_but_leaves_clock_behind(self):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp", profile=BASELINE,
+                                    seed="t-roam-4")
+        assert record.dos_succeeded
+        assert record.outcome.compromise.clock_reset
+        # Section 5: "the prover's clock remains behind".
+        assert record.outcome.clock_left_behind
+        assert record.detectable
+
+    def test_ext_hardening_does_not_help(self):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp", profile=EXT_HARDENED,
+                                    seed="t-roam-5")
+        assert record.dos_succeeded
+
+    @pytest.mark.parametrize("clock_kind", ["hw64", "sw"])
+    def test_blocked_by_full_hardening(self, clock_kind):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp",
+                                    profile=ROAM_HARDENED,
+                                    clock_kind=clock_kind,
+                                    seed=f"t-roam-6-{clock_kind}")
+        assert not record.dos_succeeded
+        assert not record.outcome.compromise.clock_reset
+
+    def test_sw_clock_fallback_sabotage_denied_when_hardened(self):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp",
+                                    profile=ROAM_HARDENED, clock_kind="sw",
+                                    seed="t-roam-7")
+        denied = record.outcome.compromise.denied
+        assert "write-clock-msb" in denied
+        assert "write-idt" in denied
+        assert "mask-irq" in denied
+
+    def test_sw_clock_msb_rewrite_on_baseline(self):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp", profile=BASELINE,
+                                    clock_kind="sw", seed="t-roam-8")
+        assert record.dos_succeeded
+
+
+class TestMonotonicTimestampExtension:
+    """The 8-byte monotonic extension re-routes the clock-reset attack
+    through the stored word -- so protecting counter_R alone (1 rule)
+    blocks it, without any clock-protection rules."""
+
+    def test_ext_hardened_plus_monotonic_blocks_clock_reset(self):
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp",
+                                    profile=EXT_HARDENED,
+                                    monotonic_timestamps=True,
+                                    seed="t-mono-1")
+        assert not record.dos_succeeded
+        assert "write-counter" in record.outcome.compromise.denied
+
+    def test_baseline_plus_monotonic_still_falls(self):
+        """Without counter_R protection the adversary rolls the stored
+        word back alongside the clock -- the extension alone is not a
+        defence."""
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp", profile=BASELINE,
+                                    monotonic_timestamps=True,
+                                    seed="t-mono-2")
+        assert record.dos_succeeded
+        assert record.outcome.compromise.counter_rolled_back
+
+    def test_paper_scheme_needs_clock_protection(self):
+        """Contrast: without the extension, ext-hardened still falls to
+        the clock reset (the paper's Section 5 result)."""
+        record = run_roaming_attack(strategy="clock-reset",
+                                    policy="timestamp",
+                                    profile=EXT_HARDENED,
+                                    monotonic_timestamps=False,
+                                    seed="t-mono-3")
+        assert record.dos_succeeded
+
+
+class TestKeyExtraction:
+    def test_unprotected_device_leaks_key(self):
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=UNPROTECTED,
+                                    seed="t-roam-9")
+        assert record.outcome.compromise.key_extracted
+        assert record.outcome.compromise.stolen_key is not None
+
+    @pytest.mark.parametrize("profile", [BASELINE, EXT_HARDENED,
+                                         ROAM_HARDENED])
+    def test_any_mpu_profile_protects_key(self, profile):
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=profile,
+                                    seed=f"t-roam-10-{profile.name}")
+        assert not record.outcome.compromise.key_extracted
+        assert "read-key" in record.outcome.compromise.denied
+
+
+class TestKeyForgery:
+    """Section 5: a stolen K_Attest lets Adv_roam forge fresh authentic
+    requests, making every freshness defence irrelevant."""
+
+    def _run(self, profile, enforce_entry_points=True, seed="t-forge"):
+        from repro.attacks.roaming import RoamingAdversary
+        from repro.core import build_session
+        from tests.conftest import tiny_config
+        session = build_session(
+            profile=profile, policy_name="counter",
+            device_config=tiny_config(
+                enforce_entry_points=enforce_entry_points),
+            seed=seed)
+        session.sim.run(until=60.0)
+        session.attest_once()
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        return RoamingAdversary(session).execute("key-forgery")
+
+    def test_unprotected_key_enables_forgery(self):
+        outcome = self._run(UNPROTECTED, seed="t-forge-1")
+        assert outcome.compromise.key_extracted
+        assert outcome.dos_succeeded
+
+    def test_hardened_device_blocks_forgery(self):
+        outcome = self._run(ROAM_HARDENED, seed="t-forge-2")
+        assert not outcome.compromise.key_extracted
+        assert not outcome.compromise.key_extracted_via_code_reuse
+        assert not outcome.dos_succeeded
+
+    def test_mpu_rules_insufficient_without_entry_enforcement(self):
+        """Section 6.2's full requirement chain: EA-MPU rules protect the
+        key only if trusted code cannot be entered mid-body."""
+        outcome = self._run(ROAM_HARDENED, enforce_entry_points=False,
+                            seed="t-forge-3")
+        assert outcome.compromise.key_extracted_via_code_reuse
+        assert outcome.dos_succeeded
+
+    def test_forged_request_beats_freshness_forever(self):
+        """Unlike replays, forgery needs no rollback: the attacker stamps
+        future counters at will (the reason key protection is listed
+        before counter/clock protection in Section 5)."""
+        outcome = self._run(UNPROTECTED, seed="t-forge-4")
+        assert outcome.dos_succeeded
+        assert not outcome.compromise.counter_rolled_back
+
+
+class TestTraceErasure:
+    def test_malware_erases_itself_from_measurement(self):
+        """Phase II's exact-restore means the post-attack state digest is
+        clean -- the paper's stealthiness claim."""
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=BASELINE,
+                                    seed="t-roam-11")
+        assert record.outcome.state_digest_clean
+
+
+class TestPhaseOrdering:
+    def test_phase1_requires_recorded_traffic(self, session_factory):
+        session = session_factory(policy_name="counter")
+        adversary = RoamingAdversary(session)
+        with pytest.raises(LookupError):
+            adversary.phase1_eavesdrop()
+
+    def test_phase2_requires_phase1(self, session_factory):
+        session = session_factory(policy_name="counter")
+        adversary = RoamingAdversary(session)
+        with pytest.raises(LookupError):
+            adversary.phase2_compromise("counter-rollback")
+
+    def test_unknown_strategy(self, session_factory):
+        session = session_factory(policy_name="counter")
+        session.attest_once()
+        adversary = RoamingAdversary(session)
+        adversary.phase1_eavesdrop()
+        with pytest.raises(ValueError):
+            adversary.phase2_compromise("quantum")

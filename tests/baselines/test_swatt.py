@@ -1,0 +1,210 @@
+"""The SWATT software-attestation baseline and its network collapse."""
+
+import pytest
+
+from repro.baselines.swatt import (ACCESS_CYCLES, CHEAT_OVERHEAD_CYCLES,
+                                   CheatingSwattProver, NetworkTimingModel,
+                                   SwattProver, SwattResponse, SwattVerifier,
+                                   checksum_walk, evaluate_over_network)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.mcu import BASELINE, Device
+from tests.conftest import tiny_config
+
+
+def factory():
+    device = Device(tiny_config(app_size=4 * 1024))
+    device.provision(b"K" * 16)
+    device.boot(BASELINE)
+    return device
+
+
+ITERATIONS = 4_000
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    return SwattVerifier(iterations=ITERATIONS, seed="t-swatt")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return SwattProver(factory())._memory_image()
+
+
+class TestChecksumWalk:
+    def test_deterministic(self):
+        image = bytes(range(256)) * 4
+        assert checksum_walk(b"seed", 100, image) == \
+            checksum_walk(b"seed", 100, image)
+
+    def test_seed_sensitivity(self):
+        image = bytes(range(256)) * 4
+        assert checksum_walk(b"a", 100, image) != \
+            checksum_walk(b"b", 100, image)
+
+    def test_image_sensitivity(self):
+        image = bytearray(bytes(range(256)) * 4)
+        before = checksum_walk(b"seed", 3000, bytes(image))
+        image[512] ^= 0xFF
+        assert checksum_walk(b"seed", 3000, bytes(image)) != before
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ConfigurationError):
+            checksum_walk(b"s", 10, b"")
+
+
+class TestDirectLink:
+    def test_honest_prover_accepted(self, verifier, golden):
+        prover = SwattProver(factory())
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        assert verifier.accept(challenge, response, golden)
+
+    def test_cheater_produces_correct_checksum(self, verifier, golden):
+        """The redirection attack hides the malware from the *checksum* --
+        only timing can catch it."""
+        prover = CheatingSwattProver(factory())
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        assert response.checksum == verifier.expected_checksum(challenge,
+                                                               golden)
+
+    def test_cheater_rejected_on_timing(self, verifier, golden):
+        prover = CheatingSwattProver(factory())
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        assert not verifier.accept(challenge, response, golden)
+
+    def test_naive_cheater_fails_checksum(self, verifier, golden):
+        """Malware that does not redirect reads is caught by the checksum.
+
+        The infection must be large enough that the bounded random walk
+        hits it with overwhelming probability (SWATT's O(n ln n)
+        coverage argument): 1 KB out of 24 KB over 4000 accesses gives a
+        miss probability below 1e-70.
+        """
+        device = factory()
+        device.flash.load(100, b"\xEB" * 1024)
+        prover = SwattProver(device)
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        assert not verifier.accept(challenge, response, golden)
+
+    def test_timing_gap(self, verifier):
+        honest = SwattProver(factory())
+        cheater = CheatingSwattProver(factory())
+        challenge = verifier.challenge()
+        gap = (cheater.respond(challenge).latency_seconds
+               - honest.respond(challenge).latency_seconds)
+        expected = ITERATIONS * CHEAT_OVERHEAD_CYCLES / 24_000_000
+        assert gap == pytest.approx(expected, rel=0.01)
+
+
+class TestVerifier:
+    def test_threshold_between_populations(self, verifier):
+        assert verifier.honest_seconds < verifier.threshold_seconds < \
+            verifier.cheating_seconds
+
+    def test_expected_times(self, verifier):
+        assert verifier.honest_seconds == pytest.approx(
+            ITERATIONS * ACCESS_CYCLES / 24_000_000)
+
+    def test_jitter_allowance_widens_threshold(self):
+        tight = SwattVerifier(iterations=ITERATIONS)
+        loose = SwattVerifier(iterations=ITERATIONS,
+                              jitter_allowance_seconds=0.01)
+        assert loose.threshold_seconds == pytest.approx(
+            tight.threshold_seconds + 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwattVerifier(margin=0.0)
+        with pytest.raises(ConfigurationError):
+            SwattVerifier(iterations=0)
+
+
+class TestNetworkCollapse:
+    def test_direct_link_perfect(self):
+        points = evaluate_over_network(device_factory=factory,
+                                       jitters=[0.0], trials=5,
+                                       iterations=ITERATIONS)
+        assert points[0].accuracy == 1.0
+
+    def test_jitter_collapses_accuracy(self):
+        """The paper's Section 2 claim: time-based attestation is not
+        viable over a network.  The cheat overhead at these parameters is
+        ~0.33 ms; jitter an order of magnitude above it must push
+        accuracy towards 0.5."""
+        points = evaluate_over_network(device_factory=factory,
+                                       jitters=[0.0, 0.004], trials=12,
+                                       iterations=ITERATIONS,
+                                       seed="t-collapse")
+        direct, hops = points
+        assert direct.accuracy == 1.0
+        assert hops.accuracy < 0.85
+        assert hops.false_accepts + hops.false_rejects > 0
+
+    def test_network_model_sampling(self):
+        model = NetworkTimingModel(base_latency_seconds=0.005,
+                                   jitter_seconds=0.01)
+        rng = DeterministicRng(b"net")
+        samples = [model.sample(rng) for _ in range(100)]
+        assert all(0.005 <= s <= 0.015 for s in samples)
+        assert max(samples) - min(samples) > 0.005
+
+
+class TestToctou:
+    """Footnote 1: TOCTOU defeats software attestation outright."""
+
+    def test_toctou_passes_both_checks(self, verifier, golden):
+        from repro.baselines.swatt import ToctouSwattProver
+        prover = ToctouSwattProver(factory())
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        # Correct checksum AND honest timing: accepted.
+        assert verifier.accept(challenge, response, golden)
+
+    def test_malware_present_before_and_after(self, verifier):
+        from repro.baselines.swatt import ToctouSwattProver
+        prover = ToctouSwattProver(factory())
+        assert prover.installed
+        prover.respond(verifier.challenge())
+        assert prover.installed
+        assert prover.reinstalls == 1
+
+    def test_memory_clean_only_during_measurement(self, verifier, golden):
+        """The checksum genuinely ran over clean memory -- there is no
+        artefact for any snapshot scheme to find."""
+        from repro.baselines.swatt import SwattProver, ToctouSwattProver
+        prover = ToctouSwattProver(factory())
+        challenge = verifier.challenge()
+        response = prover.respond(challenge)
+        honest = SwattProver(factory()).respond(challenge)
+        assert response.checksum == honest.checksum
+        assert response.latency_seconds == pytest.approx(
+            honest.latency_seconds)
+
+    def test_repeated_challenges_never_detect(self, verifier, golden):
+        from repro.baselines.swatt import ToctouSwattProver
+        prover = ToctouSwattProver(factory())
+        for _ in range(5):
+            challenge = verifier.challenge()
+            assert verifier.accept(challenge, prover.respond(challenge),
+                                   golden)
+        assert prover.reinstalls == 5
+
+
+class TestCheaterConstruction:
+    def test_infection_visible_in_raw_memory(self):
+        prover = CheatingSwattProver(factory())
+        app_start, app_end = prover.device.firmware.span("app")
+        region = prover.device.flash
+        tail = region.raw_read(app_end - 16 - region.start, 16)
+        assert tail == b"\xEB" * 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheatingSwattProver(factory(), malware_size=0)
+        with pytest.raises(ConfigurationError):
+            CheatingSwattProver(factory(), malware_size=10 ** 6)

@@ -1,0 +1,65 @@
+"""Result aggregation and table rendering."""
+
+from repro.core.analysis import (AttackOutcome, MitigationMatrix,
+                                 render_table)
+
+
+def outcome(attack, feature, succeeded):
+    return AttackOutcome(attack=attack, defence=feature, succeeded=succeeded)
+
+
+class TestAttackOutcome:
+    def test_mitigated_is_inverse_of_success(self):
+        assert outcome("replay", "counter", False).mitigated
+        assert not outcome("replay", "nonce", True).mitigated
+
+    def test_fields(self):
+        record = AttackOutcome(attack="replay", defence="counter",
+                               succeeded=False, detectable=True,
+                               prover_wasted_cycles=100, detail="x")
+        assert record.detectable
+        assert record.prover_wasted_cycles == 100
+
+
+class TestMatrix:
+    def make(self):
+        matrix = MitigationMatrix(attacks=["replay", "delay"],
+                                  features=["nonce", "timestamp"])
+        matrix.record(outcome("replay", "nonce", False))
+        matrix.record(outcome("delay", "nonce", True))
+        matrix.record(outcome("replay", "timestamp", False))
+        matrix.record(outcome("delay", "timestamp", False))
+        return matrix
+
+    def test_cells(self):
+        matrix = self.make()
+        assert matrix.mitigated("replay", "nonce")
+        assert not matrix.mitigated("delay", "nonce")
+        assert matrix.cell("delay", "timestamp") == "yes"
+        assert matrix.cell("delay", "nonce") == "-"
+
+    def test_rows(self):
+        rows = self.make().as_rows()
+        assert rows[0] == ["Attack", "nonce", "timestamp"]
+        assert rows[1] == ["replay", "yes", "yes"]
+        assert rows[2] == ["delay", "-", "yes"]
+
+    def test_matches(self):
+        matrix = self.make()
+        assert matrix.matches({"nonce": {"replay"},
+                               "timestamp": {"replay", "delay"}})
+        assert not matrix.matches({"nonce": {"replay", "delay"},
+                                   "timestamp": {"replay", "delay"}})
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table([["A", "BBB"], ["xx", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "BBB" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines[3]) == len(lines[1])
+
+    def test_empty(self):
+        assert render_table([]) == ""

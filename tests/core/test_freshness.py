@@ -1,0 +1,175 @@
+"""Freshness policies against an in-memory state view."""
+
+import pytest
+
+from repro.core.freshness import (CounterPolicy, InMemoryStateView,
+                                  NoFreshness, NonceHistoryPolicy,
+                                  TimestampPolicy, VerifierFreshnessState,
+                                  make_policy)
+from repro.core.messages import AttestationRequest
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+
+
+def vstate(clock=None):
+    return VerifierFreshnessState(rng=DeterministicRng(b"t"),
+                                  clock_ticks=clock)
+
+
+def request(**fields):
+    return AttestationRequest(challenge=b"c" * 16, **fields)
+
+
+class TestNoFreshness:
+    def test_accepts_everything(self):
+        policy = NoFreshness()
+        view = InMemoryStateView()
+        ok, reason = policy.check(request(), view)
+        assert ok and reason == "ok"
+        assert policy.stamp(vstate()) == {}
+
+
+class TestCounterPolicy:
+    def test_stamp_increments(self):
+        policy = CounterPolicy()
+        state = vstate()
+        assert policy.stamp(state) == {"counter": 1}
+        assert policy.stamp(state) == {"counter": 2}
+
+    def test_fresh_counter_accepted_and_committed(self):
+        policy = CounterPolicy()
+        view = InMemoryStateView()
+        req = request(counter=5)
+        assert policy.check(req, view) == (True, "ok")
+        policy.commit(req, view)
+        assert view.get_counter() == 5
+
+    def test_stale_counter_rejected(self):
+        policy = CounterPolicy()
+        view = InMemoryStateView(counter=5)
+        assert policy.check(request(counter=5), view) == \
+            (False, "stale-counter")
+        assert policy.check(request(counter=4), view) == \
+            (False, "stale-counter")
+
+    def test_missing_counter_rejected(self):
+        ok, reason = CounterPolicy().check(request(), InMemoryStateView())
+        assert not ok and reason == "missing-counter"
+
+    def test_state_is_one_word(self):
+        assert CounterPolicy().prover_state_bytes(InMemoryStateView()) == 8
+
+
+class TestNoncePolicy:
+    def test_stamp_draws_unique_nonces(self):
+        policy = NonceHistoryPolicy()
+        state = vstate()
+        n1 = policy.stamp(state)["nonce"]
+        n2 = policy.stamp(state)["nonce"]
+        assert n1 != n2
+        assert len(n1) == 16
+
+    def test_replay_detected(self):
+        policy = NonceHistoryPolicy()
+        view = InMemoryStateView()
+        req = request(nonce=b"n" * 16)
+        assert policy.check(req, view)[0]
+        policy.commit(req, view)
+        assert policy.check(req, view) == (False, "replayed-nonce")
+
+    def test_missing_nonce(self):
+        ok, reason = NonceHistoryPolicy().check(request(),
+                                                InMemoryStateView())
+        assert reason == "missing-nonce"
+
+    def test_memory_grows_without_bound(self):
+        """Section 4.2's objection, measurable."""
+        policy = NonceHistoryPolicy(nonce_size=16)
+        view = InMemoryStateView()
+        for i in range(100):
+            req = request(nonce=i.to_bytes(16, "big"))
+            policy.commit(req, view)
+        assert policy.prover_state_bytes(view) == 1600
+
+    def test_small_nonce_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NonceHistoryPolicy(nonce_size=4)
+
+
+class TestTimestampPolicy:
+    def test_stamp_uses_clock(self):
+        policy = TimestampPolicy(window_ticks=100)
+        assert policy.stamp(vstate(clock=lambda: 12345)) == \
+            {"timestamp_ticks": 12345}
+
+    def test_stamp_without_clock_fails(self):
+        with pytest.raises(ConfigurationError):
+            TimestampPolicy(window_ticks=10).stamp(vstate())
+
+    def test_window_acceptance(self):
+        policy = TimestampPolicy(window_ticks=100)
+        view = InMemoryStateView(clock=1000)
+        assert policy.check(request(timestamp_ticks=950), view)[0]
+        assert policy.check(request(timestamp_ticks=1100), view)[0]
+        assert policy.check(request(timestamp_ticks=899), view) == \
+            (False, "stale-timestamp")
+        assert policy.check(request(timestamp_ticks=1101), view) == \
+            (False, "stale-timestamp")
+
+    def test_missing_fields(self):
+        policy = TimestampPolicy(window_ticks=10)
+        assert policy.check(request(), InMemoryStateView(clock=0))[1] == \
+            "missing-timestamp"
+        assert policy.check(request(timestamp_ticks=5),
+                            InMemoryStateView())[1] == "no-prover-clock"
+
+    def test_paper_mode_is_stateless(self):
+        policy = TimestampPolicy(window_ticks=100)
+        view = InMemoryStateView(clock=1000)
+        req = request(timestamp_ticks=1000)
+        policy.commit(req, view)
+        assert view.get_counter() == 0
+        assert policy.prover_state_bytes(view) == 0
+        # Within-window replay is accepted in the paper's scheme; the
+        # inter-spacing assumption is what rules it out in practice.
+        assert policy.check(req, view)[0]
+
+    def test_monotonic_extension_blocks_window_replay(self):
+        policy = TimestampPolicy(window_ticks=100, monotonic=True)
+        view = InMemoryStateView(clock=1000)
+        req = request(timestamp_ticks=1000)
+        assert policy.check(req, view)[0]
+        policy.commit(req, view)
+        assert policy.check(req, view) == \
+            (False, "non-monotonic-timestamp")
+        assert policy.prover_state_bytes(view) == 8
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            TimestampPolicy(window_ticks=0)
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert isinstance(make_policy("none"), NoFreshness)
+        assert isinstance(make_policy("nonce"), NonceHistoryPolicy)
+        assert isinstance(make_policy("counter"), CounterPolicy)
+        ts = make_policy("timestamp", window_ticks=10)
+        assert isinstance(ts, TimestampPolicy)
+        assert not ts.monotonic
+
+    def test_monotonic_flag(self):
+        ts = make_policy("timestamp", window_ticks=10,
+                         monotonic_timestamps=True)
+        assert ts.monotonic
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("entropy")
+
+    def test_expected_mitigations_match_table2(self):
+        assert make_policy("nonce").expected_mitigations == {"replay"}
+        assert make_policy("counter").expected_mitigations == \
+            {"replay", "reorder"}
+        assert make_policy("timestamp", window_ticks=1).expected_mitigations \
+            == {"replay", "reorder", "delay"}

@@ -1,0 +1,101 @@
+"""Wire formats: determinism, field coverage, tag binding."""
+
+import pytest
+
+from repro.core.messages import AttestationRequest, AttestationResponse
+from repro.errors import ProtocolError
+
+
+class TestRequest:
+    def test_signed_payload_deterministic(self):
+        a = AttestationRequest(challenge=b"c" * 16, counter=5)
+        b = AttestationRequest(challenge=b"c" * 16, counter=5)
+        assert a.signed_payload() == b.signed_payload()
+
+    def test_payload_covers_every_field(self):
+        base = AttestationRequest(challenge=b"c" * 16, counter=5,
+                                  timestamp_ticks=100, nonce=b"n" * 8)
+        variants = [
+            AttestationRequest(challenge=b"d" * 16, counter=5,
+                               timestamp_ticks=100, nonce=b"n" * 8),
+            AttestationRequest(challenge=b"c" * 16, counter=6,
+                               timestamp_ticks=100, nonce=b"n" * 8),
+            AttestationRequest(challenge=b"c" * 16, counter=5,
+                               timestamp_ticks=101, nonce=b"n" * 8),
+            AttestationRequest(challenge=b"c" * 16, counter=5,
+                               timestamp_ticks=100, nonce=b"m" * 8),
+            AttestationRequest(challenge=b"c" * 16, counter=5,
+                               timestamp_ticks=100, nonce=b"n" * 8,
+                               auth_scheme="hmac-sha1"),
+        ]
+        for variant in variants:
+            assert variant.signed_payload() != base.signed_payload()
+
+    def test_absent_fields_encode_distinctly(self):
+        with_counter = AttestationRequest(challenge=b"c", counter=0)
+        without = AttestationRequest(challenge=b"c")
+        assert with_counter.signed_payload() != without.signed_payload()
+
+    def test_tag_not_in_signed_payload(self):
+        request = AttestationRequest(challenge=b"c")
+        assert request.signed_payload() == \
+            request.with_tag(b"tag").signed_payload()
+
+    def test_with_tag_preserves_fields(self):
+        request = AttestationRequest(challenge=b"c", counter=9,
+                                     auth_scheme="hmac-sha1")
+        tagged = request.with_tag(b"T" * 20)
+        assert tagged.counter == 9
+        assert tagged.auth_tag == b"T" * 20
+        assert tagged.auth_scheme == "hmac-sha1"
+
+    def test_to_bytes_includes_tag(self):
+        request = AttestationRequest(challenge=b"c").with_tag(b"T" * 20)
+        assert request.to_bytes().endswith(b"T" * 20)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            AttestationRequest(challenge=b"c", counter=-1)
+        with pytest.raises(ProtocolError):
+            AttestationRequest(challenge=b"x" * 70_000)
+        with pytest.raises(ProtocolError):
+            AttestationRequest(challenge=b"c", nonce=b"n" * 300)
+
+    def test_describe(self):
+        text = AttestationRequest(challenge=b"c" * 16, counter=5).describe()
+        assert "counter=5" in text
+        assert "attreq" in text
+
+
+class TestResponse:
+    def test_tagged_payload_covers_fields(self):
+        base = AttestationResponse(challenge=b"c", measurement=b"m" * 20,
+                                   request_counter=1)
+        variants = [
+            AttestationResponse(challenge=b"d", measurement=b"m" * 20,
+                                request_counter=1),
+            AttestationResponse(challenge=b"c", measurement=b"x" * 20,
+                                request_counter=1),
+            AttestationResponse(challenge=b"c", measurement=b"m" * 20,
+                                request_counter=2),
+            AttestationResponse(challenge=b"c", measurement=b"m" * 20,
+                                request_counter=1, request_timestamp=7),
+        ]
+        for variant in variants:
+            assert variant.tagged_payload() != base.tagged_payload()
+
+    def test_tag_excluded_from_tagged_payload(self):
+        response = AttestationResponse(challenge=b"c", measurement=b"m" * 20)
+        assert response.tagged_payload() == \
+            response.with_tag(b"t").tagged_payload()
+
+    def test_with_tag(self):
+        response = AttestationResponse(challenge=b"c", measurement=b"m" * 20)
+        assert response.with_tag(b"T").tag == b"T"
+
+    def test_to_bytes_roundtrip_fields(self):
+        response = AttestationResponse(challenge=b"c", measurement=b"m" * 20,
+                                       tag=b"T" * 20)
+        raw = response.to_bytes()
+        assert b"m" * 20 in raw
+        assert raw.endswith(b"T" * 20)

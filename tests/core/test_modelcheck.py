@@ -1,0 +1,82 @@
+"""Exhaustive freshness-policy model checking."""
+
+import pytest
+
+from repro.attacks.scenarios import TABLE2_EXPECTED
+from repro.core.modelcheck import (PROPERTIES, check_policy,
+                                   table2_from_model_checking)
+from repro.errors import ConfigurationError
+
+
+class TestTable2Derivation:
+    def test_paper_assumptions_reproduce_table2(self):
+        derived = table2_from_model_checking(paper_assumptions=True)
+        assert derived == TABLE2_EXPECTED
+
+    def test_unrestricted_adversary_exposes_replay_gap(self):
+        """Without the implicit replay-later assumption, the stateless
+        timestamp scheme loses its replay tick (immediate replays fall
+        inside the acceptance window)."""
+        derived = table2_from_model_checking(paper_assumptions=False)
+        assert "replay" not in derived["timestamp"]
+        assert derived["nonce"] == {"replay"}
+        assert derived["counter"] == {"replay", "reorder"}
+
+    def test_monotonic_extension_closes_the_gap(self):
+        result = check_policy("timestamp", monotonic_timestamps=True)
+        assert result.holds == set(PROPERTIES)
+        assert not result.violations
+
+
+class TestPerPolicyProperties:
+    def test_counter(self):
+        result = check_policy("counter")
+        assert "no-double-acceptance" in result.holds
+        assert "order-safety" in result.holds
+        assert "honest-liveness" in result.holds
+        assert "no-stale-acceptance" in result.fails
+
+    def test_nonce(self):
+        result = check_policy("nonce")
+        assert "no-double-acceptance" in result.holds
+        assert "honest-liveness" in result.holds
+        assert "order-safety" in result.fails
+        assert "no-stale-acceptance" in result.fails
+
+    def test_none_policy_fails_everything_adversarial(self):
+        result = check_policy("none")
+        assert "honest-liveness" in result.holds
+        assert "no-double-acceptance" in result.fails
+        assert "no-stale-acceptance" in result.fails
+
+    def test_violations_carry_witnesses(self):
+        result = check_policy("counter")
+        witnesses = result.witnesses("no-stale-acceptance")
+        assert witnesses
+        assert all(w.property_name == "no-stale-acceptance"
+                   for w in witnesses)
+        assert witnesses[0].detail
+
+    def test_schedule_space_size(self):
+        """3 requests x (drop | 1-2 copies from 3 delays) = 10^3."""
+        result = check_policy("counter")
+        assert result.schedules_checked == 1000
+
+    def test_min_replay_delay_prunes(self):
+        strict = check_policy("timestamp")
+        restricted = check_policy("timestamp", min_replay_delay=2.0)
+        assert restricted.schedules_checked < strict.schedules_checked
+        assert "no-double-acceptance" in restricted.holds
+        assert "no-double-acceptance" in strict.fails
+
+
+class TestValidation:
+    def test_spacing_must_exceed_window(self):
+        with pytest.raises(ConfigurationError):
+            check_policy("counter", spacing=1.0, window=1.0)
+
+    def test_scales_with_request_count(self):
+        small = check_policy("counter", requests=2)
+        large = check_policy("counter", requests=4)
+        assert large.schedules_checked > small.schedules_checked
+        assert small.holds == large.holds

@@ -1,0 +1,101 @@
+"""End-to-end sessions: assembly, rounds, timing feedback."""
+
+import pytest
+
+from repro.core import build_session
+from repro.errors import ConfigurationError
+from repro.mcu import BASELINE, ROAM_HARDENED, UNPROTECTED
+from tests.conftest import tiny_config
+
+
+class TestAssembly:
+    def test_default_session_attests(self, session_factory):
+        session = session_factory()
+        session.learn_reference_state()
+        result = session.attest_once()
+        assert result.trusted
+        assert result.state_known_good
+
+    @pytest.mark.parametrize("scheme", ["none", "hmac-sha1",
+                                        "aes-128-cbc-mac",
+                                        "speck-64/128-cbc-mac"])
+    def test_all_symmetric_schemes(self, session_factory, scheme):
+        session = session_factory(auth_scheme=scheme)
+        assert session.attest_once().authentic
+
+    @pytest.mark.parametrize("policy", ["none", "nonce", "counter",
+                                        "timestamp"])
+    def test_all_policies(self, session_factory, policy):
+        session = session_factory(policy_name=policy)
+        assert session.attest_once().authentic
+
+    @pytest.mark.parametrize("clock", ["hw64", "hw32div", "sw"])
+    def test_all_clock_designs(self, session_factory, clock):
+        session = session_factory(clock_kind=clock, policy_name="timestamp")
+        assert session.attest_once().authentic
+
+    def test_timestamp_requires_clock(self):
+        with pytest.raises(ConfigurationError):
+            build_session(policy_name="timestamp",
+                          device_config=tiny_config(clock_kind="none"))
+
+    @pytest.mark.parametrize("profile", [UNPROTECTED, BASELINE,
+                                         ROAM_HARDENED])
+    def test_profiles_boot_and_attest(self, session_factory, profile):
+        session = session_factory(profile=profile)
+        assert session.attest_once().authentic
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            session = build_session(device_config=tiny_config(), seed=seed)
+            session.attest_once()
+            return session.anchor.stats.accepted, session.sim.now
+
+        assert run("a") == run("a")
+
+
+class TestTimingFeedback:
+    def test_measurement_delays_response(self, session_factory):
+        """The prover's processing time must show up as response latency."""
+        session = session_factory(device_config=tiny_config(
+            ram_size=8 * 1024, flash_size=64 * 1024, app_size=4 * 1024))
+        start = 0.001
+        session.attest_once()
+        # 72 KB at ~0.092 ms / 64 B is ~100 ms of measurement; the round
+        # trip must reflect it (2x latency = 10 ms alone would be ~0.01).
+        assert session.sim.now - start > 0.05
+
+    def test_multiple_rounds(self, session_factory):
+        session = session_factory()
+        session.learn_reference_state()
+        for _ in range(3):
+            assert session.attest_once().trusted
+        assert session.anchor.stats.accepted == 3
+
+    def test_device_time_syncs_to_sim(self, session_factory):
+        session = session_factory()
+        session.sim.run(until=5.0)
+        session.attest_once()
+        assert session.device.cpu.elapsed_seconds >= 5.0
+
+
+class TestStateDetection:
+    def test_infection_detected_while_present(self, session_factory):
+        session = session_factory()
+        session.learn_reference_state()
+        assert session.attest_once().state_known_good
+        session.device.flash.load(50, b"\xEB\xFE\x90\x90")
+        result = session.attest_once()
+        assert result.authentic
+        assert result.state_known_good is False
+
+    def test_unsolicited_response_flagged(self, session_factory):
+        from repro.core.messages import AttestationResponse
+        session = session_factory()
+        session.channel.inject(
+            "verifier",
+            AttestationResponse(challenge=b"?" * 16, measurement=b"m" * 20),
+            spoofed_sender="prover")
+        session.sim.run(until=session.sim.now + 1)
+        assert session.verifier_node.results[-1].detail == \
+            "unsolicited-response"

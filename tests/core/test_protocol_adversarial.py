@@ -1,0 +1,151 @@
+"""Protocol behaviour under adverse network conditions."""
+
+import pytest
+
+from repro.core import build_session
+from repro.core.messages import AttestationRequest
+from repro.net.channel import Verdict
+from tests.conftest import tiny_config
+
+
+class DropRequests:
+    """In-path adversary that drops the first ``count`` requests."""
+
+    def __init__(self, count):
+        self.remaining = count
+
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest) and self.remaining > 0:
+            self.remaining -= 1
+            return Verdict("drop")
+        return Verdict("forward")
+
+
+class DropResponses:
+    """Drops everything that is not a request (i.e. the responses)."""
+
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest):
+            return Verdict("forward")
+        return Verdict("drop")
+
+
+class TestMessageLoss:
+    def test_dropped_request_yields_no_response(self):
+        session = build_session(device_config=tiny_config(),
+                                adversary=DropRequests(1),
+                                seed="adv-drop-req")
+        result = session.attest_once()
+        assert result.detail == "no-response"
+        assert session.anchor.stats.received == 0
+
+    def test_recovery_after_drops(self):
+        session = build_session(device_config=tiny_config(),
+                                adversary=DropRequests(2),
+                                seed="adv-drop-recover")
+        assert session.attest_once().detail == "no-response"
+        assert session.attest_once().detail == "no-response"
+        assert session.attest_once().authentic
+
+    def test_dropped_response_counts_as_no_response(self):
+        session = build_session(device_config=tiny_config(),
+                                adversary=DropResponses(),
+                                seed="adv-drop-resp")
+        result = session.attest_once()
+        assert result.detail == "no-response"
+        # The prover *did* the work -- that asymmetry is the DoS:
+        assert session.anchor.stats.accepted == 1
+
+    def test_counter_hole_after_dropped_request(self):
+        """A dropped request burns a verifier counter; later requests
+        still validate (counters need only increase, not be dense)."""
+        session = build_session(device_config=tiny_config(),
+                                policy_name="counter",
+                                adversary=DropRequests(1),
+                                seed="adv-hole")
+        session.attest_once()
+        result = session.attest_once()
+        assert result.authentic
+
+
+class TestConcurrentRounds:
+    def test_two_outstanding_requests_resolve(self, session_factory):
+        session = session_factory(policy_name="counter")
+        session.sim.run(until=0.001)
+        session.verifier_node.request_attestation()
+        session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 10.0)
+        # Non-preemptive prover: both handled, in order.
+        assert session.anchor.stats.accepted == 2
+        assert len(session.verifier_node.results) == 2
+        assert all(r.authentic for r in session.verifier_node.results)
+
+    def test_second_response_queues_behind_first(self, session_factory):
+        """Non-preemptive prover: with two back-to-back requests the
+        second response is delayed by BOTH measurements."""
+        session = session_factory()
+        session.sim.run(until=0.001)
+        session.verifier_node.request_attestation()
+        session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 10.0)
+        responses = session.channel.transcript.to_receiver("verifier")
+        assert len(responses) == 2
+        gap = responses[1].time - responses[0].time
+        per_measurement = (session.anchor.stats.attestation_cycles
+                           / session.anchor.stats.accepted / 24_000_000)
+        assert gap >= per_measurement * 0.9
+
+    def test_requests_processed_in_arrival_order(self, session_factory):
+        session = session_factory(policy_name="counter")
+        session.sim.run(until=0.001)
+        first = session.verifier_node.request_attestation()
+        second = session.verifier_node.request_attestation()
+        session.sim.run(until=session.sim.now + 10.0)
+        assert second.counter == first.counter + 1
+        assert session.anchor.stats.rejected_total == 0
+
+
+class TestLatencyScaling:
+    def test_round_trip_grows_with_latency(self):
+        def request_to_response_seconds(latency):
+            session = build_session(device_config=tiny_config(),
+                                    latency_seconds=latency,
+                                    seed="adv-latency")
+            session.attest_once()
+            transcript = session.channel.transcript
+            request_time = transcript.to_receiver("prover")[0].time
+            response_time = transcript.to_receiver("verifier")[0].time
+            return response_time - request_time
+
+        fast = request_to_response_seconds(0.001)
+        slow = request_to_response_seconds(0.100)
+        # The response leaves ~one inbound latency + processing later.
+        assert slow > fast + 0.08
+
+    def test_verdict_independent_of_latency(self):
+        for latency in (0.001, 0.05, 0.5):
+            session = build_session(device_config=tiny_config(),
+                                    latency_seconds=latency,
+                                    seed=f"adv-lat-{latency}")
+            session.learn_reference_state()
+            assert session.attest_once(settle_seconds=10.0).trusted
+
+
+class TestEavesdroppingSurface:
+    def test_transcript_records_both_directions(self, session_factory):
+        session = session_factory()
+        session.attest_once()
+        to_prover = session.channel.transcript.to_receiver("prover")
+        to_verifier = session.channel.transcript.to_receiver("verifier")
+        assert len(to_prover) == 1
+        assert len(to_verifier) == 1
+
+    def test_recorded_request_verifies_under_key(self, session_factory):
+        """What Phase I records is a *genuine* authenticated request --
+        the replay primitive needs no forgery."""
+        from repro.core.authenticator import make_symmetric_authenticator
+        session = session_factory(auth_scheme="hmac-sha1")
+        session.attest_once()
+        recorded = session.channel.transcript.to_receiver("prover")[0].message
+        auth = make_symmetric_authenticator("hmac-sha1", session.key)
+        assert auth.verify(recorded.signed_payload(), recorded.auth_tag)

@@ -1,0 +1,88 @@
+"""Session summaries and long-run (soak) consistency."""
+
+import json
+
+import pytest
+
+from tests.conftest import tiny_config
+
+
+class TestSummary:
+    def test_structure(self, session_factory):
+        session = session_factory(auth_scheme="hmac-sha1",
+                                  policy_name="counter")
+        session.learn_reference_state()
+        session.attest_once()
+        summary = session.summary()
+        assert summary["device"]["profile"] == "roam-hardened"
+        assert summary["device"]["clock_kind"] == "hw64"
+        assert summary["protocol"]["auth_scheme"] == "hmac-sha1"
+        assert summary["protocol"]["freshness_policy"] == "counter"
+        assert summary["stats"]["accepted"] == 1
+        assert summary["stats"]["attestation_ms"] > 10
+        assert 0 < summary["energy"]["consumed_mj"] < 100
+        assert summary["time"]["simulated_seconds"] > 0
+
+    def test_json_serialisable(self, session_factory):
+        session = session_factory()
+        session.attest_once()
+        text = json.dumps(session.summary())
+        assert json.loads(text)["stats"]["accepted"] == 1
+
+    def test_rejections_appear(self, session_factory):
+        from repro.attacks.external import ReplayAttacker
+        session = session_factory(policy_name="counter")
+        session.attest_once()
+        attacker = ReplayAttacker(session.channel, session.sim)
+        attacker.replay_latest(delay=3.0)
+        session.sim.run(until=session.sim.now + 10.0)
+        summary = session.summary()
+        assert summary["stats"]["rejected"] == {"stale-counter": 1}
+
+
+class TestSoak:
+    """Long-run consistency: many rounds, invariants intact throughout."""
+
+    ROUNDS = 25
+
+    def test_soak_counter_session(self, session_factory):
+        session = session_factory(policy_name="counter")
+        session.learn_reference_state()
+        energies = []
+        for round_index in range(self.ROUNDS):
+            result = session.attest_once(settle_seconds=3.0)
+            assert result.trusted, f"round {round_index} failed"
+            session.device.sync_energy()
+            energies.append(session.device.battery.consumed_mj)
+        stats = session.anchor.stats
+        assert stats.accepted == self.ROUNDS
+        assert stats.rejected_total == 0
+        # Energy strictly increases and per-round cost is stable.
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+        deltas = [b - a for a, b in zip(energies, energies[1:])]
+        assert max(deltas) < 2.5 * min(deltas)
+        # Counter on the device matches the number of accepted rounds.
+        attest = session.device.context("Code_Attest")
+        assert session.device.read_counter(attest) == self.ROUNDS
+        # Busy intervals are disjoint and ordered.
+        intervals = session.anchor.busy_intervals
+        for (a_start, a_end), (b_start, b_end) in zip(intervals,
+                                                      intervals[1:]):
+            assert a_end <= b_start
+
+    def test_soak_timestamp_session(self, session_factory):
+        session = session_factory(policy_name="timestamp")
+        session.learn_reference_state()
+        for _ in range(10):
+            session.sim.run(until=session.sim.now + 2.0)
+            assert session.attest_once(settle_seconds=3.0).trusted
+
+    def test_soak_device_clock_never_regresses(self, session_factory):
+        session = session_factory(clock_kind="sw", policy_name="timestamp")
+        attest = session.device.context("Code_Attest")
+        last = 0
+        for _ in range(10):
+            session.attest_once(settle_seconds=2.0)
+            now = session.device.read_clock_ticks(attest)
+            assert now >= last
+            last = now

@@ -1,0 +1,155 @@
+"""Verifier: request construction and response validation."""
+
+import pytest
+
+from repro.core.authenticator import HmacAuthenticator
+from repro.core.freshness import CounterPolicy, make_policy
+from repro.core.messages import AttestationResponse
+from repro.core.verifier import Verifier
+from repro.crypto.hmac import hmac_sha1
+from repro.errors import VerificationFailed
+
+KEY = b"K" * 16
+
+
+def make_verifier(policy=None, clock=None):
+    return Verifier(KEY, HmacAuthenticator(KEY),
+                    policy if policy is not None else CounterPolicy(),
+                    clock_ticks=clock)
+
+
+def fake_response(request, measurement=b"m" * 20, key=KEY):
+    response = AttestationResponse(
+        challenge=request.challenge, measurement=measurement,
+        request_counter=request.counter,
+        request_timestamp=request.timestamp_ticks)
+    return response.with_tag(hmac_sha1(key, response.tagged_payload()))
+
+
+class TestRequests:
+    def test_requests_carry_valid_tags(self):
+        verifier = make_verifier()
+        request = verifier.make_request()
+        assert HmacAuthenticator(KEY).verify(request.signed_payload(),
+                                             request.auth_tag)
+
+    def test_counters_increase(self):
+        verifier = make_verifier()
+        first = verifier.make_request()
+        second = verifier.make_request()
+        assert second.counter == first.counter + 1
+
+    def test_challenges_unique(self):
+        verifier = make_verifier()
+        assert verifier.make_request().challenge != \
+            verifier.make_request().challenge
+
+    def test_timestamp_policy_stamps(self):
+        verifier = make_verifier(policy=make_policy("timestamp",
+                                                    window_ticks=10),
+                                 clock=lambda: 777)
+        assert verifier.make_request().timestamp_ticks == 777
+
+    def test_issue_counter(self):
+        verifier = make_verifier()
+        verifier.make_request()
+        verifier.make_request()
+        assert verifier.requests_issued == 2
+
+
+class TestResponseValidation:
+    def test_authentic_unknown_state(self):
+        verifier = make_verifier()
+        request = verifier.make_request()
+        result = verifier.check_response(request, fake_response(request))
+        assert result.authentic
+        assert result.state_known_good is None
+        assert result.trusted
+
+    def test_reference_match(self):
+        verifier = make_verifier()
+        verifier.learn_reference(b"m" * 20)
+        request = verifier.make_request()
+        result = verifier.check_response(request, fake_response(request))
+        assert result.trusted and result.state_known_good
+
+    def test_reference_mismatch_flags_state(self):
+        verifier = make_verifier()
+        verifier.learn_reference(b"golden" + b"\x00" * 14)
+        request = verifier.make_request()
+        result = verifier.check_response(request, fake_response(request))
+        assert result.authentic
+        assert result.state_known_good is False
+        assert not result.trusted
+
+    def test_bad_tag_rejected(self):
+        verifier = make_verifier()
+        request = verifier.make_request()
+        result = verifier.check_response(
+            request, fake_response(request, key=b"other-key-16byte"))
+        assert not result.authentic
+        assert result.detail == "bad-response-tag"
+
+    def test_challenge_mismatch(self):
+        verifier = make_verifier()
+        request_a = verifier.make_request()
+        request_b = verifier.make_request()
+        result = verifier.check_response(request_a, fake_response(request_b))
+        assert not result.authentic
+        assert result.detail == "challenge-mismatch"
+
+    def test_revoked_reference_flags_state(self):
+        verifier = make_verifier()
+        verifier.learn_reference(b"m" * 20)
+        verifier.learn_reference(b"n" * 20)
+        assert verifier.revoke_reference(b"m" * 20)
+        request = verifier.make_request()
+        result = verifier.check_response(request, fake_response(request))
+        assert result.authentic
+        assert result.state_known_good is False
+
+    def test_revoke_unknown_reference(self):
+        verifier = make_verifier()
+        assert not verifier.revoke_reference(b"ghost" + b"\x00" * 15)
+
+    def test_rotate_reference(self):
+        verifier = make_verifier()
+        verifier.learn_reference(b"old" + b"\x00" * 17)
+        verifier.rotate_reference(b"old" + b"\x00" * 17, b"m" * 20)
+        request = verifier.make_request()
+        result = verifier.check_response(request, fake_response(request))
+        assert result.trusted
+
+    def test_rollback_after_update_flagged_end_to_end(self):
+        """Fleet-level anti-rollback: after an update + rotation, a
+        device attesting the *old* digest is untrusted even though that
+        digest was once known-good."""
+        from repro.core import build_session
+        from repro.mcu.firmware import FirmwareModule
+        from repro.services.codeupdate import UpdateAuthority, UpdateManager
+        from tests.conftest import tiny_config
+
+        session = build_session(device_config=tiny_config(),
+                                seed="revoke-e2e")
+        old_digest = session.learn_reference_state()
+        manager = UpdateManager(session.device)
+        manager.apply(UpdateAuthority(session.key).package(
+            FirmwareModule("app", 2048, version=2)))
+        attest = session.device.context("Code_Attest")
+        new_digest = session.device.digest_writable_memory(attest)
+        session.verifier.rotate_reference(old_digest, new_digest)
+        assert session.attest_once().trusted
+        # Roll the flash image back to v1 behind the verifier's back.
+        session.device.flash.load(
+            0, FirmwareModule("app", 2048, version=1).code_bytes())
+        result = session.attest_once()
+        assert result.authentic
+        assert result.state_known_good is False
+
+    def test_require_trusted_raises(self):
+        verifier = make_verifier()
+        request = verifier.make_request()
+        bad = fake_response(request, key=b"other-key-16byte")
+        with pytest.raises(VerificationFailed):
+            verifier.require_trusted(request, bad)
+        verifier.require_trusted(request, fake_response(request))

@@ -1,0 +1,144 @@
+"""Wire-format parsing: round-trips, malformed input, fuzzing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import AttestationRequest, AttestationResponse
+from repro.errors import ProtocolError
+
+
+def sample_request(**overrides):
+    fields = dict(challenge=b"c" * 16, counter=42, timestamp_ticks=None,
+                  nonce=None, auth_scheme="hmac-sha1", auth_tag=b"T" * 20)
+    fields.update(overrides)
+    return AttestationRequest(**fields)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("fields", [
+        {},
+        {"counter": None},
+        {"counter": 0},
+        {"timestamp_ticks": 123456},
+        {"nonce": b"n" * 16},
+        {"auth_scheme": "none", "auth_tag": b""},
+        {"challenge": b""},
+        {"counter": 2 ** 63, "timestamp_ticks": 2 ** 40,
+         "nonce": b"x" * 255},
+    ])
+    def test_roundtrip(self, fields):
+        original = sample_request(**fields)
+        parsed = AttestationRequest.from_bytes(original.to_bytes())
+        assert parsed == original
+
+    def test_signed_payload_survives_parse(self):
+        """Tags computed before serialisation verify after parsing."""
+        original = sample_request()
+        parsed = AttestationRequest.from_bytes(original.to_bytes())
+        assert parsed.signed_payload() == original.signed_payload()
+
+    @given(challenge=st.binary(max_size=64),
+           counter=st.one_of(st.none(), st.integers(0, 2 ** 64 - 2)),
+           timestamp=st.one_of(st.none(), st.integers(0, 2 ** 64 - 2)),
+           nonce=st.one_of(st.none(), st.binary(min_size=1, max_size=255)),
+           tag=st.binary(max_size=64))
+    def test_fuzz_roundtrip(self, challenge, counter, timestamp, nonce, tag):
+        original = AttestationRequest(
+            challenge=challenge, counter=counter, timestamp_ticks=timestamp,
+            nonce=nonce, auth_scheme="speck-64/128-cbc-mac", auth_tag=tag)
+        assert AttestationRequest.from_bytes(original.to_bytes()) == original
+
+
+class TestRequestMalformed:
+    def test_wrong_magic(self):
+        raw = bytearray(sample_request().to_bytes())
+        raw[0] ^= 0xFF
+        with pytest.raises(ProtocolError, match="magic"):
+            AttestationRequest.from_bytes(bytes(raw))
+
+    def test_truncation_everywhere(self):
+        raw = sample_request().to_bytes()
+        for cut in range(len(raw)):
+            with pytest.raises(ProtocolError):
+                AttestationRequest.from_bytes(raw[:cut])
+
+    def test_trailing_garbage(self):
+        raw = sample_request().to_bytes() + b"\x00"
+        with pytest.raises(ProtocolError, match="trailing"):
+            AttestationRequest.from_bytes(raw)
+
+    def test_non_bytes(self):
+        with pytest.raises(ProtocolError):
+            AttestationRequest.from_bytes("a string")
+
+    def test_non_ascii_scheme(self):
+        raw = bytearray(sample_request(auth_scheme="hmac-sha1").to_bytes())
+        # Scheme bytes sit between the challenge and the tag; flip one.
+        index = raw.rindex(b"hmac-sha1"[:4])
+        raw[index] = 0xFF
+        with pytest.raises(ProtocolError):
+            AttestationRequest.from_bytes(bytes(raw))
+
+    @given(st.binary(max_size=80))
+    def test_fuzz_never_crashes(self, junk):
+        """Arbitrary bytes either parse or raise ProtocolError -- never
+        anything else."""
+        try:
+            AttestationRequest.from_bytes(junk)
+        except ProtocolError:
+            pass
+
+
+def sample_response(**overrides):
+    fields = dict(challenge=b"c" * 16, measurement=b"m" * 20,
+                  request_counter=7, request_timestamp=None, tag=b"T" * 20)
+    fields.update(overrides)
+    return AttestationResponse(**fields)
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("fields", [
+        {},
+        {"request_counter": None},
+        {"request_timestamp": 99},
+        {"tag": b""},
+        {"measurement": b""},
+    ])
+    def test_roundtrip(self, fields):
+        original = sample_response(**fields)
+        assert AttestationResponse.from_bytes(original.to_bytes()) == original
+
+    def test_tagged_payload_survives_parse(self):
+        original = sample_response()
+        parsed = AttestationResponse.from_bytes(original.to_bytes())
+        assert parsed.tagged_payload() == original.tagged_payload()
+
+    def test_truncation(self):
+        raw = sample_response().to_bytes()
+        for cut in (0, 3, 5, len(raw) - 1):
+            with pytest.raises(ProtocolError):
+                AttestationResponse.from_bytes(raw[:cut])
+
+    def test_request_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            AttestationResponse.from_bytes(sample_request().to_bytes())
+
+    @given(st.binary(max_size=80))
+    def test_fuzz_never_crashes(self, junk):
+        try:
+            AttestationResponse.from_bytes(junk)
+        except ProtocolError:
+            pass
+
+
+class TestCrossParse:
+    def test_end_to_end_over_serialised_wire(self, session_factory):
+        """A full protocol round where messages cross a byte boundary:
+        serialise-then-parse on each hop must not perturb verdicts."""
+        from repro.core.authenticator import make_symmetric_authenticator
+        session = session_factory(auth_scheme="hmac-sha1")
+        session.attest_once()
+        entry = session.channel.transcript.to_receiver("prover")[0]
+        reparsed = AttestationRequest.from_bytes(entry.message.to_bytes())
+        auth = make_symmetric_authenticator("hmac-sha1", session.key)
+        assert auth.verify(reparsed.signed_payload(), reparsed.auth_tag)

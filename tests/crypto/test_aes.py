@@ -1,0 +1,82 @@
+"""AES-128 against FIPS 197 vectors and structural checks."""
+
+import pytest
+
+from repro.crypto.aes import AES128, BLOCK_SIZE, KEY_SIZE
+from repro.errors import InvalidBlockError, InvalidKeyError
+
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# FIPS 197 Appendix B vector.
+APPB_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPB_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPB_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestKnownVectors:
+    def test_fips_appendix_c_encrypt(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PT) == FIPS_CT
+
+    def test_fips_appendix_c_decrypt(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CT) == FIPS_PT
+
+    def test_fips_appendix_b(self):
+        assert AES128(APPB_KEY).encrypt_block(APPB_PT) == APPB_CT
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_encrypt_decrypt_identity(self, seed):
+        key = bytes((seed * 17 + i) & 0xFF for i in range(16))
+        block = bytes((seed * 31 + i * 3) & 0xFF for i in range(16))
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        assert AES128(b"A" * 16).encrypt_block(block) != \
+            AES128(b"B" * 16).encrypt_block(block)
+
+    def test_encryption_is_not_identity(self):
+        block = bytes(16)
+        assert AES128(bytes(16)).encrypt_block(block) != block
+
+
+class TestValidation:
+    def test_key_too_short(self):
+        with pytest.raises(InvalidKeyError):
+            AES128(b"short")
+
+    def test_key_too_long(self):
+        with pytest.raises(InvalidKeyError):
+            AES128(b"x" * 24)
+
+    def test_key_wrong_type(self):
+        with pytest.raises(InvalidKeyError):
+            AES128("sixteen chars!!!")
+
+    def test_block_too_short(self):
+        with pytest.raises(InvalidBlockError):
+            AES128(bytes(16)).encrypt_block(b"short")
+
+    def test_decrypt_block_too_long(self):
+        with pytest.raises(InvalidBlockError):
+            AES128(bytes(16)).decrypt_block(bytes(17))
+
+    def test_constants(self):
+        assert BLOCK_SIZE == 16
+        assert KEY_SIZE == 16
+
+
+class TestOperationCounters:
+    def test_counters_track_usage(self):
+        cipher = AES128(bytes(16))
+        cipher.encrypt_block(bytes(16))
+        cipher.encrypt_block(bytes(16))
+        ct = cipher.encrypt_block(bytes(16))
+        cipher.decrypt_block(ct)
+        assert cipher.blocks_encrypted == 3
+        assert cipher.blocks_decrypted == 1

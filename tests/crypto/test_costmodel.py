@@ -1,0 +1,139 @@
+"""The Table 1 cycle-cost model: calibration and derived figures."""
+
+import pytest
+
+from repro.crypto.costmodel import (CryptoCostModel, PrimitiveCosts,
+                                    REQUEST_MESSAGE_BITS,
+                                    SISKIYOU_PEAK_COSTS_MS)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return CryptoCostModel()
+
+
+class TestTable1Calibration:
+    """Each entry of Table 1 must come back out of the model."""
+
+    def test_hmac_fixed_plus_block(self, model):
+        # One 64-byte block: fix 0.340 + 0.092 = 0.432 ms ("0.430" in text).
+        assert model.cycles_to_ms(model.hmac_cycles(64, "table")) == \
+            pytest.approx(0.432)
+
+    def test_aes_key_expansion(self, model):
+        assert model.cycles_to_ms(model.aes_key_expansion_cycles()) == \
+            pytest.approx(0.074)
+
+    def test_aes_per_block(self, model):
+        assert model.cycles_to_ms(model.aes_encrypt_cycles(1)) == \
+            pytest.approx(0.288)
+        assert model.cycles_to_ms(model.aes_decrypt_cycles(1)) == \
+            pytest.approx(0.570)
+
+    def test_speck_per_block(self, model):
+        assert model.cycles_to_ms(model.speck_encrypt_cycles(1)) == \
+            pytest.approx(0.017)
+        assert model.cycles_to_ms(model.speck_decrypt_cycles(1)) == \
+            pytest.approx(0.015)
+        assert model.cycles_to_ms(model.speck_key_expansion_cycles()) == \
+            pytest.approx(0.016)
+
+    def test_ecdsa(self, model):
+        assert model.cycles_to_ms(model.ecdsa_sign_cycles()) == \
+            pytest.approx(183.464)
+        assert model.cycles_to_ms(model.ecdsa_verify_cycles()) == \
+            pytest.approx(170.907)
+
+
+class TestSection31:
+    def test_512kb_attestation_exact(self, model):
+        """The paper's headline figure: 754.032 ms."""
+        assert model.attestation_ms(512 * 1024, mode="exact") == \
+            pytest.approx(754.032, abs=1e-3)
+
+    def test_table_mode_close_to_exact(self, model):
+        exact = model.attestation_ms(512 * 1024, "exact")
+        table = model.attestation_ms(512 * 1024, "table")
+        assert abs(exact - table) < 0.1
+
+    def test_attestation_scales_linearly(self, model):
+        small = model.attestation_ms(64 * 1024)
+        large = model.attestation_ms(512 * 1024)
+        assert large / small == pytest.approx(8.0, rel=0.01)
+
+
+class TestRequestValidation:
+    def test_scheme_ordering(self, model):
+        """Section 4.1: Speck < AES < HMAC << ECDSA."""
+        speck = model.request_validation_ms("speck-64/128-cbc-mac")
+        aes = model.request_validation_ms("aes-128-cbc-mac")
+        hmac = model.request_validation_ms("hmac-sha1")
+        ecdsa = model.request_validation_ms("ecdsa-secp160r1")
+        assert speck < aes < hmac < ecdsa
+        assert ecdsa / hmac > 100  # the public-key paradox
+
+    def test_quoted_values(self, model):
+        assert model.request_validation_ms("speck-64/128-cbc-mac") == \
+            pytest.approx(0.015)
+        assert model.request_validation_ms("hmac-sha1") == \
+            pytest.approx(0.432)
+        assert model.request_validation_ms("ecdsa-secp160r1") == \
+            pytest.approx(170.907)
+
+    def test_null_scheme_free(self, model):
+        assert model.request_validation_cycles("none") == 0
+
+    def test_unknown_scheme(self, model):
+        with pytest.raises(ConfigurationError):
+            model.request_validation_cycles("rot13")
+
+    def test_message_bits_table(self):
+        assert REQUEST_MESSAGE_BITS["hmac-sha1"] == 512
+        assert REQUEST_MESSAGE_BITS["speck-64/128-cbc-mac"] == 64
+        assert REQUEST_MESSAGE_BITS["ecdsa-secp160r1"] == 160
+
+
+class TestFrequencyScaling:
+    def test_cycles_frequency_independent(self):
+        fast = CryptoCostModel(frequency_hz=48_000_000)
+        slow = CryptoCostModel(frequency_hz=24_000_000)
+        assert fast.hmac_cycles(1024) == slow.hmac_cycles(1024)
+
+    def test_wallclock_scales(self):
+        fast = CryptoCostModel(frequency_hz=48_000_000)
+        slow = CryptoCostModel(frequency_hz=24_000_000)
+        cycles = slow.hmac_cycles(1024)
+        assert slow.cycles_to_ms(cycles) == \
+            pytest.approx(2 * fast.cycles_to_ms(cycles))
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CryptoCostModel(frequency_hz=0)
+
+
+class TestMiscValidation:
+    def test_negative_message(self, model):
+        with pytest.raises(ValueError):
+            model.hmac_cycles(-1)
+        with pytest.raises(ValueError):
+            model.sha1_cycles(-1)
+
+    def test_unknown_hmac_mode(self, model):
+        with pytest.raises(ConfigurationError):
+            model.hmac_cycles(64, mode="guess")
+
+    def test_key_expansion_toggle(self, model):
+        pre = model.speck_cbc_mac_cycles(8, key_preexpanded=True)
+        cold = model.speck_cbc_mac_cycles(8, key_preexpanded=False)
+        assert cold - pre == model.speck_key_expansion_cycles()
+
+    def test_custom_costs(self):
+        costs = PrimitiveCosts(hmac_block_ms=1.0, hmac_fixed_ms=0.0)
+        model = CryptoCostModel(costs=costs)
+        assert model.cycles_to_ms(model.hmac_cycles(64, "table")) == \
+            pytest.approx(1.0)
+
+    def test_default_costs_are_table1(self):
+        assert SISKIYOU_PEAK_COSTS_MS.hmac_block_ms == 0.092
+        assert SISKIYOU_PEAK_COSTS_MS.ecc_verify_ms == 170.907

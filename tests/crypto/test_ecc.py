@@ -1,0 +1,126 @@
+"""secp160r1 group law and ECDSA behaviour."""
+
+import pytest
+
+from repro.crypto.ecc import (EccPoint, EcdsaKeyPair, SECP160R1, ecdsa_sign,
+                              ecdsa_verify, generate_keypair)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import InvalidKeyError, InvalidSignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(SECP160R1, DeterministicRng(b"ecc-tests"))
+
+
+class TestCurveParams:
+    def test_generator_on_curve(self):
+        point = EccPoint.generator(SECP160R1)
+        assert not point.is_infinity
+
+    def test_generator_order(self):
+        g = EccPoint.generator(SECP160R1)
+        assert (SECP160R1.n * g).is_infinity
+
+    def test_key_bytes(self):
+        assert SECP160R1.key_bytes == 21  # 161-bit order
+
+
+class TestGroupLaw:
+    def test_identity_addition(self):
+        g = EccPoint.generator(SECP160R1)
+        infinity = EccPoint.infinity(SECP160R1)
+        assert g + infinity == g
+        assert infinity + g == g
+        assert (infinity + infinity).is_infinity
+
+    def test_inverse_addition(self):
+        g = EccPoint.generator(SECP160R1)
+        assert (g + (-g)).is_infinity
+
+    def test_doubling_matches_addition(self):
+        g = EccPoint.generator(SECP160R1)
+        assert g + g == 2 * g
+
+    def test_scalar_mul_distributes(self):
+        g = EccPoint.generator(SECP160R1)
+        assert 3 * g == g + g + g
+        assert 5 * g == 2 * g + 3 * g
+
+    def test_commutativity(self):
+        g = EccPoint.generator(SECP160R1)
+        p, q = 7 * g, 11 * g
+        assert p + q == q + p
+
+    def test_scalar_zero(self):
+        g = EccPoint.generator(SECP160R1)
+        assert (0 * g).is_infinity
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            EccPoint(SECP160R1, 1, 1)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        g = EccPoint.generator(SECP160R1)
+        p = 12345 * g
+        assert EccPoint.from_bytes(SECP160R1, p.to_bytes()) == p
+
+    def test_infinity_roundtrip(self):
+        inf = EccPoint.infinity(SECP160R1)
+        assert EccPoint.from_bytes(SECP160R1, inf.to_bytes()).is_infinity
+
+    def test_malformed_encoding(self):
+        with pytest.raises(InvalidKeyError):
+            EccPoint.from_bytes(SECP160R1, b"\x05" + bytes(40))
+
+    def test_tampered_point_rejected(self):
+        p = 99 * EccPoint.generator(SECP160R1)
+        raw = bytearray(p.to_bytes())
+        raw[5] ^= 0xFF
+        with pytest.raises(InvalidKeyError):
+            EccPoint.from_bytes(SECP160R1, bytes(raw))
+
+
+class TestEcdsa:
+    def test_sign_verify(self, keypair):
+        sig = ecdsa_sign(keypair, b"attestation request")
+        assert ecdsa_verify(SECP160R1, keypair.public,
+                            b"attestation request", sig)
+
+    def test_wrong_message_fails(self, keypair):
+        sig = ecdsa_sign(keypair, b"original")
+        assert not ecdsa_verify(SECP160R1, keypair.public, b"tampered", sig)
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(SECP160R1, DeterministicRng(b"other"))
+        sig = ecdsa_sign(keypair, b"message")
+        assert not ecdsa_verify(SECP160R1, other.public, b"message", sig)
+
+    def test_deterministic_nonce(self, keypair):
+        assert ecdsa_sign(keypair, b"m") == ecdsa_sign(keypair, b"m")
+
+    def test_distinct_messages_distinct_signatures(self, keypair):
+        assert ecdsa_sign(keypair, b"m1") != ecdsa_sign(keypair, b"m2")
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        with pytest.raises(InvalidSignatureError):
+            ecdsa_verify(SECP160R1, keypair.public, b"m", (0, 1))
+        with pytest.raises(InvalidSignatureError):
+            ecdsa_verify(SECP160R1, keypair.public, b"m",
+                         (1, SECP160R1.n))
+
+    def test_identity_public_key_rejected(self, keypair):
+        sig = ecdsa_sign(keypair, b"m")
+        with pytest.raises(InvalidSignatureError):
+            ecdsa_verify(SECP160R1, EccPoint.infinity(SECP160R1), b"m", sig)
+
+    def test_keypair_consistency(self, keypair):
+        expected = keypair.private * EccPoint.generator(SECP160R1)
+        assert keypair.public == expected
+
+    def test_keypair_rejects_out_of_range_scalar(self):
+        g = EccPoint.generator(SECP160R1)
+        with pytest.raises(InvalidKeyError):
+            EcdsaKeyPair(SECP160R1, 0, g)

@@ -1,0 +1,94 @@
+"""HKDF-SHA1 against RFC 5869 test vectors and fleet key derivation."""
+
+import pytest
+
+from repro.crypto.kdf import (derive_device_key, hkdf, hkdf_expand,
+                              hkdf_extract)
+from repro.errors import CryptoError
+
+
+class TestRfc5869Sha1Vectors:
+    """Appendix A.4-A.6 of RFC 5869 (the SHA-1 test cases)."""
+
+    def test_case_4_basic(self):
+        ikm = b"\x0b" * 11
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == "9b6c18c432a7bf8f0e71c8eb88f4b30baa2ba243"
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == ("085a01ea1b10f36933068b56efa5ad81"
+                             "a4f14b822f5b091568a9cdd4f155fda2"
+                             "c22e422478d305f3f896")
+
+    def test_case_5_long_inputs(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, salt=salt, info=info, length=82)
+        assert okm.hex() == ("0bd770a74d1160f7c9f12cd5912a06eb"
+                             "ff6adcae899d92191fe4305673ba2ffe"
+                             "8fa3f1a4e5ad79f3f334b3b202b2173c"
+                             "486ea37ce3d397ed034c7f9dfeb15c5e"
+                             "927336d0441f4c4300e2cff0d0900b52"
+                             "d3b4")
+
+    def test_case_6_empty_salt_and_info(self):
+        ikm = b"\x0b" * 22
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm.hex() == ("0ac1af7002b3d761d1e55298da9d0506"
+                             "b9ae52057220a306e07b6b87e8df21d0"
+                             "ea00033de03984d34918")
+
+
+class TestExpandValidation:
+    def test_length_bounds(self):
+        prk = hkdf_extract(b"", b"ikm")
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"", 0)
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"", 255 * 20 + 1)
+
+    def test_short_prk_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"short", b"", 16)
+
+    def test_info_separates_outputs(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"a", 16) != hkdf_expand(prk, b"b", 16)
+
+
+class TestDeviceKeys:
+    MASTER = b"M" * 16
+
+    def test_deterministic(self):
+        assert derive_device_key(self.MASTER, "device-001") == \
+            derive_device_key(self.MASTER, "device-001")
+
+    def test_distinct_per_device(self):
+        keys = {derive_device_key(self.MASTER, f"device-{i:03d}")
+                for i in range(50)}
+        assert len(keys) == 50
+
+    def test_distinct_per_master(self):
+        assert derive_device_key(b"A" * 16, "device-001") != \
+            derive_device_key(b"B" * 16, "device-001")
+
+    def test_length(self):
+        assert len(derive_device_key(self.MASTER, "d", length=32)) == 32
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_device_key(self.MASTER, "")
+
+    def test_swarm_uses_derived_keys(self):
+        from repro.crypto.kdf import derive_device_key
+        from repro.services.swarm import Swarm
+        from tests.conftest import tiny_config
+        fleet = Swarm(2, device_config=tiny_config(),
+                      master_key=self.MASTER, seed="kdf-swarm")
+        for member in fleet.members:
+            assert member.session.key == derive_device_key(
+                self.MASTER, member.device_id)
+        report = fleet.sweep()
+        assert report.healthy

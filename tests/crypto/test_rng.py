@@ -1,0 +1,112 @@
+"""DeterministicRng: reproducibility, substreams, distributions."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(b"seed").bytes(64)
+        b = DeterministicRng(b"seed").bytes(64)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(b"a").bytes(32) != \
+            DeterministicRng(b"b").bytes(32)
+
+    def test_str_and_int_seeds(self):
+        assert DeterministicRng("s").bytes(8) == DeterministicRng("s").bytes(8)
+        assert DeterministicRng(42).bytes(8) == DeterministicRng(42).bytes(8)
+        assert DeterministicRng("s").bytes(8) != DeterministicRng(42).bytes(8)
+
+    def test_rejects_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            DeterministicRng(3.14)
+
+
+class TestSubstreams:
+    def test_labels_independent(self):
+        root = DeterministicRng(b"root")
+        a = root.substream("alpha").bytes(16)
+        b = root.substream("beta").bytes(16)
+        assert a != b
+
+    def test_substream_reproducible(self):
+        a = DeterministicRng(b"root").substream("x").bytes(16)
+        b = DeterministicRng(b"root").substream("x").bytes(16)
+        assert a == b
+
+    def test_consuming_parent_does_not_shift_child(self):
+        r1 = DeterministicRng(b"root")
+        child_before = r1.substream("c").bytes(8)
+        r2 = DeterministicRng(b"root")
+        r2.bytes(100)  # consume from the parent first
+        child_after = r2.substream("c").bytes(8)
+        assert child_before == child_after
+
+
+class TestDistributions:
+    def test_bytes_length(self):
+        rng = DeterministicRng(b"s")
+        assert len(rng.bytes(0)) == 0
+        assert len(rng.bytes(7)) == 7
+        assert len(rng.bytes(100)) == 100
+
+    def test_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(b"s").bytes(-1)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(b"s")
+        values = [rng.randint(3, 9) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 9
+        assert len(set(values)) == 7  # all values hit over 200 draws
+
+    def test_randint_degenerate(self):
+        assert DeterministicRng(b"s").randint(5, 5) == 5
+
+    def test_randint_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(b"s").randint(2, 1)
+
+    def test_randbelow(self):
+        rng = DeterministicRng(b"s")
+        assert all(0 <= rng.randbelow(4) < 4 for _ in range(50))
+        with pytest.raises(ValueError):
+            rng.randbelow(0)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRng(b"s")
+        values = [rng.random() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.2 < sum(values) / len(values) < 0.8  # roughly centred
+
+    def test_uniform(self):
+        rng = DeterministicRng(b"s")
+        assert all(2.0 <= rng.uniform(2.0, 4.0) < 4.0 for _ in range(50))
+
+    def test_choice(self):
+        rng = DeterministicRng(b"s")
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(20))
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(b"s")
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_exponential_mean(self):
+        rng = DeterministicRng(b"s")
+        values = [rng.exponential(2.0) for _ in range(2000)]
+        mean = sum(values) / len(values)
+        assert 1.7 < mean < 2.3
+        assert all(v >= 0 for v in values)
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(b"s").exponential(0)

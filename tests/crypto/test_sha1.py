@@ -1,0 +1,93 @@
+"""SHA-1 correctness against hashlib and structural behaviour."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.sha1 import BLOCK_SIZE, DIGEST_SIZE, SHA1, sha1
+
+
+def reference(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+class TestKnownVectors:
+    def test_empty(self):
+        assert SHA1().hexdigest() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_abc(self):
+        assert SHA1(b"abc").hexdigest() == \
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_448_bit_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert SHA1(msg).hexdigest() == \
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    @pytest.mark.parametrize("size", [0, 1, 55, 56, 57, 63, 64, 65, 127,
+                                      128, 1000, 4096, 10_000])
+    def test_against_hashlib(self, size):
+        data = bytes(i & 0xFF for i in range(size))
+        assert SHA1(data).hexdigest() == reference(data)
+
+
+class TestIncremental:
+    def test_split_updates_match_oneshot(self):
+        data = bytes(range(256)) * 5
+        h = SHA1()
+        for i in range(0, len(data), 37):
+            h.update(data[i:i + 37])
+        assert h.hexdigest() == reference(data)
+
+    def test_digest_does_not_finalise(self):
+        h = SHA1(b"hello")
+        first = h.hexdigest()
+        assert h.hexdigest() == first
+        h.update(b" world")
+        assert h.hexdigest() == reference(b"hello world")
+
+    def test_copy_is_independent(self):
+        h = SHA1(b"base")
+        clone = h.copy()
+        clone.update(b"-more")
+        assert h.hexdigest() == reference(b"base")
+        assert clone.hexdigest() == reference(b"base-more")
+
+    def test_update_rejects_str(self):
+        with pytest.raises(TypeError):
+            SHA1().update("not bytes")
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert SHA1(bytearray(b"xy")).hexdigest() == reference(b"xy")
+        h = SHA1()
+        h.update(memoryview(b"xy"))
+        assert h.hexdigest() == reference(b"xy")
+
+
+class TestBlockAccounting:
+    def test_blocks_processed_counts_compressions(self):
+        h = SHA1()
+        h.update(b"a" * (3 * BLOCK_SIZE))
+        assert h.blocks_processed == 3
+
+    def test_partial_block_not_counted_until_full(self):
+        h = SHA1(b"a" * (BLOCK_SIZE - 1))
+        assert h.blocks_processed == 0
+        h.update(b"a")
+        assert h.blocks_processed == 1
+
+    @pytest.mark.parametrize("length,expected", [
+        (0, 1), (55, 1), (56, 2), (64, 2), (119, 2), (120, 3), (128, 3),
+    ])
+    def test_total_blocks_for_digest(self, length, expected):
+        h = SHA1(b"x" * length)
+        assert h.total_blocks_for_digest == expected
+
+    def test_constants(self):
+        assert BLOCK_SIZE == 64
+        assert DIGEST_SIZE == 20
+        assert len(SHA1(b"x").digest()) == DIGEST_SIZE
+
+
+def test_sha1_convenience_constructor():
+    assert sha1(b"abc").hexdigest() == SHA1(b"abc").hexdigest()

@@ -1,0 +1,71 @@
+"""Speck 64/128 against the published test vector."""
+
+import pytest
+
+from repro.crypto.speck import BLOCK_SIZE, KEY_SIZE, ROUNDS, Speck64_128
+from repro.errors import InvalidBlockError, InvalidKeyError
+
+VEC_KEY = bytes.fromhex("1b1a1918131211100b0a090803020100")
+VEC_PT = bytes.fromhex("3b7265747475432d")
+VEC_CT = bytes.fromhex("8c6fa548454e028b")
+
+
+class TestKnownVector:
+    def test_encrypt(self):
+        assert Speck64_128(VEC_KEY).encrypt_block(VEC_PT) == VEC_CT
+
+    def test_decrypt(self):
+        assert Speck64_128(VEC_KEY).decrypt_block(VEC_CT) == VEC_PT
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identity(self, seed):
+        key = bytes((seed * 13 + i) & 0xFF for i in range(16))
+        block = bytes((seed * 29 + i * 5) & 0xFF for i in range(8))
+        cipher = Speck64_128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_key_sensitivity(self):
+        block = bytes(8)
+        a = Speck64_128(b"A" * 16).encrypt_block(block)
+        b = Speck64_128(b"B" * 16).encrypt_block(block)
+        assert a != b
+
+    def test_block_sensitivity(self):
+        cipher = Speck64_128(bytes(16))
+        assert cipher.encrypt_block(bytes(8)) != \
+            cipher.encrypt_block(b"\x01" + bytes(7))
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(InvalidKeyError):
+            Speck64_128(b"x" * 8)
+
+    def test_bad_key_type(self):
+        with pytest.raises(InvalidKeyError):
+            Speck64_128("not bytes, sixteen")
+
+    def test_bad_block_length(self):
+        with pytest.raises(InvalidBlockError):
+            Speck64_128(bytes(16)).encrypt_block(bytes(16))
+
+    def test_constants(self):
+        assert BLOCK_SIZE == 8
+        assert KEY_SIZE == 16
+        assert ROUNDS == 27
+
+
+class TestSchedule:
+    def test_round_key_count(self):
+        cipher = Speck64_128(VEC_KEY)
+        assert len(cipher._round_keys) == ROUNDS
+
+    def test_counters(self):
+        cipher = Speck64_128(bytes(16))
+        ct = cipher.encrypt_block(bytes(8))
+        cipher.decrypt_block(ct)
+        cipher.decrypt_block(ct)
+        assert cipher.blocks_encrypted == 1
+        assert cipher.blocks_decrypted == 2

@@ -1,0 +1,86 @@
+"""Additional published test vectors for the from-scratch primitives."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.sha1 import SHA1
+
+
+class TestSha1ExtendedVectors:
+    def test_million_a(self):
+        """FIPS 180 long-message vector: SHA-1 of 10^6 'a' bytes."""
+        h = SHA1()
+        chunk = b"a" * 10_000
+        for _ in range(100):
+            h.update(chunk)
+        assert h.hexdigest() == \
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+
+    def test_two_block_message(self):
+        msg = (b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+               b"hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+        assert SHA1(msg).hexdigest() == \
+            "a49b2446a02c645bf419f995b67091253a04a259"
+
+    def test_exact_block_boundary(self):
+        assert SHA1(b"a" * 64).hexdigest() == \
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+
+    def test_single_byte(self):
+        assert SHA1(b"a").hexdigest() == \
+            "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8"
+
+
+class TestHmacRfc2202Remaining:
+    def test_case_4(self):
+        key = bytes(range(1, 26))
+        msg = b"\xcd" * 50
+        assert hmac_sha1(key, msg).hex() == \
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da"
+
+    def test_case_5(self):
+        key = b"\x0c" * 20
+        msg = b"Test With Truncation"
+        assert hmac_sha1(key, msg).hex() == \
+            "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04"
+
+    def test_case_7_long_key_long_message(self):
+        key = b"\xaa" * 80
+        msg = (b"Test Using Larger Than Block-Size Key and Larger "
+               b"Than One Block-Size Data")
+        assert hmac_sha1(key, msg).hex() == \
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91"
+
+
+class TestAesNistKat:
+    """NIST AESAVS known-answer tests (varying plaintext, zero key)."""
+
+    @pytest.mark.parametrize("plaintext_hex,ciphertext_hex", [
+        ("80000000000000000000000000000000",
+         "3ad78e726c1ec02b7ebfe92b23d9ec34"),
+        ("c0000000000000000000000000000000",
+         "aae5939c8efdf2f04e60b9fe7117b2c2"),
+        ("ffffffffffffffffffffffffffffffff",
+         "3f5b8cc9ea855a0afa7347d23e8d664e"),
+    ])
+    def test_varying_plaintext_zero_key(self, plaintext_hex, ciphertext_hex):
+        cipher = AES128(bytes(16))
+        assert cipher.encrypt_block(
+            bytes.fromhex(plaintext_hex)).hex() == ciphertext_hex
+
+    @pytest.mark.parametrize("key_hex,ciphertext_hex", [
+        ("80000000000000000000000000000000",
+         "0edd33d3c621e546455bd8ba1418bec8"),
+        ("ffffffffffffffffffffffffffffffff",
+         "a1f6258c877d5fcd8964484538bfc92c"),
+    ])
+    def test_varying_key_zero_plaintext(self, key_hex, ciphertext_hex):
+        cipher = AES128(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(bytes(16)).hex() == ciphertext_hex
+
+    def test_decrypt_inverts_kat(self):
+        cipher = AES128(bytes(16))
+        ct = bytes.fromhex("3ad78e726c1ec02b7ebfe92b23d9ec34")
+        assert cipher.decrypt_block(ct).hex() == \
+            "80000000000000000000000000000000"

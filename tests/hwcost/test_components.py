@@ -1,0 +1,37 @@
+"""Table 3 component data."""
+
+from repro.hwcost.components import (ATTEST_KEY, CLOCK_32, CLOCK_64, COUNTER,
+                                     EA_MPU, SISKIYOU_PEAK, SW_CLOCK,
+                                     TABLE3_COMPONENTS)
+
+
+class TestTable3Verbatim:
+    def test_siskiyou_peak(self):
+        assert SISKIYOU_PEAK.cost() == (5528, 14361)
+        assert SISKIYOU_PEAK.mpu_rules == 0
+
+    def test_ea_mpu_scaling(self):
+        assert EA_MPU.cost(0) == (278, 417)
+        assert EA_MPU.cost(1) == (278 + 116, 417 + 182)
+        assert EA_MPU.cost(8) == (278 + 116 * 8, 417 + 182 * 8)
+        assert EA_MPU.mpu_rules == 1
+
+    def test_key_and_counter_rule_only(self):
+        for component in (ATTEST_KEY, COUNTER):
+            assert component.cost() == (0, 0)
+            assert component.mpu_rules == 1
+
+    def test_clock_registers(self):
+        assert CLOCK_64.cost() == (64, 64)
+        assert CLOCK_32.cost() == (32, 32)
+        assert CLOCK_64.mpu_rules == 0
+
+    def test_sw_clock_rules_only(self):
+        assert SW_CLOCK.cost() == (0, 0)
+        assert SW_CLOCK.mpu_rules == 2   # as printed in Table 3
+
+    def test_table_complete(self):
+        assert len(TABLE3_COMPONENTS) == 7
+        names = [c.name for c in TABLE3_COMPONENTS]
+        assert "Siskiyou Peak" in names
+        assert "SW-clock" in names

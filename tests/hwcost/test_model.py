@@ -1,0 +1,108 @@
+"""Section 6.3 cost arithmetic: baseline, overheads, wrap-around."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hwcost.model import (HardwareCostModel, resolution_seconds,
+                                wraparound_seconds, wraparound_years)
+
+
+@pytest.fixture
+def model():
+    return HardwareCostModel()
+
+
+class TestBaseline:
+    def test_paper_totals(self, model):
+        base = model.baseline()
+        assert base.registers == 6038
+        assert base.luts == 15142
+        assert base.rules == 2
+
+
+class TestVariantOverheads:
+    """Every figure in the Section 6.3 overhead paragraphs."""
+
+    def test_hw64(self, model):
+        o = model.variant_overhead("hw64")
+        assert o.extra_registers == 180
+        assert o.extra_luts == 246
+        assert o.register_overhead_percent == pytest.approx(2.98, abs=0.01)
+        assert o.lut_overhead_percent == pytest.approx(1.62, abs=0.01)
+
+    def test_hw32div(self, model):
+        o = model.variant_overhead("hw32div")
+        assert o.extra_registers == 148
+        assert o.extra_luts == 214
+        assert o.register_overhead_percent == pytest.approx(2.45, abs=0.01)
+        assert o.lut_overhead_percent == pytest.approx(1.41, abs=0.01)
+
+    def test_sw(self, model):
+        o = model.variant_overhead("sw")
+        assert o.extra_registers == 348
+        assert o.extra_luts == 546
+        assert o.register_overhead_percent == pytest.approx(5.76, abs=0.01)
+        assert o.lut_overhead_percent == pytest.approx(3.61, abs=0.01)
+
+    def test_ordering(self, model):
+        overheads = model.all_overheads()
+        assert overheads["hw32div"].extra_registers < \
+            overheads["hw64"].extra_registers < \
+            overheads["sw"].extra_registers
+
+    def test_unknown_variant(self, model):
+        with pytest.raises(ConfigurationError):
+            model.variant("analog")
+
+
+class TestWraparound:
+    def test_64bit_lifetime(self):
+        assert wraparound_years(64) == pytest.approx(24372.6, rel=1e-3)
+
+    def test_32bit_three_minutes(self):
+        assert wraparound_seconds(32) == pytest.approx(178.96, rel=1e-3)
+
+    def test_32bit_divided_six_years(self):
+        assert wraparound_years(32, 1 << 20) == pytest.approx(5.97,
+                                                              rel=1e-2)
+
+    def test_divided_resolution(self):
+        assert resolution_seconds(1 << 20) == pytest.approx(0.0437,
+                                                            rel=1e-2)
+
+    def test_frequency_dependence(self):
+        slow = wraparound_seconds(32, frequency_hz=12_000_000)
+        fast = wraparound_seconds(32, frequency_hz=24_000_000)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wraparound_seconds(0)
+        with pytest.raises(ConfigurationError):
+            resolution_seconds(0)
+
+
+class TestGenericAssembly:
+    def test_system_cost_formula(self, model):
+        system = model.system_cost("x", rules=5, clock_registers=10,
+                                   clock_luts=20)
+        assert system.registers == 5528 + 278 + 116 * 5 + 10
+        assert system.luts == 14361 + 417 + 182 * 5 + 20
+
+    def test_negative_rules(self, model):
+        with pytest.raises(ConfigurationError):
+            model.system_cost("x", rules=-1)
+
+    def test_rule_scaling(self, model):
+        scaling = model.rule_scaling(4)
+        assert len(scaling) == 4
+        assert scaling[0] == (1, 278 + 116, 417 + 182)
+        # Each extra rule costs exactly 116 registers / 182 LUTs.
+        for (r1, reg1, lut1), (r2, reg2, lut2) in zip(scaling, scaling[1:]):
+            assert reg2 - reg1 == 116
+            assert lut2 - lut1 == 182
+
+    def test_clock_tradeoff(self, model):
+        tradeoff = model.clock_tradeoff(32, 1 << 20)
+        assert tradeoff["registers"] == 32
+        assert tradeoff["wraparound_years"] == pytest.approx(5.97, rel=1e-2)

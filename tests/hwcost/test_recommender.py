@@ -1,0 +1,65 @@
+"""Clock design-space search."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hwcost import HardwareCostModel
+
+
+@pytest.fixture
+def model():
+    return HardwareCostModel()
+
+
+class TestRecommendClock:
+    def test_meets_both_requirements(self, model):
+        choice = model.recommend_clock(lifetime_years=6,
+                                       resolution_seconds=0.05)
+        assert choice["wraparound_years"] >= 6
+        assert choice["resolution_seconds"] <= 0.05
+
+    def test_paper_32bit_divided_config_found_when_sufficient(self, model):
+        """For a 5-year deployment at 50 ms the paper's 32-bit / 2^20
+        configuration is exactly what the search returns."""
+        choice = model.recommend_clock(lifetime_years=5,
+                                       resolution_seconds=0.05)
+        assert choice["width_bits"] == 32
+        assert choice["divider"] == 1 << 20
+
+    def test_paper_boundary_needs_wider_register(self, model):
+        """At 6 years the 32-bit / 2^20 clock falls just short (5.95 y);
+        the next divider is too coarse, so the search widens the
+        register -- the cliff Section 6.3's numbers sit next to."""
+        choice = model.recommend_clock(lifetime_years=6,
+                                       resolution_seconds=0.05)
+        assert choice["width_bits"] > 32
+
+    def test_minimises_register_cost(self, model):
+        """A lax spec is met with the narrowest workable register."""
+        choice = model.recommend_clock(lifetime_years=0.001,
+                                       resolution_seconds=1.0)
+        assert choice["width_bits"] == 16
+
+    def test_extreme_lifetime_needs_64_bits(self, model):
+        choice = model.recommend_clock(lifetime_years=25_000,
+                                       resolution_seconds=1e-6)
+        assert choice["width_bits"] == 64
+
+    def test_overhead_fields(self, model):
+        choice = model.recommend_clock(lifetime_years=5,
+                                       resolution_seconds=0.05)
+        assert choice["extra_registers"] == choice["registers"] + 116
+        assert choice["extra_luts"] == choice["luts"] + 182
+        assert 0 < choice["register_overhead_percent"] < 10
+
+    def test_infeasible_returns_none(self, model):
+        assert model.recommend_clock(lifetime_years=1e9,
+                                     resolution_seconds=1e-9) is None
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.recommend_clock(lifetime_years=0,
+                                  resolution_seconds=0.05)
+        with pytest.raises(ConfigurationError):
+            model.recommend_clock(lifetime_years=1,
+                                  resolution_seconds=0)

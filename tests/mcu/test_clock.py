@@ -1,0 +1,120 @@
+"""Clock designs: wide hardware register and the Figure 1b SW-clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.clock import SoftwareClock, WideHardwareClock
+from repro.mcu.cpu import CPU, ExecutionContext
+from repro.mcu.interrupts import InterruptController
+from repro.mcu.memory import MemoryBus, MemoryMap, MemoryRegion, MemoryType
+
+
+class TestWideHardwareClock:
+    def test_tracks_time(self):
+        cpu = CPU(24_000_000)
+        clock = WideHardwareClock(cpu, width_bits=64)
+        cpu.consume_cycles(24_000_000)
+        assert clock.read_ticks() == 24_000_000
+        assert clock.read_seconds() == pytest.approx(1.0)
+
+    def test_divided_resolution(self):
+        cpu = CPU(24_000_000)
+        clock = WideHardwareClock(cpu, width_bits=32, divider=1 << 20)
+        assert clock.resolution_seconds == pytest.approx((1 << 20) / 24e6)
+        cpu.consume_cycles(3 * (1 << 20))
+        assert clock.read_ticks() == 3
+
+    def test_ticks_for_seconds(self):
+        clock = WideHardwareClock(CPU(24_000_000), width_bits=64)
+        assert clock.ticks_for_seconds(1.0) == 24_000_000
+
+    def test_kind(self):
+        assert WideHardwareClock(CPU(), width_bits=64).kind == "hardware"
+
+
+def make_sw_clock(lsb_bits=8, divider=1):
+    cpu = CPU(24_000_000)
+    mm = MemoryMap()
+    mm.add(MemoryRegion("rom", 0x0000, 0x1000, MemoryType.ROM,
+                        executable=True))
+    mm.add(MemoryRegion("ram", 0x2000, 0x1000, MemoryType.RAM))
+    bus = MemoryBus(mm)
+    ic = InterruptController(cpu, bus, idt_base=0x2000, num_irqs=2)
+    clock_ctx = ExecutionContext("Code_Clock", 0x0100, 0x0200)
+    clock = SoftwareClock(cpu, bus, ic, msb_address=0x2100,
+                          code_clock_context=clock_ctx,
+                          handler_address=0x0100, irq=0,
+                          lsb_width_bits=lsb_bits, divider=divider)
+    return cpu, bus, ic, clock
+
+
+class TestSoftwareClock:
+    def test_composed_value(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        cpu.consume_cycles(1000)
+        # Interrupt dispatch itself consumes cycles, so the clock may lag
+        # the cycle counter by up to one un-serviced wrap; the next tick
+        # catches it up.
+        cpu.consume_cycles(1)
+        assert clock.wraps_serviced >= 3
+        assert cpu.cycle_count - 256 <= clock.read_ticks() <= cpu.cycle_count
+
+    def test_msb_word_in_ram(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        cpu.consume_cycles(520)
+        assert bus.read_u64(None, 0x2100) == 2
+
+    def test_masked_interrupt_stops_clock(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        cpu.consume_cycles(300)
+        ic.mask.disable(0)
+        cpu.consume_cycles(1000)
+        # MSB frozen; only the LSB contributes.
+        assert clock.read_ticks() < 1300
+        assert clock.stopped()
+
+    def test_idt_redirect_stops_clock(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        bus.write_u32(None, 0x2000, 0x0F00)   # dead vector
+        cpu.consume_cycles(600)
+        assert clock.read_ticks() < 600
+        assert clock.stopped()
+
+    def test_divided_lsb(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8, divider=4)
+        cpu.consume_cycles(4 * 256)
+        assert clock.wraps_serviced == 1
+        expected = cpu.cycle_count // 4
+        assert expected - 256 <= clock.read_ticks() <= expected
+
+    def test_handler_cost_charged(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        cpu.consume_cycles(256)
+        # wrap dispatch + handler cost got added on top
+        assert cpu.cycle_count > 256
+
+    def test_resolution_and_wrap_interval(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8, divider=2)
+        assert clock.resolution_seconds == pytest.approx(2 / 24e6)
+        assert clock.lsb_wrap_interval_seconds == pytest.approx(512 / 24e6)
+
+    def test_read_seconds(self):
+        cpu, bus, ic, clock = make_sw_clock(lsb_bits=8)
+        cpu.consume_cycles(24_000)
+        assert clock.read_seconds() == pytest.approx(0.001, rel=0.05)
+
+    def test_rejects_wide_lsb(self):
+        cpu = CPU()
+        mm = MemoryMap()
+        mm.add(MemoryRegion("ram", 0, 0x1000, MemoryType.RAM))
+        bus = MemoryBus(mm)
+        ic = InterruptController(cpu, bus, idt_base=0, num_irqs=1)
+        ctx = ExecutionContext("c", 0x100, 0x200)
+        with pytest.raises(ConfigurationError):
+            SoftwareClock(cpu, bus, ic, msb_address=0x100,
+                          code_clock_context=ctx, handler_address=0x100,
+                          lsb_width_bits=64)
+
+    def test_kind(self):
+        cpu, bus, ic, clock = make_sw_clock()
+        assert clock.kind == "software"

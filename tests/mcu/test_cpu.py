@@ -1,0 +1,104 @@
+"""CPU: contexts, cycle accounting, listeners."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mcu.cpu import CPU, ExecutionContext
+
+
+class TestContexts:
+    def test_stack_nesting(self):
+        cpu = CPU()
+        a = ExecutionContext("a", 0, 0x100)
+        b = ExecutionContext("b", 0x100, 0x200)
+        with cpu.running(a):
+            assert cpu.current_context is a
+            with cpu.running(b):
+                assert cpu.current_context is b
+            assert cpu.current_context is a
+        assert cpu.current_context is None
+
+    def test_pop_empty_stack(self):
+        with pytest.raises(SimulationError):
+            CPU().pop_context()
+
+    def test_corrupted_stack_detected(self):
+        cpu = CPU()
+        a = ExecutionContext("a", 0, 1)
+        with pytest.raises(SimulationError):
+            with cpu.running(a):
+                cpu.pop_context()
+                cpu.push_context(ExecutionContext("b", 0, 1))
+
+    def test_inverted_code_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext("bad", 10, 5)
+
+    def test_uninterruptible_flag(self):
+        cpu = CPU()
+        atomic = ExecutionContext("rom", 0, 1, uninterruptible=True)
+        assert not cpu.interrupts_deferred
+        with cpu.running(atomic):
+            assert cpu.interrupts_deferred
+
+    def test_code_range_property(self):
+        ctx = ExecutionContext("x", 0x10, 0x20)
+        assert ctx.code_range == (0x10, 0x20)
+
+
+class TestCycles:
+    def test_consume_and_elapsed(self):
+        cpu = CPU(frequency_hz=24_000_000)
+        cpu.consume_cycles(24_000_000)
+        assert cpu.elapsed_seconds == pytest.approx(1.0)
+        assert cpu.elapsed_ms == pytest.approx(1000.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            CPU().consume_cycles(-1)
+
+    def test_zero_is_noop(self):
+        cpu = CPU()
+        fired = []
+        cpu.add_cycle_listener(lambda now, n: fired.append(n))
+        cpu.consume_cycles(0)
+        assert not fired
+
+    def test_listener_invoked(self):
+        cpu = CPU()
+        seen = []
+        cpu.add_cycle_listener(lambda now, n: seen.append((now, n)))
+        cpu.consume_cycles(10)
+        cpu.consume_cycles(5)
+        assert seen == [(10, 10), (15, 5)]
+
+    def test_nested_consumption_no_listener_recursion(self):
+        cpu = CPU()
+        calls = []
+
+        def listener(now, n):
+            calls.append(now)
+            if len(calls) == 1:
+                cpu.consume_cycles(3)   # nested; must not recurse
+
+        cpu.add_cycle_listener(listener)
+        cpu.consume_cycles(10)
+        assert cpu.cycle_count == 13
+        assert calls == [10]
+
+    def test_idle_until(self):
+        cpu = CPU()
+        cpu.consume_cycles(100)
+        cpu.idle_until(250)
+        assert cpu.cycle_count == 250
+        cpu.idle_until(200)   # past: no-op
+        assert cpu.cycle_count == 250
+
+    def test_unit_conversions(self):
+        cpu = CPU(frequency_hz=24_000_000)
+        assert cpu.ms_to_cycles(1.0) == 24_000
+        assert cpu.seconds_to_cycles(2.0) == 48_000_000
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CPU(frequency_hz=-1)

@@ -1,0 +1,261 @@
+"""Device assembly: secure boot, profile enforcement, measurement."""
+
+import pytest
+
+from repro.errors import (ConfigurationError, MemoryAccessViolation,
+                          SecureBootError)
+from repro.mcu import (BASELINE, Device, DeviceConfig, EXT_HARDENED,
+                       MMIO_BASE, ROAM_HARDENED, UNPROTECTED)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+def booted(profile, **overrides):
+    device = Device(tiny_config(**overrides))
+    device.provision(KEY)
+    device.boot(profile)
+    return device
+
+
+class TestConstruction:
+    def test_memory_map_regions(self):
+        device = Device(tiny_config())
+        names = {region.name for region in device.memory}
+        assert {"rom", "flash", "ram", "mpu-config",
+                "irq-mask", "clock-register"} <= names
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(clock_kind="sundial")
+
+    def test_rejects_oversized_app(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(flash_size=4096, app_size=8192)
+
+    def test_no_clock_variant(self):
+        device = Device(tiny_config(clock_kind="none"))
+        assert device.clock is None
+
+    def test_writable_memory_bytes(self):
+        device = Device(tiny_config())
+        assert device.writable_memory_bytes == 8 * 1024 + 16 * 1024
+
+
+class TestProvisionAndBoot:
+    def test_provision_requires_16_byte_key(self):
+        device = Device(tiny_config())
+        with pytest.raises(ConfigurationError):
+            device.provision(b"short")
+
+    def test_boot_verifies_application(self):
+        device = booted(BASELINE)
+        assert device.booted
+        assert device.boot_profile is BASELINE
+
+    def test_boot_rejects_tampered_application(self):
+        device = Device(tiny_config())
+        device.provision(KEY)
+        # Corrupt one byte of the installed app before boot.
+        device.flash.load(10, b"\xFF")
+        with pytest.raises(SecureBootError):
+            device.boot(BASELINE)
+        assert not device.booted
+
+    def test_double_boot_rejected(self):
+        device = booted(BASELINE)
+        with pytest.raises(ConfigurationError):
+            device.boot(BASELINE)
+
+    def test_rule_budget_per_profile(self):
+        assert booted(UNPROTECTED).mpu.active_rule_count == 0
+        assert booted(BASELINE).mpu.active_rule_count == 2
+        assert booted(EXT_HARDENED).mpu.active_rule_count == 3
+        assert booted(ROAM_HARDENED).mpu.active_rule_count == 4
+        assert booted(ROAM_HARDENED,
+                      clock_kind="sw").mpu.active_rule_count == 7
+
+
+class TestKeyProtection:
+    def test_attest_reads_key(self):
+        device = booted(ROAM_HARDENED)
+        assert device.read_key(device.context("Code_Attest")) == KEY
+
+    def test_app_cannot_read_key(self):
+        device = booted(ROAM_HARDENED)
+        with pytest.raises(MemoryAccessViolation):
+            device.read_key(device.context("app"))
+
+    def test_malware_cannot_read_key(self):
+        device = booted(BASELINE)
+        with pytest.raises(MemoryAccessViolation):
+            device.read_key(device.make_malware_context())
+
+    def test_unprotected_leaks_key(self):
+        device = booted(UNPROTECTED)
+        assert device.read_key(device.make_malware_context()) == KEY
+
+    def test_key_in_flash_variant(self):
+        device = booted(ROAM_HARDENED, key_in_rom=False)
+        assert device.read_key(device.context("Code_Attest")) == KEY
+        with pytest.raises(MemoryAccessViolation):
+            device.read_key(device.context("app"))
+
+    def test_key_in_flash_write_protected_by_rule(self):
+        device = booted(ROAM_HARDENED, key_in_rom=False)
+        malware = device.make_malware_context()
+        with pytest.raises(MemoryAccessViolation):
+            with device.cpu.running(malware):
+                device.bus.write(malware, device.key_address, b"\x00" * 16)
+
+    def test_key_in_rom_hardware_write_protected(self):
+        device = booted(UNPROTECTED)
+        malware = device.make_malware_context()
+        with pytest.raises(MemoryAccessViolation):
+            with device.cpu.running(malware):
+                device.bus.write(malware, device.key_address, b"\x00" * 16)
+
+
+class TestCounterProtection:
+    def test_attest_owns_counter(self):
+        device = booted(EXT_HARDENED)
+        attest = device.context("Code_Attest")
+        device.write_counter(attest, 99)
+        assert device.read_counter(attest) == 99
+
+    def test_malware_rollback_blocked_when_hardened(self):
+        device = booted(EXT_HARDENED)
+        with pytest.raises(MemoryAccessViolation):
+            device.write_counter(device.make_malware_context(), 1)
+
+    def test_malware_rollback_works_on_baseline(self):
+        device = booted(BASELINE)
+        malware = device.make_malware_context()
+        device.write_counter(malware, 7)
+        assert device.read_counter(device.context("Code_Attest")) == 7
+
+
+class TestClockProtection:
+    @pytest.mark.parametrize("kind", ["hw64", "hw32div"])
+    def test_hw_clock_write_blocked_when_hardened(self, kind):
+        device = booted(ROAM_HARDENED, clock_kind=kind)
+        malware = device.make_malware_context()
+        with pytest.raises(MemoryAccessViolation):
+            with device.cpu.running(malware):
+                device.bus.write(malware, device.clock_register_span[0],
+                                 b"\x00")
+
+    def test_hw_clock_write_possible_on_baseline(self):
+        device = booted(BASELINE)
+        malware = device.make_malware_context()
+        device.idle_seconds(0.01)
+        before = device.read_clock_ticks(malware)
+        with device.cpu.running(malware):
+            device.bus.write(malware, device.clock_register_span[0],
+                             bytes(8))
+        assert device.read_clock_ticks(malware) < before
+
+    def test_clock_readable_by_everyone(self):
+        device = booted(ROAM_HARDENED)
+        device.idle_seconds(0.01)
+        assert device.read_clock_ticks(device.context("app")) > 0
+
+    def test_sw_clock_protections(self):
+        device = booted(ROAM_HARDENED, clock_kind="sw")
+        malware = device.make_malware_context()
+        for address, data in [(device.clock_msb_address, bytes(8)),
+                              (device.idt_base, bytes(4)),
+                              (MMIO_BASE + 0x1100, b"\x00")]:
+            with pytest.raises(MemoryAccessViolation):
+                with device.cpu.running(malware):
+                    device.bus.write(malware, address, data)
+
+    def test_no_clock_read_raises(self):
+        device = booted(BASELINE, clock_kind="none")
+        with pytest.raises(ConfigurationError):
+            device.read_clock_ticks(device.context("app"))
+
+
+class TestLockdown:
+    def test_mpu_config_immutable_after_boot(self):
+        device = booted(BASELINE)
+        malware = device.make_malware_context()
+        with pytest.raises(MemoryAccessViolation):
+            with device.cpu.running(malware):
+                device.bus.write(malware, MMIO_BASE, b"\x00")
+
+    def test_even_trusted_code_cannot_reconfigure(self):
+        device = booted(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        with pytest.raises(MemoryAccessViolation):
+            with device.cpu.running(attest):
+                device.bus.write(attest, MMIO_BASE, b"\x00")
+
+    def test_config_still_readable(self):
+        device = booted(ROAM_HARDENED)
+        app = device.context("app")
+        with device.cpu.running(app):
+            assert device.bus.read(app, MMIO_BASE, 1)
+
+
+class TestMeasurement:
+    def test_measurement_deterministic(self):
+        device = booted(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        a = device.digest_writable_memory(attest)
+        b = device.digest_writable_memory(attest)
+        assert a == b
+
+    def test_measurement_sees_app_changes(self):
+        device = booted(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        before = device.digest_writable_memory(attest)
+        device.flash.load(100, b"\xEB\xFE")   # post-boot infection
+        assert device.digest_writable_memory(attest) != before
+
+    def test_measurement_excludes_reserved_words(self):
+        device = booted(EXT_HARDENED)
+        attest = device.context("Code_Attest")
+        before = device.digest_writable_memory(attest)
+        device.write_counter(attest, 12345)
+        assert device.digest_writable_memory(attest) == before
+
+    def test_measurement_charges_cycles(self):
+        device = booted(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        start = device.cpu.cycle_count
+        device.digest_writable_memory(attest)
+        elapsed_ms = (device.cpu.cycle_count - start) / 24_000
+        # 24 KB at ~0.092 ms per 64-byte block ~= 35 ms.
+        assert 25 < elapsed_ms < 50
+
+    def test_keyed_measurement(self):
+        device = booted(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        mac = device.measure_writable_memory(attest, KEY, b"challenge")
+        assert len(mac) == 20
+        assert mac != device.measure_writable_memory(attest, KEY, b"other")
+
+
+class TestEnergyAccounting:
+    def test_active_cycles_drain_battery(self):
+        device = booted(BASELINE)
+        device.sync_energy()
+        before = device.battery.consumed_mj
+        device.cpu.consume_cycles(24_000_000)
+        device.sync_energy()
+        assert device.battery.consumed_mj - before == pytest.approx(7.2,
+                                                                    rel=0.01)
+
+    def test_idle_is_cheap(self):
+        device = booted(BASELINE)
+        device.sync_energy()
+        before = device.battery.consumed_mj
+        device.idle_seconds(10.0)
+        active_equivalent = device.energy.active_energy_mj(240_000_000)
+        assert device.battery.consumed_mj - before < active_equivalent / 100
+
+    def test_idle_advances_clock(self):
+        device = booted(BASELINE)
+        device.idle_seconds(1.0)
+        assert device.cpu.elapsed_seconds >= 1.0

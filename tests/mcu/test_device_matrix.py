@@ -1,0 +1,159 @@
+"""Device configuration matrix: every profile x clock design boots and
+enforces its advertised properties."""
+
+import pytest
+
+from repro.errors import MemoryAccessViolation
+from repro.mcu import (ALL_PROFILES, BASELINE, Device, EXT_HARDENED,
+                       ROAM_HARDENED, UNPROTECTED)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+CLOCKS = ("hw64", "hw32div", "sw", "none")
+
+
+def booted(profile, clock):
+    device = Device(tiny_config(clock_kind=clock))
+    device.provision(KEY)
+    device.boot(profile)
+    return device
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES)
+@pytest.mark.parametrize("clock", CLOCKS)
+class TestBootMatrix:
+    def test_boots_and_measures(self, profile, clock):
+        device = booted(profile, clock)
+        attest = device.context("Code_Attest")
+        digest = device.digest_writable_memory(attest)
+        assert len(digest) == 20
+
+    def test_trust_anchor_always_has_key_access(self, profile, clock):
+        device = booted(profile, clock)
+        assert device.read_key(device.context("Code_Attest")) == KEY
+
+    def test_counter_rw_for_anchor(self, profile, clock):
+        device = booted(profile, clock)
+        attest = device.context("Code_Attest")
+        device.write_counter(attest, 11)
+        assert device.read_counter(attest) == 11
+
+
+def can(fn) -> bool:
+    try:
+        fn()
+        return True
+    except MemoryAccessViolation:
+        return False
+
+
+class TestEnforcementMatrix:
+    """Each profile's promise, stated as what malware can and cannot do."""
+
+    @pytest.mark.parametrize("profile,key_readable,counter_writable", [
+        (UNPROTECTED, True, True),
+        (BASELINE, False, True),
+        (EXT_HARDENED, False, False),
+        (ROAM_HARDENED, False, False),
+    ])
+    def test_key_and_counter(self, profile, key_readable, counter_writable):
+        device = booted(profile, "hw64")
+        malware = device.make_malware_context()
+        assert can(lambda: device.read_key(malware)) == key_readable
+        assert can(lambda: device.write_counter(malware, 1)) == \
+            counter_writable
+
+    @pytest.mark.parametrize("profile,clock_writable", [
+        (UNPROTECTED, True),
+        (BASELINE, True),
+        (EXT_HARDENED, True),
+        (ROAM_HARDENED, False),
+    ])
+    @pytest.mark.parametrize("clock", ["hw64", "hw32div"])
+    def test_hw_clock_tamper(self, profile, clock_writable, clock):
+        device = booted(profile, clock)
+        malware = device.make_malware_context()
+
+        def tamper():
+            with device.cpu.running(malware):
+                device.bus.write(malware, device.clock_register_span[0],
+                                 b"\x00")
+
+        assert can(tamper) == clock_writable
+
+    @pytest.mark.parametrize("profile,msb_writable", [
+        (UNPROTECTED, True),
+        (BASELINE, True),
+        (ROAM_HARDENED, False),
+    ])
+    def test_sw_clock_msb_tamper(self, profile, msb_writable):
+        device = booted(profile, "sw")
+        malware = device.make_malware_context()
+
+        def tamper():
+            with device.cpu.running(malware):
+                device.bus.write_u64(malware, device.clock_msb_address, 0)
+
+        assert can(tamper) == msb_writable
+
+
+class TestAttestedSpans:
+    def test_spans_cover_ram_and_flash(self):
+        device = booted(ROAM_HARDENED, "hw64")
+        spans = device.attested_spans()
+        total = sum(end - start for start, end in spans)
+        reserved = 0x100   # IDT / counter / Clock_MSB window
+        assert total == device.writable_memory_bytes - reserved
+
+    def test_spans_exclude_reserved_words(self):
+        device = booted(ROAM_HARDENED, "hw64")
+        for start, end in device.attested_spans():
+            assert not start <= device.counter_address < end
+            assert not start <= device.clock_msb_address < end
+            assert not start <= device.idt_base < end
+
+    def test_spans_disjoint_and_ordered(self):
+        device = booted(ROAM_HARDENED, "hw64")
+        spans = device.attested_spans()
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+
+class TestEnergyAcrossClockDesigns:
+    def test_sw_clock_costs_more_energy_at_idle(self):
+        """The SW-clock's wrap handler wakes the CPU; the hardware clock
+        counts for free.  A real design trade-off the model exposes."""
+        def idle_energy(clock):
+            device = booted(BASELINE, clock)
+            device.sync_energy()
+            before = device.battery.consumed_mj
+            device.idle_seconds(10.0)
+            device.sync_energy()
+            return device.battery.consumed_mj - before
+
+        assert idle_energy("sw") > idle_energy("hw64")
+
+    def test_hw_clock_idle_is_pure_sleep(self):
+        device = booted(BASELINE, "hw64")
+        device.sync_energy()
+        before = device.battery.consumed_mj
+        device.idle_seconds(100.0)
+        device.sync_energy()
+        drained = device.battery.consumed_mj - before
+        assert drained == pytest.approx(
+            device.energy.sleep_energy_mj(100.0), rel=0.01)
+
+
+class TestMalwareContexts:
+    def test_multiple_malware_contexts(self):
+        device = booted(BASELINE, "hw64")
+        a = device.make_malware_context("mal-a", size=1024)
+        b = device.make_malware_context("mal-b", size=2048)
+        assert a.code_range != b.code_range or a.name != b.name
+        assert device.context("mal-a") is a
+
+    def test_malware_lives_in_ram(self):
+        device = booted(BASELINE, "hw64")
+        malware = device.make_malware_context(size=512)
+        assert device.ram.contains(malware.code_start)
+        assert malware.code_end <= device.ram.end

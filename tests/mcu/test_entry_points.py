@@ -1,0 +1,120 @@
+"""Code entry-point enforcement (Section 6.2's runtime-attack defence)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, EntryPointViolation
+from repro.mcu import Device, ROAM_HARDENED
+from repro.mcu.cpu import CPU, ExecutionContext
+from tests.conftest import tiny_config
+
+
+class TestCpuEnforcement:
+    def test_canonical_entry_allowed(self):
+        cpu = CPU()
+        ctx = ExecutionContext("t", 0x100, 0x200, entry_points=(0x100,))
+        with cpu.running(ctx, entry=0x100):
+            assert cpu.current_context is ctx
+
+    def test_default_entry_always_allowed(self):
+        cpu = CPU()
+        ctx = ExecutionContext("t", 0x100, 0x200, entry_points=(0x100,))
+        with cpu.running(ctx):
+            assert cpu.current_context is ctx
+
+    def test_mid_body_entry_trapped(self):
+        cpu = CPU()
+        ctx = ExecutionContext("t", 0x100, 0x200, entry_points=(0x100,))
+        with pytest.raises(EntryPointViolation):
+            cpu.push_context(ctx, entry=0x140)
+        assert cpu.current_context is None
+
+    def test_multiple_entry_points(self):
+        cpu = CPU()
+        ctx = ExecutionContext("t", 0x100, 0x200,
+                               entry_points=(0x100, 0x180))
+        with cpu.running(ctx, entry=0x180):
+            pass
+
+    def test_unconstrained_context_enters_anywhere(self):
+        cpu = CPU()
+        ctx = ExecutionContext("app", 0x100, 0x200)
+        with cpu.running(ctx, entry=0x1F3):
+            pass
+
+    def test_enforcement_can_be_absent(self):
+        cpu = CPU(enforce_entry_points=False)
+        ctx = ExecutionContext("t", 0x100, 0x200, entry_points=(0x100,))
+        with cpu.running(ctx, entry=0x140):   # no trap on this core
+            pass
+
+    def test_entry_point_must_lie_in_code(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext("t", 0x100, 0x200, entry_points=(0x300,))
+
+
+class TestDeviceIntegration:
+    def test_trusted_modules_single_entry(self):
+        device = Device(tiny_config())
+        attest = device.context("Code_Attest")
+        assert attest.entry_points == (attest.code_start,)
+        clock = device.context("Code_Clock")
+        assert clock.entry_points == (clock.code_start,)
+
+    def test_app_and_malware_unconstrained(self):
+        device = Device(tiny_config())
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        assert device.context("app").entry_points is None
+        assert device.make_malware_context().entry_points is None
+
+    def test_code_reuse_key_read_trapped(self):
+        device = Device(tiny_config())
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        with pytest.raises(EntryPointViolation):
+            with device.cpu.running(attest, entry=attest.code_start + 0x40):
+                device.bus.read(attest, device.key_address, 16)
+
+    def test_weak_core_leaks_key_to_code_reuse(self):
+        device = Device(tiny_config(enforce_entry_points=False))
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        with device.cpu.running(attest, entry=attest.code_start + 0x40):
+            stolen = device.bus.read(attest, device.key_address, 16)
+        assert stolen == b"K" * 16
+
+
+class TestRoamingIntegration:
+    def test_roaming_code_reuse_blocked_on_hardened_core(self):
+        from repro.attacks.scenarios import run_roaming_attack
+        from repro.mcu import ROAM_HARDENED as PROFILE
+        record = run_roaming_attack(strategy="counter-rollback",
+                                    policy="counter", profile=PROFILE,
+                                    seed="t-entry-1")
+        compromise = record.outcome.compromise
+        assert not compromise.key_extracted
+        assert not compromise.key_extracted_via_code_reuse
+        assert "jump-into-code-attest" in compromise.denied
+
+    def test_roaming_code_reuse_succeeds_on_weak_core(self):
+        """EA-MPU rules alone are insufficient on a core without entry
+        enforcement: the jump inherits Code_Attest's read privilege --
+        exactly why Section 6.2 lists entry limiting / CFI as required
+        complements."""
+        from repro.attacks.roaming import RoamingAdversary
+        from repro.core import build_session
+        session = build_session(
+            profile=ROAM_HARDENED, policy_name="counter",
+            device_config=tiny_config(enforce_entry_points=False),
+            seed="t-entry-2")
+        session.attest_once()
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        adversary = RoamingAdversary(session)
+        adversary.phase1_eavesdrop()
+        report = adversary.phase2_compromise("counter-rollback")
+        assert report.key_extracted_via_code_reuse
+        assert report.stolen_key == session.key

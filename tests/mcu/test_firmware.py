@@ -1,0 +1,78 @@
+"""Firmware modules and images: determinism, layout, measurement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.firmware import FirmwareImage, FirmwareModule
+
+
+class TestModule:
+    def test_code_deterministic_per_build(self):
+        a = FirmwareModule("app", 1024, version=1)
+        b = FirmwareModule("app", 1024, version=1)
+        assert a.code_bytes() == b.code_bytes()
+
+    def test_version_changes_code(self):
+        v1 = FirmwareModule("app", 1024, version=1)
+        v2 = FirmwareModule("app", 1024, version=2)
+        assert v1.code_bytes() != v2.code_bytes()
+
+    def test_name_changes_code(self):
+        assert FirmwareModule("a", 64).code_bytes() != \
+            FirmwareModule("b", 64).code_bytes()
+
+    def test_code_size(self):
+        assert len(FirmwareModule("m", 777).code_bytes()) == 777
+
+    def test_measurement_tracks_code(self):
+        m1 = FirmwareModule("app", 256, version=1)
+        m2 = FirmwareModule("app", 256, version=2)
+        assert m1.measurement() != m2.measurement()
+        assert len(m1.measurement()) == 20
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FirmwareModule("m", 0)
+
+
+class TestImage:
+    def test_layout_and_span(self):
+        image = FirmwareImage()
+        image.add(FirmwareModule("boot", 0x100), 0x0000)
+        image.add(FirmwareModule("app", 0x200), 0x1000)
+        assert image.span("app") == (0x1000, 0x1200)
+        assert image.module("boot").size == 0x100
+
+    def test_rejects_overlap(self):
+        image = FirmwareImage()
+        image.add(FirmwareModule("a", 0x100), 0x0000)
+        with pytest.raises(ConfigurationError):
+            image.add(FirmwareModule("b", 0x100), 0x0080)
+
+    def test_rejects_duplicate(self):
+        image = FirmwareImage()
+        image.add(FirmwareModule("a", 0x100), 0x0000)
+        with pytest.raises(ConfigurationError):
+            image.add(FirmwareModule("a", 0x100), 0x1000)
+
+    def test_unknown_module(self):
+        with pytest.raises(KeyError):
+            FirmwareImage().module("ghost")
+
+    def test_measurement_covers_all_modules(self):
+        def build(app_version):
+            image = FirmwareImage()
+            image.add(FirmwareModule("boot", 0x100), 0x0000)
+            image.add(FirmwareModule("app", 0x100, version=app_version),
+                      0x1000)
+            return image.measurement()
+
+        assert build(1) == build(1)
+        assert build(1) != build(2)
+
+    def test_measurement_sensitive_to_placement(self):
+        image1 = FirmwareImage()
+        image1.add(FirmwareModule("app", 0x100), 0x1000)
+        image2 = FirmwareImage()
+        image2.add(FirmwareModule("app", 0x100), 0x2000)
+        assert image1.measurement() != image2.measurement()

@@ -1,0 +1,121 @@
+"""Pending-bit coalescing and the SMART-vs-TrustLite clock interaction."""
+
+import pytest
+
+from repro.mcu import Device, DeviceConfig, ROAM_HARDENED
+from repro.mcu.cpu import CPU, ExecutionContext
+from repro.mcu.interrupts import InterruptController
+from repro.mcu.memory import MemoryBus, MemoryMap, MemoryRegion, MemoryType
+from tests.conftest import tiny_config
+
+
+def make_controller(coalesce=True):
+    cpu = CPU()
+    mm = MemoryMap()
+    mm.add(MemoryRegion("ram", 0x2000, 0x1000, MemoryType.RAM))
+    bus = MemoryBus(mm)
+    ic = InterruptController(cpu, bus, 0x2000, num_irqs=2,
+                             coalesce_pending=coalesce)
+    ctx = ExecutionContext("handler", 0x2100, 0x2200)
+    fired = []
+    ic.register_entry_point(0x2100, ctx, fired.append)
+    ic.set_vector_raw(0, 0x2100)
+    ic.set_vector_raw(1, 0x2100)
+    return cpu, ic, fired
+
+
+class TestCoalescing:
+    def test_repeated_irq_collapses_to_one_pending_bit(self):
+        cpu, ic, fired = make_controller(coalesce=True)
+        atomic = ExecutionContext("rom", 0, 0x100, uninterruptible=True)
+        with cpu.running(atomic):
+            ic.raise_irq(0)
+            ic.raise_irq(0)
+            ic.raise_irq(0)
+            assert ic.pending == [0]
+        ic.run_pending()
+        assert fired == [0]
+        assert len(ic.coalesced_log) == 2
+
+    def test_distinct_lines_both_pend(self):
+        cpu, ic, fired = make_controller(coalesce=True)
+        atomic = ExecutionContext("rom", 0, 0x100, uninterruptible=True)
+        with cpu.running(atomic):
+            ic.raise_irq(0)
+            ic.raise_irq(1)
+        ic.run_pending()
+        assert fired == [0, 1]
+
+    def test_idealised_controller_queues_everything(self):
+        cpu, ic, fired = make_controller(coalesce=False)
+        atomic = ExecutionContext("rom", 0, 0x100, uninterruptible=True)
+        with cpu.running(atomic):
+            ic.raise_irq(0)
+            ic.raise_irq(0)
+        ic.run_pending()
+        assert fired == [0, 0]
+
+    def test_no_coalescing_when_not_deferred(self):
+        cpu, ic, fired = make_controller(coalesce=True)
+        ic.raise_irq(0)
+        ic.raise_irq(0)
+        assert fired == [0, 0]
+        assert not ic.coalesced_log
+
+
+def sw_device(atomic: bool) -> Device:
+    device = Device(tiny_config(
+        ram_size=32 * 1024, flash_size=32 * 1024, app_size=4 * 1024,
+        clock_kind="sw", uninterruptible_attest=atomic))
+    device.provision(b"K" * 16)
+    device.boot(ROAM_HARDENED)
+    return device
+
+
+class TestSmartVsTrustliteClockInteraction:
+    """Section 2 background, made quantitative: SMART's atomic ROM code
+    cannot be interrupted, so on a Figure 1b SW-clock device every LSB
+    wrap during a measurement beyond the first is silently absorbed and
+    the clock falls behind.  TrustLite-style interruptible trusted code
+    keeps the clock exact."""
+
+    def _clock_lag_ticks(self, device: Device) -> int:
+        attest = device.context("Code_Attest")
+        device.idle_seconds(0.01)
+        device.digest_writable_memory(attest)
+        device.cpu.consume_cycles(1)   # let post-deferral wraps land
+        return device.cpu.cycle_count - device.read_clock_ticks(attest)
+
+    def test_interruptible_attest_keeps_clock_exact(self):
+        lag = self._clock_lag_ticks(sw_device(atomic=False))
+        assert lag == 0
+
+    def test_atomic_attest_loses_wraps(self):
+        device = sw_device(atomic=True)
+        lag = self._clock_lag_ticks(device)
+        # ~95 ms measurement / 2.73 ms per 16-bit wrap ~= 35 wraps; all
+        # but one absorbed.
+        assert lag > 30 * (1 << 16)
+        assert len(device.interrupts.coalesced_log) >= 30
+
+    def test_lost_time_scales_with_measurement_length(self):
+        small = sw_device(atomic=True)
+        small_lag = self._clock_lag_ticks(small)
+        big = Device(tiny_config(
+            ram_size=64 * 1024, flash_size=64 * 1024, app_size=4 * 1024,
+            clock_kind="sw", uninterruptible_attest=True))
+        big.provision(b"K" * 16)
+        big.boot(ROAM_HARDENED)
+        big_lag = self._clock_lag_ticks(big)
+        assert big_lag > 1.5 * small_lag
+
+    def test_hardware_clock_immune(self):
+        device = Device(tiny_config(
+            ram_size=32 * 1024, flash_size=32 * 1024, app_size=4 * 1024,
+            clock_kind="hw64", uninterruptible_attest=True))
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        attest = device.context("Code_Attest")
+        device.idle_seconds(0.01)
+        device.digest_writable_memory(attest)
+        assert device.read_clock_ticks(attest) == device.cpu.cycle_count

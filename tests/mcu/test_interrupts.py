@@ -1,0 +1,150 @@
+"""Interrupt controller: IDT dispatch, masking, deferral, sabotage."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InterruptError
+from repro.mcu.cpu import CPU, ExecutionContext
+from repro.mcu.interrupts import InterruptController, MaskRegister
+from repro.mcu.memory import MemoryBus, MemoryMap, MemoryRegion, MemoryType
+
+
+IDT_BASE = 0x2000
+HANDLER_ADDR = 0x0100
+
+
+def make_system(uninterruptible_handler=False):
+    cpu = CPU()
+    mm = MemoryMap()
+    mm.add(MemoryRegion("rom", 0x0000, 0x1000, MemoryType.ROM,
+                        executable=True))
+    mm.add(MemoryRegion("ram", 0x2000, 0x1000, MemoryType.RAM))
+    bus = MemoryBus(mm)
+    ic = InterruptController(cpu, bus, IDT_BASE, num_irqs=4)
+    ctx = ExecutionContext("handler", 0x0100, 0x0200)
+    fired = []
+    ic.register_entry_point(HANDLER_ADDR, ctx, lambda irq: fired.append(irq))
+    ic.set_vector_raw(0, HANDLER_ADDR)
+    return cpu, bus, ic, fired
+
+
+class TestDispatch:
+    def test_basic_dispatch(self):
+        cpu, bus, ic, fired = make_system()
+        assert ic.raise_irq(0)
+        assert fired == [0]
+        assert cpu.cycle_count == ic.dispatch_cost_cycles
+
+    def test_dispatch_runs_under_handler_context(self):
+        cpu, bus, ic, fired = make_system()
+        observed = []
+        ctx = ExecutionContext("h2", 0x0200, 0x0300)
+        ic.register_entry_point(0x0200, ctx,
+                                lambda irq: observed.append(
+                                    cpu.current_context.name))
+        ic.set_vector_raw(1, 0x0200)
+        ic.raise_irq(1)
+        assert observed == ["h2"]
+
+    def test_dispatch_log(self):
+        cpu, bus, ic, fired = make_system()
+        ic.raise_irq(0)
+        assert len(ic.dispatch_log) == 1
+        assert ic.dispatch_log[0][1] == 0
+        assert ic.dispatch_log[0][2] == "handler"
+
+    def test_bad_irq_number(self):
+        cpu, bus, ic, fired = make_system()
+        with pytest.raises(InterruptError):
+            ic.raise_irq(99)
+        with pytest.raises(InterruptError):
+            ic.set_vector_raw(-1, 0)
+
+    def test_entry_point_outside_context_rejected(self):
+        cpu, bus, ic, fired = make_system()
+        ctx = ExecutionContext("x", 0x0100, 0x0200)
+        with pytest.raises(ConfigurationError):
+            ic.register_entry_point(0x0500, ctx, lambda irq: None)
+
+    def test_vector_readback(self):
+        cpu, bus, ic, fired = make_system()
+        assert ic.get_vector(0) == HANDLER_ADDR
+
+
+class TestMasking:
+    def test_masked_irq_dropped(self):
+        cpu, bus, ic, fired = make_system()
+        ic.mask.disable(0)
+        assert not ic.raise_irq(0)
+        assert fired == []
+        assert ic.dropped_log[0][2] == "masked"
+
+    def test_reenable(self):
+        cpu, bus, ic, fired = make_system()
+        ic.mask.disable(0)
+        ic.mask.enable(0)
+        assert ic.raise_irq(0)
+        assert fired == [0]
+
+    def test_mask_mmio_interface(self):
+        mask = MaskRegister(8)
+        assert mask.mmio_read(0, None) == 0xFF
+        mask.mmio_write(0, 0xFE, None)
+        assert not mask.is_enabled(0)
+        assert mask.is_enabled(1)
+
+    def test_mask_size(self):
+        assert MaskRegister(8).size == 4
+        assert MaskRegister(64).size == 8
+
+
+class TestSabotage:
+    def test_idt_rewrite_redirects(self):
+        """Malware registering its own handler and rewriting the vector
+        steals the interrupt (the Figure 1b attack surface)."""
+        cpu, bus, ic, fired = make_system()
+        stolen = []
+        malware_ctx = ExecutionContext("malware", 0x2800, 0x2C00)
+        ic.register_entry_point(0x2800, malware_ctx,
+                                lambda irq: stolen.append(irq))
+        # Unprotected IDT: anyone can write the vector through the bus.
+        bus.write_u32(None, IDT_BASE, 0x2800)
+        ic.raise_irq(0)
+        assert stolen == [0]
+        assert fired == []
+
+    def test_vector_to_dead_code_drops(self):
+        cpu, bus, ic, fired = make_system()
+        bus.write_u32(None, IDT_BASE, 0x0F00)   # no code there
+        ic.raise_irq(0)
+        assert fired == []
+        assert ic.dropped_log[0][2] == "bad-vector"
+
+
+class TestDeferral:
+    def test_uninterruptible_context_defers(self):
+        cpu, bus, ic, fired = make_system()
+        atomic = ExecutionContext("rom", 0x0000, 0x0100,
+                                  uninterruptible=True)
+        with cpu.running(atomic):
+            ic.raise_irq(0)
+            assert fired == []
+            assert ic.pending == [0]
+        assert ic.run_pending() == 1
+        assert fired == [0]
+
+    def test_pending_order_preserved(self):
+        cpu, bus, ic, fired = make_system()
+        ic.set_vector_raw(1, HANDLER_ADDR)
+        atomic = ExecutionContext("rom", 0, 0x100, uninterruptible=True)
+        with cpu.running(atomic):
+            ic.raise_irq(1)
+            ic.raise_irq(0)
+        ic.run_pending()
+        assert fired == [1, 0]
+
+    def test_num_irqs_validation(self):
+        cpu = CPU()
+        mm = MemoryMap()
+        mm.add(MemoryRegion("ram", 0, 0x100, MemoryType.RAM))
+        with pytest.raises(ConfigurationError):
+            InterruptController(cpu, MemoryBus(mm), 0, num_irqs=0)

@@ -1,0 +1,164 @@
+"""Memory regions, the address map, and the bus access path."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryAccessViolation
+from repro.mcu.memory import (MemoryBus, MemoryMap, MemoryRegion, MemoryType)
+
+
+def make_map():
+    mm = MemoryMap()
+    mm.add(MemoryRegion("rom", 0x0000, 0x1000, MemoryType.ROM,
+                        executable=True))
+    mm.add(MemoryRegion("ram", 0x2000, 0x1000, MemoryType.RAM))
+    mm.add(MemoryRegion("flash", 0x4000, 0x1000, MemoryType.FLASH))
+    return mm
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = MemoryRegion("r", 0x100, 0x50, MemoryType.RAM)
+        assert region.end == 0x150
+        assert region.contains(0x100)
+        assert region.contains(0x14F)
+        assert not region.contains(0x150)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("r", 0, 0, MemoryType.RAM)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("r", -1, 4, MemoryType.RAM)
+
+    def test_mmio_requires_peripheral(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("r", 0, 4, MemoryType.MMIO)
+
+    def test_non_mmio_rejects_peripheral(self):
+        class Dummy:
+            def mmio_read(self, o, c): return 0
+            def mmio_write(self, o, v, c): return None
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("r", 0, 4, MemoryType.RAM, peripheral=Dummy())
+
+    def test_load_and_raw_read(self):
+        region = MemoryRegion("r", 0, 16, MemoryType.RAM)
+        region.load(4, b"abcd")
+        assert region.raw_read(4, 4) == b"abcd"
+        assert region.raw_read(0, 4) == bytes(4)
+
+    def test_load_out_of_bounds(self):
+        region = MemoryRegion("r", 0, 8, MemoryType.RAM)
+        with pytest.raises(ConfigurationError):
+            region.load(6, b"abcd")
+
+    def test_snapshot(self):
+        region = MemoryRegion("r", 0, 8, MemoryType.RAM)
+        region.load(0, b"12345678")
+        snap = region.snapshot()
+        region.load(0, bytes(8))
+        assert snap == b"12345678"
+
+    def test_rom_not_hardware_writable(self):
+        assert not MemoryRegion("r", 0, 4, MemoryType.ROM).is_writable_hardware
+        assert MemoryRegion("r", 0, 4, MemoryType.RAM).is_writable_hardware
+        assert MemoryRegion("r", 0, 4, MemoryType.FLASH).is_writable_hardware
+
+
+class TestMemoryMap:
+    def test_find(self):
+        mm = make_map()
+        assert mm.find(0x2100).name == "ram"
+        assert mm.find(0x1500) is None
+
+    def test_lookup_by_name(self):
+        mm = make_map()
+        assert mm.region("flash").start == 0x4000
+        assert "rom" in mm
+        assert "nope" not in mm
+
+    def test_rejects_overlap(self):
+        mm = make_map()
+        with pytest.raises(ConfigurationError):
+            mm.add(MemoryRegion("x", 0x0800, 0x1000, MemoryType.RAM))
+
+    def test_rejects_duplicate_name(self):
+        mm = make_map()
+        with pytest.raises(ConfigurationError):
+            mm.add(MemoryRegion("ram", 0x8000, 0x10, MemoryType.RAM))
+
+    def test_iteration_sorted_by_base(self):
+        mm = make_map()
+        assert [r.name for r in mm] == ["rom", "ram", "flash"]
+        assert len(mm) == 3
+
+    def test_writable_regions(self):
+        mm = make_map()
+        assert {r.name for r in mm.writable_regions()} == {"ram", "flash"}
+
+
+class FakeContext:
+    name = "fake"
+    code_start = 0
+    code_end = 0x1000
+
+
+class TestBus:
+    def test_read_write_roundtrip(self):
+        bus = MemoryBus(make_map())
+        bus.write(None, 0x2000, b"hello")
+        assert bus.read(None, 0x2000, 5) == b"hello"
+
+    def test_word_helpers(self):
+        bus = MemoryBus(make_map())
+        bus.write_u32(None, 0x2000, 0xDEADBEEF)
+        assert bus.read_u32(None, 0x2000) == 0xDEADBEEF
+        bus.write_u64(None, 0x2008, 2 ** 60 + 5)
+        assert bus.read_u64(None, 0x2008) == 2 ** 60 + 5
+
+    def test_unmapped_read(self):
+        bus = MemoryBus(make_map())
+        with pytest.raises(MemoryAccessViolation) as excinfo:
+            bus.read(None, 0x9000, 1)
+        assert excinfo.value.address == 0x9000
+
+    def test_straddling_region_end(self):
+        bus = MemoryBus(make_map())
+        with pytest.raises(MemoryAccessViolation):
+            bus.read(None, 0x2FFE, 4)
+
+    def test_rom_write_denied_by_hardware(self):
+        bus = MemoryBus(make_map())
+        with pytest.raises(MemoryAccessViolation) as excinfo:
+            bus.write(None, 0x0000, b"\x00")
+        assert excinfo.value.access == "write"
+
+    def test_flash_writable(self):
+        bus = MemoryBus(make_map())
+        bus.write(None, 0x4000, b"fw")
+        assert bus.read(None, 0x4000, 2) == b"fw"
+
+    def test_tracer_sees_accesses(self):
+        bus = MemoryBus(make_map())
+        seen = []
+        bus.add_tracer(lambda ctx, acc, addr, n: seen.append((acc, addr, n)))
+        bus.write(None, 0x2000, b"ab")
+        bus.read(None, 0x2000, 2)
+        assert seen == [("write", 0x2000, 2), ("read", 0x2000, 2)]
+
+    def test_mpu_consulted(self):
+        bus = MemoryBus(make_map())
+
+        class DenyAll:
+            def check_access(self, context, access, address, length):
+                if context is not None:
+                    raise MemoryAccessViolation("denied", address=address,
+                                                access=access,
+                                                context=context.name)
+
+        bus.attach_mpu(DenyAll())
+        # Hardware accesses (context None) bypass.
+        bus.write(None, 0x2000, b"x")
+        with pytest.raises(MemoryAccessViolation):
+            bus.read(FakeContext(), 0x2000, 1)

@@ -1,0 +1,117 @@
+"""Energy model, battery, and the duty-cycle task."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.power import Battery, DutyCycleTask, EnergyModel
+
+
+class TestEnergyModel:
+    def test_active_power(self):
+        model = EnergyModel(frequency_hz=24_000_000, active_mw_per_mhz=0.3)
+        assert model.active_power_mw == pytest.approx(7.2)
+
+    def test_active_energy_linear(self):
+        model = EnergyModel()
+        one = model.active_energy_mj(24_000_000)   # one second active
+        assert one == pytest.approx(7.2)
+        assert model.active_energy_mj(48_000_000) == pytest.approx(2 * one)
+
+    def test_sleep_energy(self):
+        model = EnergyModel(sleep_uw=2.0)
+        assert model.sleep_energy_mj(1000.0) == pytest.approx(2.0)
+
+    def test_sleep_far_cheaper_than_active(self):
+        model = EnergyModel()
+        assert model.active_energy_mj(24_000_000) > \
+            1000 * model.sleep_energy_mj(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(frequency_hz=0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(active_mw_per_mhz=0)
+
+
+class TestBattery:
+    def test_drain_and_remaining(self):
+        battery = Battery(capacity_mj=100.0)
+        battery.drain_active(24_000_000)   # 7.2 mJ
+        assert battery.consumed_mj == pytest.approx(7.2)
+        assert battery.remaining_mj == pytest.approx(92.8)
+        assert not battery.depleted
+
+    def test_depletion(self):
+        battery = Battery(capacity_mj=7.0)
+        battery.drain_active(24_000_000)
+        assert battery.depleted
+        assert battery.remaining_mj == 0.0
+
+    def test_fraction(self):
+        battery = Battery(capacity_mj=10.0)
+        battery.drain_sleep(2_500)   # 2500 s * 2 uW = 5 mJ
+        assert battery.fraction_remaining == pytest.approx(0.5)
+
+    def test_sleep_lifetime(self):
+        battery = Battery(capacity_mj=1000.0)
+        # 1000 mJ at 2 uW (= 0.002 mW) lasts 500 000 s.
+        assert battery.lifetime_at_sleep_seconds() == pytest.approx(500_000)
+
+    def test_counters(self):
+        battery = Battery()
+        battery.drain_active(100)
+        battery.drain_sleep(3.0)
+        assert battery.active_cycles == 100
+        assert battery.sleep_seconds == 3.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity_mj=0)
+
+
+class TestDutyCycleTask:
+    def test_no_blocking_no_misses(self):
+        task = DutyCycleTask("sense", period_seconds=1.0, job_cycles=24_000)
+        assert task.missed_deadlines(10.0) == 0
+        assert task.deadlines_in(10.0) == 10
+
+    def test_blocked_period_missed(self):
+        task = DutyCycleTask("sense", period_seconds=1.0,
+                             job_cycles=2_400_000)   # 0.1 s job
+        task.record_blocked(2.0, 3.0)   # swallows release at t=2 entirely
+        assert task.missed_deadlines(10.0) == 1
+
+    def test_partial_block_with_room_left(self):
+        task = DutyCycleTask("sense", period_seconds=1.0,
+                             job_cycles=2_400_000)
+        task.record_blocked(2.0, 2.5)   # half the window free: job fits
+        assert task.missed_deadlines(10.0) == 0
+
+    def test_partial_block_too_tight(self):
+        task = DutyCycleTask("sense", period_seconds=1.0,
+                             job_cycles=23_000_000)  # ~0.96 s job
+        task.record_blocked(2.0, 2.1)
+        assert task.missed_deadlines(10.0) == 1
+
+    def test_long_block_spans_periods(self):
+        task = DutyCycleTask("sense", period_seconds=1.0,
+                             job_cycles=12_000_000)  # 0.5 s job
+        task.record_blocked(1.0, 4.2)
+        assert task.missed_deadlines(10.0) == 3
+
+    def test_blocked_total(self):
+        task = DutyCycleTask("t", 1.0, 1000)
+        task.record_blocked(0.0, 0.5)
+        task.record_blocked(2.0, 2.25)
+        assert task.blocked_total_seconds == pytest.approx(0.75)
+
+    def test_ignores_empty_interval(self):
+        task = DutyCycleTask("t", 1.0, 1000)
+        task.record_blocked(1.0, 1.0)
+        assert task.blocked_total_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleTask("t", 0, 100)
+        with pytest.raises(ConfigurationError):
+            DutyCycleTask("t", 1.0, 0)

@@ -1,0 +1,132 @@
+"""Hardware counters: derivation from cycles, dividers, wraps, writes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryAccessViolation
+from repro.mcu.cpu import CPU
+from repro.mcu.timer import HardwareCounter
+
+
+class TestCounting:
+    def test_follows_cycles(self):
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=32)
+        cpu.consume_cycles(1234)
+        assert counter.value == 1234
+
+    def test_divider(self):
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=32, divider=100)
+        cpu.consume_cycles(250)
+        assert counter.value == 2
+        cpu.consume_cycles(50)
+        assert counter.value == 3
+
+    def test_wraps_at_width(self):
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=8)
+        cpu.consume_cycles(300)
+        assert counter.value == 300 - 256
+
+    def test_unsupported_width(self):
+        with pytest.raises(ConfigurationError):
+            HardwareCounter(CPU(), width_bits=12)
+
+    def test_bad_divider(self):
+        with pytest.raises(ConfigurationError):
+            HardwareCounter(CPU(), width_bits=16, divider=0)
+
+
+class TestWrapCallback:
+    def test_single_wrap(self):
+        cpu = CPU()
+        wraps = []
+        HardwareCounter(cpu, width_bits=8, on_wrap=wraps.append)
+        cpu.consume_cycles(256)
+        assert wraps == [1]
+
+    def test_multiple_wraps_in_one_step(self):
+        cpu = CPU()
+        wraps = []
+        HardwareCounter(cpu, width_bits=8, on_wrap=wraps.append)
+        cpu.consume_cycles(3 * 256 + 10)
+        assert wraps == [3]
+
+    def test_no_spurious_wrap(self):
+        cpu = CPU()
+        wraps = []
+        HardwareCounter(cpu, width_bits=8, on_wrap=wraps.append)
+        cpu.consume_cycles(255)
+        assert wraps == []
+        cpu.consume_cycles(1)
+        assert wraps == [1]
+
+    def test_wrap_respects_divider(self):
+        cpu = CPU()
+        wraps = []
+        HardwareCounter(cpu, width_bits=8, divider=10, on_wrap=wraps.append)
+        cpu.consume_cycles(2559)
+        assert wraps == []
+        cpu.consume_cycles(1)
+        assert wraps == [1]
+
+
+class TestMmio:
+    def test_read_bytes_little_endian(self):
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=16)
+        cpu.consume_cycles(0x1234)
+        assert counter.mmio_read(0, None) == 0x34
+        assert counter.mmio_read(1, None) == 0x12
+
+    def test_read_out_of_range(self):
+        counter = HardwareCounter(CPU(), width_bits=16)
+        with pytest.raises(MemoryAccessViolation):
+            counter.mmio_read(2, None)
+
+    def test_readonly_counter_rejects_writes(self):
+        counter = HardwareCounter(CPU(), width_bits=16)
+        with pytest.raises(MemoryAccessViolation):
+            counter.mmio_write(0, 0xFF, "malware")
+
+    def test_writable_counter_accepts_writes(self):
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=16,
+                                  software_writable=True)
+        cpu.consume_cycles(1000)
+        counter.mmio_write(0, 0x00, "malware")
+        counter.mmio_write(1, 0x00, "malware")
+        assert counter.value == 0
+        cpu.consume_cycles(5)
+        assert counter.value == 5   # keeps counting from the new value
+
+    def test_set_value_rewind(self):
+        """The roaming adversary's clock-reset primitive."""
+        cpu = CPU()
+        counter = HardwareCounter(cpu, width_bits=32,
+                                  software_writable=True)
+        cpu.consume_cycles(10_000)
+        counter.set_value(2_000)
+        assert counter.value == 2_000
+        cpu.consume_cycles(500)
+        assert counter.value == 2_500
+
+
+class TestAnalysis:
+    def test_resolution(self):
+        counter = HardwareCounter(CPU(24_000_000), width_bits=32,
+                                  divider=1 << 20)
+        assert counter.resolution_seconds == pytest.approx(0.0436907, rel=1e-3)
+
+    def test_wraparound_64bit_matches_paper(self):
+        counter = HardwareCounter(CPU(24_000_000), width_bits=64)
+        assert counter.wraparound_years == pytest.approx(24372.6, rel=1e-3)
+
+    def test_wraparound_32bit_three_minutes(self):
+        counter = HardwareCounter(CPU(24_000_000), width_bits=32)
+        assert counter.wraparound_seconds == pytest.approx(179.0, rel=1e-2)
+
+    def test_wraparound_32bit_divided_six_years(self):
+        counter = HardwareCounter(CPU(24_000_000), width_bits=32,
+                                  divider=1 << 20)
+        assert counter.wraparound_years == pytest.approx(5.97, rel=1e-2)

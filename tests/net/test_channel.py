@@ -1,0 +1,148 @@
+"""Dolev-Yao channel: delivery, adversary verdicts, injection, transcripts."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.channel import DolevYaoChannel, PassthroughAdversary, Verdict
+from repro.net.simulator import Simulation
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def deliver(self, message, sender):
+        self.received.append((message, sender))
+
+
+def make_channel(adversary=None, latency=0.01):
+    sim = Simulation()
+    channel = DolevYaoChannel(sim, latency_seconds=latency,
+                              adversary=adversary)
+    a, b = Sink("a"), Sink("b")
+    channel.attach(a)
+    channel.attach(b)
+    return sim, channel, a, b
+
+
+class TestHonestDelivery:
+    def test_send_delivers_after_latency(self):
+        sim, channel, a, b = make_channel()
+        channel.send("a", "b", "hello")
+        assert b.received == []
+        sim.run()
+        assert b.received == [("hello", "a")]
+        assert sim.now == pytest.approx(0.01)
+
+    def test_counters(self):
+        sim, channel, a, b = make_channel()
+        channel.send("a", "b", "x")
+        sim.run()
+        assert channel.delivered == 1
+        assert channel.dropped == 0
+
+    def test_unknown_receiver(self):
+        sim, channel, a, b = make_channel()
+        with pytest.raises(NetworkError):
+            channel.send("a", "ghost", "x")
+
+    def test_duplicate_attach(self):
+        sim, channel, a, b = make_channel()
+        with pytest.raises(NetworkError):
+            channel.attach(Sink("a"))
+
+    def test_negative_latency(self):
+        with pytest.raises(NetworkError):
+            DolevYaoChannel(Simulation(), latency_seconds=-1)
+
+
+class TestAdversaryVerdicts:
+    def test_drop(self):
+        class Dropper:
+            def on_message(self, message, sender, receiver, time):
+                return Verdict("drop")
+
+        sim, channel, a, b = make_channel(Dropper())
+        entry = channel.send("a", "b", "secret")
+        sim.run()
+        assert b.received == []
+        assert channel.dropped == 1
+        assert entry.outcome == "dropped"
+
+    def test_delay(self):
+        class Delayer:
+            def on_message(self, message, sender, receiver, time):
+                return Verdict("forward", extra_delay=1.0)
+
+        sim, channel, a, b = make_channel(Delayer())
+        entry = channel.send("a", "b", "msg")
+        sim.run()
+        assert sim.now == pytest.approx(1.01)
+        assert entry.outcome == "delayed"
+        assert b.received == [("msg", "a")]
+
+    def test_invalid_verdict(self):
+        with pytest.raises(NetworkError):
+            Verdict("teleport")
+        with pytest.raises(NetworkError):
+            Verdict("forward", extra_delay=-1)
+
+    def test_passthrough_default(self):
+        verdict = PassthroughAdversary().on_message("m", "a", "b", 0.0)
+        assert verdict.action == "forward"
+        assert verdict.extra_delay == 0.0
+
+
+class TestInjection:
+    def test_inject_spoofed(self):
+        sim, channel, a, b = make_channel()
+        channel.inject("b", "forged", spoofed_sender="a", delay=0.5)
+        sim.run()
+        assert b.received == [("forged", "a")]
+        assert channel.injected == 1
+
+    def test_injected_not_revetted_by_adversary(self):
+        calls = []
+
+        class Spy:
+            def on_message(self, message, sender, receiver, time):
+                calls.append(message)
+                return Verdict("forward")
+
+        sim, channel, a, b = make_channel(Spy())
+        channel.inject("b", "forged", spoofed_sender="a")
+        sim.run()
+        assert calls == []
+
+    def test_inject_unknown_receiver(self):
+        sim, channel, a, b = make_channel()
+        with pytest.raises(NetworkError):
+            channel.inject("ghost", "x", spoofed_sender="a")
+
+
+class TestTranscript:
+    def test_eavesdropping_records_everything(self):
+        class Dropper:
+            def on_message(self, message, sender, receiver, time):
+                return Verdict("drop")
+
+        sim, channel, a, b = make_channel(Dropper())
+        channel.send("a", "b", "dropped-but-seen")
+        assert len(channel.transcript) == 1
+        assert channel.transcript[0].message == "dropped-but-seen"
+
+    def test_injection_flagged(self):
+        sim, channel, a, b = make_channel()
+        channel.inject("b", "x", spoofed_sender="a")
+        assert channel.transcript[0].outcome == "injected"
+
+    def test_filters(self):
+        sim, channel, a, b = make_channel()
+        channel.send("a", "b", "to-b")
+        channel.send("b", "a", "to-a")
+        to_b = channel.transcript.to_receiver("b")
+        assert len(to_b) == 1
+        assert to_b[0].message == "to-b"
+        assert channel.transcript.last_to("a").message == "to-a"
+        assert channel.transcript.last_to("ghost") is None

@@ -1,0 +1,101 @@
+"""Discrete-event kernel: ordering, time, run limits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulation
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_fifo_tie_break(self):
+        sim = Simulation()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulation()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_step(self):
+        sim = Simulation()
+        assert not sim.step()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step()
+        assert sim.events_processed == 1
+
+    def test_runaway_guard(self):
+        sim = Simulation()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulation()
+        caught = []
+
+        def evil():
+            try:
+                sim.run()
+            except SimulationError:
+                caught.append(True)
+
+        sim.schedule(0.0, evil)
+        sim.run()
+        assert caught == [True]

@@ -1,0 +1,131 @@
+"""Secure code update: authenticity, anti-rollback, installation."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mcu import Device, ROAM_HARDENED
+from repro.mcu.firmware import FirmwareModule
+from repro.services.codeupdate import (UpdateAuthority, UpdateManager,
+                                       UpdatePackage)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+@pytest.fixture
+def device():
+    dev = Device(tiny_config())
+    dev.provision(KEY)
+    dev.boot(ROAM_HARDENED)
+    return dev
+
+
+@pytest.fixture
+def authority():
+    return UpdateAuthority(KEY)
+
+
+class TestHappyPath:
+    def test_install(self, device, authority):
+        manager = UpdateManager(device)
+        receipt = manager.apply(
+            authority.package(FirmwareModule("app", 2048, version=2)))
+        assert receipt.version == 2
+        assert manager.installed_version == 2
+        assert manager.updates_applied == 1
+
+    def test_installed_code_lands_in_flash(self, device, authority):
+        manager = UpdateManager(device)
+        module = FirmwareModule("app", 2048, version=2)
+        manager.apply(authority.package(module))
+        app_start, _ = device.firmware.span("app")
+        installed = device.flash.raw_read(app_start - device.flash.start,
+                                          2048)
+        assert installed == module.code_bytes()
+
+    def test_update_changes_measurement(self, device, authority):
+        manager = UpdateManager(device)
+        attest = device.context("Code_Attest")
+        before = device.digest_writable_memory(attest)
+        manager.apply(authority.package(FirmwareModule("app", 2048,
+                                                       version=2)))
+        assert device.digest_writable_memory(attest) != before
+
+    def test_receipt_reference_matches_install(self, device, authority):
+        manager = UpdateManager(device)
+        module = FirmwareModule("app", 2048, version=2)
+        receipt = manager.apply(authority.package(module))
+        assert receipt.new_reference == module.measurement()
+
+    def test_install_cost_charged(self, device, authority):
+        manager = UpdateManager(device)
+        receipt = manager.apply(
+            authority.package(FirmwareModule("app", 2048, version=2)))
+        assert receipt.install_cycles > 0
+
+    def test_sequential_updates(self, device, authority):
+        manager = UpdateManager(device)
+        manager.apply(authority.package(FirmwareModule("app", 2048,
+                                                       version=2)))
+        manager.apply(authority.package(FirmwareModule("app", 1024,
+                                                       version=3)))
+        assert manager.installed_version == 3
+
+
+class TestRejections:
+    def test_rollback_blocked(self, device, authority):
+        manager = UpdateManager(device)
+        manager.apply(authority.package(FirmwareModule("app", 2048,
+                                                       version=5)))
+        with pytest.raises(ProtocolError, match="rollback"):
+            manager.apply(authority.package(FirmwareModule("app", 2048,
+                                                           version=4)))
+        assert manager.installed_version == 5
+        assert manager.updates_rejected == 1
+
+    def test_same_version_blocked(self, device, authority):
+        manager = UpdateManager(device)
+        with pytest.raises(ProtocolError, match="rollback"):
+            manager.apply(authority.package(FirmwareModule("app", 2048,
+                                                           version=1)))
+
+    def test_tampered_package_rejected(self, device, authority):
+        manager = UpdateManager(device)
+        package = authority.package(FirmwareModule("app", 2048, version=2))
+        tampered = UpdatePackage(
+            module_name=package.module_name, version=package.version,
+            plaintext_length=package.plaintext_length, iv=package.iv,
+            ciphertext=b"\x00" * len(package.ciphertext), tag=package.tag)
+        with pytest.raises(ProtocolError, match="authentication"):
+            manager.apply(tampered)
+        assert manager.installed_version == 1
+
+    def test_wrong_key_authority_rejected(self, device):
+        rogue = UpdateAuthority(b"R" * 16)
+        manager = UpdateManager(device)
+        with pytest.raises(ProtocolError, match="authentication"):
+            manager.apply(rogue.package(FirmwareModule("app", 2048,
+                                                       version=2)))
+
+    def test_non_app_target_rejected(self, device, authority):
+        manager = UpdateManager(device)
+        with pytest.raises(ProtocolError, match="field-updatable"):
+            manager.apply(authority.package(
+                FirmwareModule("Code_Attest", 1024, version=2)))
+
+    def test_oversized_image_rejected(self, device, authority):
+        manager = UpdateManager(device)
+        too_big = device.firmware.span("app")
+        capacity = too_big[1] - too_big[0]
+        with pytest.raises(ProtocolError, match="exceeds"):
+            manager.apply(authority.package(
+                FirmwareModule("app", capacity + 1, version=2)))
+
+    def test_flash_untouched_after_rejection(self, device, authority):
+        manager = UpdateManager(device)
+        before = device.flash.snapshot()
+        rogue = UpdateAuthority(b"R" * 16)
+        with pytest.raises(ProtocolError):
+            manager.apply(rogue.package(FirmwareModule("app", 2048,
+                                                       version=2)))
+        assert device.flash.snapshot() == before

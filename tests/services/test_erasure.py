@@ -1,0 +1,107 @@
+"""Secure erasure: proofs, replay protection, EA-MPU interaction."""
+
+import pytest
+
+from repro.errors import MemoryAccessViolation, ProtocolError
+from repro.mcu import Device, MMIO_BASE, ROAM_HARDENED
+from repro.services.erasure import (EraseProof, EraseRequest,
+                                    ErasureManager, ErasureVerifier)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+@pytest.fixture
+def device():
+    dev = Device(tiny_config())
+    dev.provision(KEY)
+    dev.boot(ROAM_HARDENED)
+    return dev
+
+
+class TestHappyPath:
+    def test_erase_zeroes_memory(self, device):
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        device.ram.load(device.data_base - device.ram.start, b"secret!!")
+        request = verifier.order(device.data_base, 64)
+        manager.handle(request)
+        wiped = device.ram.raw_read(device.data_base - device.ram.start, 64)
+        assert wiped == bytes(64)
+
+    def test_proof_validates(self, device):
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        request = verifier.order(device.data_base, 128)
+        proof = manager.handle(request)
+        assert verifier.check_proof(request, proof)
+        assert manager.erases_done == 1
+
+    def test_erase_charges_cycles(self, device):
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        before = device.cpu.cycle_count
+        manager.handle(verifier.order(device.data_base, 1024))
+        assert device.cpu.cycle_count > before
+
+
+class TestRejections:
+    def test_forged_request_rejected(self, device):
+        manager = ErasureManager(device)
+        forged = EraseRequest(start=device.data_base, length=64,
+                              nonce=b"n" * 16, tag=b"f" * 20)
+        with pytest.raises(ProtocolError, match="authentication"):
+            manager.handle(forged)
+        assert manager.erases_rejected == 1
+
+    def test_wrong_key_rejected(self, device):
+        rogue = ErasureVerifier(b"R" * 16)
+        manager = ErasureManager(device)
+        with pytest.raises(ProtocolError, match="authentication"):
+            manager.handle(rogue.order(device.data_base, 64))
+
+    def test_replay_rejected(self, device):
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        request = verifier.order(device.data_base, 64)
+        manager.handle(request)
+        with pytest.raises(ProtocolError, match="replayed"):
+            manager.handle(request)
+
+    def test_protected_range_untouchable(self, device):
+        """Even authenticated erase orders cannot wipe the locked MPU
+        configuration registers."""
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        with pytest.raises(MemoryAccessViolation):
+            manager.handle(verifier.order(MMIO_BASE, 16))
+        assert manager.erases_rejected == 1
+
+
+class TestProofSemantics:
+    def test_wrong_nonce_proof_fails(self, device):
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        request = verifier.order(device.data_base, 64)
+        proof = manager.handle(request)
+        other = verifier.order(device.data_base + 64, 64)
+        assert not verifier.check_proof(other, proof)
+
+    def test_forged_proof_fails(self, device):
+        verifier = ErasureVerifier(KEY)
+        request = verifier.order(device.data_base, 64)
+        from repro.crypto.sha1 import SHA1
+        forged = EraseProof(nonce=request.nonce,
+                            digest=SHA1(bytes(64)).digest(),
+                            tag=b"f" * 20)
+        assert not verifier.check_proof(request, forged)
+
+    def test_proof_binds_length(self, device):
+        """A proof over the wrong length reports a non-zero digest."""
+        verifier = ErasureVerifier(KEY)
+        manager = ErasureManager(device)
+        request = verifier.order(device.data_base, 64)
+        proof = manager.handle(request)
+        longer = EraseRequest(start=device.data_base, length=128,
+                              nonce=request.nonce, tag=request.tag)
+        assert not verifier.check_proof(longer, proof)

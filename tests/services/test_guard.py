@@ -1,0 +1,179 @@
+"""The generalised request guard: any service, same DoS posture."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RequestRejected
+from repro.mcu import BASELINE, Device, EXT_HARDENED
+from repro.services.guard import (CommandIssuer, GuardedCommand,
+                                  RequestGuard)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+@pytest.fixture
+def guarded():
+    device = Device(tiny_config())
+    device.provision(KEY)
+    device.boot(EXT_HARDENED)
+    guard = RequestGuard(device)
+    log = []
+    guard.register("actuate", lambda body: log.append(("actuate", body)))
+    guard.register("config-set", lambda body: log.append(("config", body)))
+    return device, guard, CommandIssuer(KEY), log
+
+
+class TestDispatch:
+    def test_valid_command_executes(self, guarded):
+        device, guard, issuer, log = guarded
+        guard.handle(issuer.issue("actuate", b"valve=open"))
+        assert log == [("actuate", b"valve=open")]
+        assert guard.stats.executed == 1
+
+    def test_commands_route_by_label(self, guarded):
+        device, guard, issuer, log = guarded
+        guard.handle(issuer.issue("config-set", b"rate=10"))
+        guard.handle(issuer.issue("actuate", b"x"))
+        assert [entry[0] for entry in log] == ["config", "actuate"]
+
+    def test_unknown_label_rejected_without_burning_counter(self, guarded):
+        device, guard, issuer, log = guarded
+        command = issuer.issue("reboot", b"")
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(command)
+        assert excinfo.value.reason == "unknown-command"
+        # The counter was not committed: the next valid command (with a
+        # higher counter) still works, and so would a re-issued one.
+        guard.handle(issuer.issue("actuate", b"y"))
+        assert guard.stats.executed == 1
+
+    def test_duplicate_registration_rejected(self, guarded):
+        device, guard, issuer, log = guarded
+        with pytest.raises(ConfigurationError):
+            guard.register("actuate", lambda body: None)
+
+    def test_handler_result_returned(self, guarded):
+        device, guard, issuer, log = guarded
+        guard.register("query", lambda body: b"reading=42")
+        assert guard.handle(issuer.issue("query")) == b"reading=42"
+
+
+class TestSecurity:
+    def test_forged_command_rejected(self, guarded):
+        device, guard, issuer, log = guarded
+        forged = GuardedCommand("actuate", counter=99, body=b"evil",
+                                tag=b"f" * 20)
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(forged)
+        assert excinfo.value.reason == "bad-auth"
+        assert log == []
+
+    def test_replay_rejected(self, guarded):
+        device, guard, issuer, log = guarded
+        command = issuer.issue("actuate", b"once")
+        guard.handle(command)
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(command)
+        assert excinfo.value.reason == "stale-counter"
+        assert len(log) == 1
+
+    def test_cross_label_replay_impossible(self, guarded):
+        """A recorded 'actuate' cannot be replayed as 'config-set': the
+        label is folded into the MAC."""
+        device, guard, issuer, log = guarded
+        command = issuer.issue("actuate", b"p")
+        relabelled = GuardedCommand("config-set", command.counter,
+                                    command.body, command.tag)
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(relabelled)
+        assert excinfo.value.reason == "bad-auth"
+
+    def test_tampered_body_rejected(self, guarded):
+        device, guard, issuer, log = guarded
+        command = issuer.issue("actuate", b"valve=open")
+        tampered = GuardedCommand(command.label, command.counter,
+                                  b"valve=EVIL", command.tag)
+        with pytest.raises(RequestRejected):
+            guard.handle(tampered)
+
+    def test_freshness_state_is_the_protected_word(self, guarded):
+        """The guard's counter is counter_R, so EA-MPU hardening covers
+        every guarded service at once."""
+        device, guard, issuer, log = guarded
+        guard.handle(issuer.issue("actuate"))
+        attest = device.context("Code_Attest")
+        assert device.read_counter(attest) == 1
+
+    def test_shared_counter_across_services(self, guarded):
+        device, guard, issuer, log = guarded
+        first = issuer.issue("actuate")       # counter 1
+        second = issuer.issue("config-set")   # counter 2
+        guard.handle(second)
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(first)               # now stale (reorder defence)
+        assert excinfo.value.reason == "stale-counter"
+
+
+class TestReplies:
+    def test_reply_roundtrip(self, guarded):
+        device, guard, issuer, log = guarded
+        command = issuer.issue("actuate", b"v")
+        guard.handle(command)
+        tag = guard.authenticate_reply(command, b"done")
+        assert RequestGuard.check_reply(KEY, command, b"done", tag)
+
+    def test_reply_binds_command(self, guarded):
+        device, guard, issuer, log = guarded
+        c1 = issuer.issue("actuate", b"a")
+        c2 = issuer.issue("actuate", b"b")
+        guard.handle(c1)
+        tag = guard.authenticate_reply(c1, b"done")
+        assert not RequestGuard.check_reply(KEY, c2, b"done", tag)
+
+    def test_reply_binds_body(self, guarded):
+        device, guard, issuer, log = guarded
+        command = issuer.issue("actuate", b"a")
+        guard.handle(command)
+        tag = guard.authenticate_reply(command, b"done")
+        assert not RequestGuard.check_reply(KEY, command, b"fail", tag)
+
+
+class TestCosts:
+    def test_rejection_is_cheap(self, guarded):
+        device, guard, issuer, log = guarded
+        forged = GuardedCommand("actuate", counter=5, body=b"x",
+                                tag=b"f" * 20)
+        before = device.cpu.cycle_count
+        with pytest.raises(RequestRejected):
+            guard.handle(forged)
+        cost_ms = (device.cpu.cycle_count - before) / 24_000
+        assert cost_ms < 1.0   # one short HMAC validation
+
+    def test_counter_rollback_blocked_on_hardened_device(self):
+        device = Device(tiny_config())
+        device.provision(KEY)
+        device.boot(EXT_HARDENED)
+        guard = RequestGuard(device)
+        guard.register("actuate", lambda body: None)
+        issuer = CommandIssuer(KEY)
+        guard.handle(issuer.issue("actuate"))
+        from repro.errors import MemoryAccessViolation
+        with pytest.raises(MemoryAccessViolation):
+            device.write_counter(device.make_malware_context(), 0)
+
+    def test_counter_rollback_possible_on_baseline(self):
+        """Without counter protection the roaming adversary owns every
+        guarded service at once -- the flip side of sharing the word."""
+        device = Device(tiny_config())
+        device.provision(KEY)
+        device.boot(BASELINE)
+        guard = RequestGuard(device)
+        executed = []
+        guard.register("actuate", executed.append)
+        issuer = CommandIssuer(KEY)
+        command = issuer.issue("actuate", b"open")
+        guard.handle(command)
+        device.write_counter(device.make_malware_context(),
+                             command.counter - 1)
+        guard.handle(command)   # replay accepted after rollback
+        assert len(executed) == 2

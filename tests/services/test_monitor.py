@@ -1,0 +1,135 @@
+"""Attestation monitoring policy: retries, alarms, recovery."""
+
+import pytest
+
+from repro.core import build_session
+from repro.core.messages import AttestationRequest
+from repro.errors import ConfigurationError
+from repro.net.channel import Verdict
+from repro.services.monitor import (AttestationMonitor, MonitorEvent,
+                                    MonitorPolicy)
+from tests.conftest import tiny_config
+
+
+def monitored_session(adversary=None, seed="monitor"):
+    session = build_session(device_config=tiny_config(),
+                            adversary=adversary, seed=seed)
+    session.learn_reference_state()
+    return session
+
+
+def quick_policy(**overrides):
+    defaults = dict(interval_seconds=5.0, retry_delay_seconds=3.0,
+                    max_retries=1, failure_threshold=2)
+    defaults.update(overrides)
+    return MonitorPolicy(**defaults)
+
+
+class DropAllRequests:
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest):
+            return Verdict("drop")
+        return Verdict("forward")
+
+
+class DropFirstN:
+    def __init__(self, count):
+        self.remaining = count
+
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest) and self.remaining > 0:
+            self.remaining -= 1
+            return Verdict("drop")
+        return Verdict("forward")
+
+
+class TestHealthyOperation:
+    def test_all_rounds_ok(self):
+        monitor = AttestationMonitor(monitored_session(),
+                                     policy=quick_policy())
+        events = monitor.run(rounds=3)
+        assert [event.kind for event in events] == ["ok"] * 3
+        assert not monitor.alarmed
+
+    def test_duty_cost_tracked(self):
+        monitor = AttestationMonitor(monitored_session(),
+                                     policy=quick_policy())
+        monitor.run(rounds=3)
+        assert 0.0 < monitor.duty_cost_fraction < 0.1
+
+    def test_interval_spacing(self):
+        session = monitored_session()
+        monitor = AttestationMonitor(session,
+                                     policy=quick_policy(interval_seconds=30.0))
+        monitor.run(rounds=2)
+        ok_events = [e for e in monitor.events if e.kind == "ok"]
+        assert ok_events[1].time - ok_events[0].time >= 30.0
+
+
+class TestFailureHandling:
+    def test_transient_loss_recovered_by_retry(self):
+        monitor = AttestationMonitor(
+            monitored_session(adversary=DropFirstN(1), seed="mon-retry"),
+            policy=quick_policy())
+        monitor.run(rounds=1)
+        kinds = [event.kind for event in monitor.events]
+        assert kinds == ["retry", "ok"]
+        assert monitor.consecutive_failures == 0
+
+    def test_persistent_loss_alarms(self):
+        monitor = AttestationMonitor(
+            monitored_session(adversary=DropAllRequests(), seed="mon-dead"),
+            policy=quick_policy())
+        monitor.run(rounds=2)
+        kinds = [event.kind for event in monitor.events]
+        assert kinds.count("failure") == 2
+        assert "alarm" in kinds
+        assert monitor.alarmed
+
+    def test_alarm_fires_once(self):
+        monitor = AttestationMonitor(
+            monitored_session(adversary=DropAllRequests(), seed="mon-once"),
+            policy=quick_policy())
+        monitor.run(rounds=4)
+        kinds = [event.kind for event in monitor.events]
+        assert kinds.count("alarm") == 1
+
+    def test_recovery_clears_alarm(self):
+        # Drop enough requests to cover 2 rounds x (1 try + 1 retry).
+        monitor = AttestationMonitor(
+            monitored_session(adversary=DropFirstN(4), seed="mon-recover"),
+            policy=quick_policy())
+        monitor.run(rounds=3)
+        kinds = [event.kind for event in monitor.events]
+        assert "alarm" in kinds
+        assert "recovered" in kinds
+        assert kinds[-1] == "ok"
+        assert not monitor.alarmed
+
+    def test_compromised_state_alarms(self):
+        session = monitored_session(seed="mon-compromise")
+        session.device.flash.load(80, b"\xEB\xFE")
+        monitor = AttestationMonitor(session, policy=quick_policy())
+        monitor.run(rounds=2)
+        assert monitor.alarmed
+        failures = [e for e in monitor.events if e.kind == "failure"]
+        assert "NOT in reference set" in failures[0].detail
+
+
+class TestValidation:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            MonitorPolicy(interval_seconds=0)
+        with pytest.raises(ConfigurationError):
+            MonitorPolicy(failure_threshold=0)
+
+    def test_rounds_validation(self):
+        monitor = AttestationMonitor(monitored_session(seed="mon-val"),
+                                     policy=quick_policy())
+        with pytest.raises(ConfigurationError):
+            monitor.run(rounds=0)
+
+    def test_event_is_frozen(self):
+        event = MonitorEvent(0.0, "ok", "detail")
+        with pytest.raises(AttributeError):
+            event.kind = "changed"

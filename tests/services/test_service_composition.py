@@ -1,0 +1,126 @@
+"""Composing services behind one RequestGuard: the unified command plane."""
+
+import pytest
+
+from repro.errors import RequestRejected
+from repro.mcu import Device, EXT_HARDENED
+from repro.mcu.firmware import FirmwareModule
+from repro.services.codeupdate import UpdateAuthority, UpdateManager
+from repro.services.erasure import ErasureManager, ErasureVerifier
+from repro.services.guard import CommandIssuer, RequestGuard
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+@pytest.fixture
+def platform():
+    """A device whose update and erase services both sit behind one
+    guard -- the Section 7 item-3 architecture."""
+    device = Device(tiny_config())
+    device.provision(KEY)
+    device.boot(EXT_HARDENED)
+    guard = RequestGuard(device)
+    update_manager = UpdateManager(device)
+    erasure_manager = ErasureManager(device)
+    authority = UpdateAuthority(KEY)
+    erasure_verifier = ErasureVerifier(KEY)
+
+    applied = []
+
+    def handle_update(body: bytes):
+        version = int.from_bytes(body[:4], "big")
+        package = authority.package(
+            FirmwareModule("app", 2048, version=version))
+        receipt = update_manager.apply(package)
+        applied.append(receipt.version)
+        return receipt
+
+    def handle_erase(body: bytes):
+        start = int.from_bytes(body[:4], "big")
+        length = int.from_bytes(body[4:8], "big")
+        order = erasure_verifier.order(start, length)
+        return erasure_manager.handle(order)
+
+    guard.register("update", handle_update)
+    guard.register("erase", handle_erase)
+    return device, guard, CommandIssuer(KEY), applied
+
+
+def update_body(version: int) -> bytes:
+    return version.to_bytes(4, "big")
+
+
+def erase_body(start: int, length: int) -> bytes:
+    return start.to_bytes(4, "big") + length.to_bytes(4, "big")
+
+
+class TestUnifiedCommandPlane:
+    def test_guarded_update(self, platform):
+        device, guard, issuer, applied = platform
+        receipt = guard.handle(issuer.issue("update", update_body(2)))
+        assert receipt.version == 2
+        assert applied == [2]
+
+    def test_guarded_erase(self, platform):
+        device, guard, issuer, applied = platform
+        proof = guard.handle(issuer.issue(
+            "erase", erase_body(device.data_base, 128)))
+        assert proof.digest is not None
+        wiped = device.ram.raw_read(device.data_base - device.ram.start, 128)
+        assert wiped == bytes(128)
+
+    def test_interleaved_services_share_freshness(self, platform):
+        device, guard, issuer, applied = platform
+        c_update = issuer.issue("update", update_body(2))    # counter 1
+        c_erase = issuer.issue("erase",
+                               erase_body(device.data_base, 64))  # counter 2
+        guard.handle(c_erase)
+        # The earlier-issued update is now stale: cross-service reorder
+        # protection from the single counter word.
+        with pytest.raises(RequestRejected) as excinfo:
+            guard.handle(c_update)
+        assert excinfo.value.reason == "stale-counter"
+        assert applied == []
+
+    def test_replayed_update_command_rejected(self, platform):
+        device, guard, issuer, applied = platform
+        command = issuer.issue("update", update_body(2))
+        guard.handle(command)
+        with pytest.raises(RequestRejected):
+            guard.handle(command)
+        assert applied == [2]
+
+    def test_stats_aggregate_across_services(self, platform):
+        device, guard, issuer, applied = platform
+        guard.handle(issuer.issue("update", update_body(2)))
+        guard.handle(issuer.issue("erase",
+                                  erase_body(device.data_base, 32)))
+        try:
+            guard.handle(issuer.issue("reboot"))
+        except RequestRejected:
+            pass
+        assert guard.stats.received == 3
+        assert guard.stats.executed == 2
+        assert guard.stats.rejected_unknown == 1
+
+
+class TestGuardedAttestation:
+    def test_attestation_as_guarded_service(self):
+        """Even attestation itself composes behind the guard: the guard
+        supplies authentication + freshness, the handler just measures."""
+        device = Device(tiny_config())
+        device.provision(KEY)
+        device.boot(EXT_HARDENED)
+        guard = RequestGuard(device)
+        attest = device.context("Code_Attest")
+        guard.register(
+            "attest", lambda body: device.digest_writable_memory(attest))
+        issuer = CommandIssuer(KEY)
+
+        command = issuer.issue("attest")
+        digest = guard.handle(command)
+        tag = guard.authenticate_reply(command, digest)
+        assert RequestGuard.check_reply(KEY, command, digest, tag)
+        with pytest.raises(RequestRejected):
+            guard.handle(command)   # replayed attestation request

@@ -1,0 +1,116 @@
+"""Clock synchronisation: drift, protocol, attack resistance."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mcu import Device, ROAM_HARDENED
+from repro.services.timesync import (ClockSynchronizer, DriftingClock,
+                                     SyncResponse, SyncVerifier)
+from tests.conftest import tiny_config
+
+KEY = b"K" * 16
+
+
+@pytest.fixture
+def device():
+    dev = Device(tiny_config())
+    dev.provision(KEY)
+    dev.boot(ROAM_HARDENED)
+    return dev
+
+
+def true_ticks(device):
+    return device.clock.ticks_for_seconds(device.cpu.elapsed_seconds)
+
+
+def make_pair(device, drift_ppm=100.0):
+    sync = ClockSynchronizer(device, KEY,
+                             drifting_clock=DriftingClock(device, drift_ppm))
+    verifier = SyncVerifier(KEY, clock_ticks=lambda: true_ticks(device))
+    return sync, verifier
+
+
+class TestDriftingClock:
+    def test_positive_drift_runs_fast(self, device):
+        clock = DriftingClock(device, drift_ppm=1000.0)
+        device.idle_seconds(10.0)
+        raw = device.read_clock_ticks(device.context("Code_Attest"))
+        assert clock.read_ticks(device.context("Code_Attest")) > raw
+
+    def test_zero_drift_identity(self, device):
+        clock = DriftingClock(device, drift_ppm=0.0)
+        device.idle_seconds(1.0)
+        assert clock.read_ticks(device.context("Code_Attest")) == \
+            device.read_clock_ticks(device.context("Code_Attest"))
+
+    def test_requires_clock(self):
+        dev = Device(tiny_config(clock_kind="none"))
+        dev.provision(KEY)
+        dev.boot(ROAM_HARDENED)
+        with pytest.raises(ConfigurationError):
+            DriftingClock(dev, 1.0)
+
+
+class TestProtocol:
+    def test_sync_reduces_error(self, device):
+        sync, verifier = make_pair(device, drift_ppm=100.0)
+        device.idle_seconds(1000.0)
+        error_before = abs(sync.error_ticks(true_ticks(device)))
+        response = verifier.respond(sync.begin_sync())
+        sync.complete_sync(response)
+        error_after = abs(sync.error_ticks(true_ticks(device)))
+        assert error_after < error_before / 10
+        assert sync.syncs_completed == 1
+
+    def test_repeated_syncs_bound_error(self, device):
+        sync, verifier = make_pair(device, drift_ppm=200.0)
+        for _ in range(5):
+            device.idle_seconds(100.0)
+            sync.complete_sync(verifier.respond(sync.begin_sync()))
+        # Max drift accumulated between syncs: 100 s * 200 ppm = 20 ms.
+        error_seconds = abs(sync.error_ticks(true_ticks(device))) * \
+            sync.clock.resolution_seconds
+        assert error_seconds < 0.03
+
+    def test_forged_response_rejected(self, device):
+        sync, verifier = make_pair(device)
+        request = sync.begin_sync()
+        forged = SyncResponse(nonce=request.nonce, verifier_ticks=0,
+                              tag=b"f" * 20)
+        with pytest.raises(ProtocolError):
+            sync.complete_sync(forged)
+        assert sync.syncs_rejected == 1
+        assert sync.offset_ticks == 0
+
+    def test_replayed_response_rejected(self, device):
+        """An old sync response cannot rewind the clock (the roaming
+        adversary's Phase III applied to time-sync)."""
+        sync, verifier = make_pair(device)
+        old_response = verifier.respond(sync.begin_sync())
+        sync.complete_sync(old_response)
+        device.idle_seconds(500.0)
+        sync.begin_sync()   # fresh nonce outstanding
+        with pytest.raises(ProtocolError):
+            sync.complete_sync(old_response)
+
+    def test_unsolicited_response_rejected(self, device):
+        sync, verifier = make_pair(device)
+        response = SyncResponse(nonce=b"n" * 16, verifier_ticks=0,
+                                tag=b"t" * 20)
+        with pytest.raises(ProtocolError):
+            sync.complete_sync(response)
+
+    def test_sync_charges_cycles(self, device):
+        sync, verifier = make_pair(device)
+        request = sync.begin_sync()
+        response = verifier.respond(request)
+        before = device.cpu.cycle_count
+        sync.complete_sync(response)
+        assert device.cpu.cycle_count > before
+
+    def test_requires_clock(self):
+        dev = Device(tiny_config(clock_kind="none"))
+        dev.provision(KEY)
+        dev.boot(ROAM_HARDENED)
+        with pytest.raises(ConfigurationError):
+            ClockSynchronizer(dev, KEY)

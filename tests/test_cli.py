@@ -1,0 +1,113 @@
+"""The experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (["table1"], ["table2"], ["table2", "--model-check"],
+                     ["table3"], ["overhead"], ["roam", "--clock", "hw64"],
+                     ["flood", "--rate", "1.0"],
+                     ["attest", "--scheme", "hmac-sha1"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attest", "--scheme", "rot13"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.092" in out and "170.907" in out
+        assert "754.032" in out   # 512 KB default
+
+    def test_table1_custom_memory(self, capsys):
+        assert main(["table1", "--ram-kb", "64"]) == 0
+        assert "attestation of 64 KB" in capsys.readouterr().out
+
+    def test_table2_model_check(self, capsys):
+        assert main(["table2", "--model-check"]) == 0
+        out = capsys.readouterr().out
+        assert "delay, reorder, replay" in out
+
+    def test_table2_model_check_strict(self, capsys):
+        assert main(["table2", "--model-check", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "unrestricted adversary" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "5528" in out and "116" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "6038" in out and "5.76" in out
+
+    def test_attest_round(self, capsys):
+        assert main(["attest", "--ram-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "trusted=True" in out
+
+    def test_flood_quick(self, capsys):
+        assert main(["flood", "--rate", "0.2", "--duration", "10",
+                     "--ram-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ecdsa-secp160r1" in out
+
+    def test_modelcheck_table(self, capsys):
+        assert main(["modelcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "timestamp+monotonic" in out
+        # The monotonic row holds every property.
+        row = [line for line in out.splitlines()
+               if line.startswith("timestamp+monotonic")][0]
+        assert "FAILS" not in row
+
+    def test_swatt_topology(self, capsys):
+        assert main(["swatt", "--trials", "3",
+                     "--iterations", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "wan" in out
+
+    def test_report_aggregation(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "alpha.txt").write_text("table A\n")
+        (results / "beta.txt").write_text("table B\n")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "## alpha" in out and "table B" in out
+
+    def test_report_to_file(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "alpha.txt").write_text("table A\n")
+        output = tmp_path / "report.md"
+        assert main(["report", "--results-dir", str(results),
+                     "--output", str(output)]) == 0
+        assert "table A" in output.read_text()
+
+    def test_report_missing_dir(self, tmp_path):
+        assert main(["report", "--results-dir",
+                     str(tmp_path / "nope")]) == 1
+
+    def test_attest_json(self, capsys):
+        import json
+        assert main(["attest", "--ram-kb", "8", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verdict"]["trusted"] is True
+        assert summary["device"]["profile"] == "roam-hardened"
+        assert summary["stats"]["accepted"] == 1
+        assert 0 < summary["energy"]["consumed_mj"] < 100

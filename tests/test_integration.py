@@ -1,0 +1,147 @@
+"""Cross-module integration: full paper narratives end-to-end."""
+
+import pytest
+
+from repro.attacks.roaming import RoamingAdversary
+from repro.core import build_session
+from repro.mcu import BASELINE, DeviceConfig, ROAM_HARDENED, UNPROTECTED
+from repro.services.codeupdate import UpdateAuthority, UpdateManager
+from repro.services.erasure import ErasureManager, ErasureVerifier
+from repro.mcu.firmware import FirmwareModule
+from tests.conftest import tiny_config
+
+
+class TestFullPaperNarrative:
+    """Section 5's story, start to finish, on one deployment."""
+
+    def test_counter_rollback_story(self):
+        # 1. Deploy a baseline (trusted-verifier-only) prover.
+        session = build_session(profile=BASELINE, policy_name="counter",
+                                device_config=tiny_config(),
+                                seed="narrative-1")
+        golden = session.learn_reference_state()
+        session.sim.run(until=60.0)
+
+        # 2. A genuine attestation round succeeds.
+        assert session.attest_once().trusted
+        accepted_after_genuine = session.anchor.stats.accepted
+
+        # 3. Adv_roam records it, compromises, rolls the counter back,
+        #    erases itself, and replays.
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        adversary = RoamingAdversary(session)
+        outcome = adversary.execute("counter-rollback",
+                                    golden_digest=golden)
+
+        # 4. The DoS succeeded and left no trace.
+        assert outcome.dos_succeeded
+        assert session.anchor.stats.accepted == accepted_after_genuine + 1
+        assert not outcome.detectable_after_fact
+
+        # 5. Even post-attack, the verifier still trusts the prover --
+        #    the attack is invisible to attestation itself.
+        assert session.attest_once().trusted
+
+    def test_hardened_deployment_resists(self):
+        session = build_session(profile=ROAM_HARDENED,
+                                policy_name="counter",
+                                device_config=tiny_config(),
+                                seed="narrative-2")
+        golden = session.learn_reference_state()
+        session.sim.run(until=60.0)
+        session.attest_once()
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        outcome = RoamingAdversary(session).execute(
+            "counter-rollback", golden_digest=golden)
+        assert not outcome.dos_succeeded
+        assert session.attest_once().trusted
+
+
+class TestServicesOnOneDevice:
+    """Attestation, update, and erasure sharing one trust anchor."""
+
+    def test_update_then_attest(self):
+        session = build_session(device_config=tiny_config(),
+                                seed="integration-svc")
+        session.learn_reference_state()
+        assert session.attest_once().state_known_good
+
+        authority = UpdateAuthority(session.key)
+        manager = UpdateManager(session.device)
+        module = FirmwareModule("app", 2048, version=2)
+        receipt = manager.apply(authority.package(module))
+
+        # Old reference no longer matches ...
+        result = session.attest_once()
+        assert result.authentic
+        assert result.state_known_good is False
+
+        # ... until the verifier learns the post-update state.
+        attest_ctx = session.device.context("Code_Attest")
+        session.verifier.learn_reference(
+            session.device.digest_writable_memory(attest_ctx))
+        assert session.attest_once().state_known_good
+
+    def test_erase_then_attest_reflects_wipe(self):
+        session = build_session(device_config=tiny_config(),
+                                seed="integration-erase")
+        device = session.device
+        device.ram.load(device.data_base - device.ram.start, b"\xAB" * 256)
+        session.learn_reference_state()
+        assert session.attest_once().state_known_good
+
+        verifier = ErasureVerifier(session.key)
+        manager = ErasureManager(device)
+        request = verifier.order(device.data_base, 256)
+        proof = manager.handle(request)
+        assert verifier.check_proof(request, proof)
+
+        result = session.attest_once()
+        assert result.authentic
+        assert result.state_known_good is False  # state changed, as it must
+
+
+class TestScaleAndVariants:
+    @pytest.mark.parametrize("clock_kind", ["hw64", "hw32div", "sw"])
+    def test_roaming_resistance_across_clock_designs(self, clock_kind):
+        session = build_session(
+            profile=ROAM_HARDENED, policy_name="timestamp",
+            device_config=tiny_config(clock_kind=clock_kind),
+            timestamp_window_seconds=1.0,
+            seed=f"integration-{clock_kind}")
+        session.sim.run(until=60.0)
+        session.attest_once()
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        outcome = RoamingAdversary(session).execute("clock-reset")
+        assert not outcome.dos_succeeded
+
+    def test_unprotected_device_fully_owned(self):
+        session = build_session(profile=UNPROTECTED, policy_name="counter",
+                                device_config=tiny_config(),
+                                seed="integration-unprot")
+        session.sim.run(until=60.0)
+        session.attest_once()
+        lag = session.sim.now - session.device.cpu.elapsed_seconds
+        if lag > 0:
+            session.device.idle_seconds(lag)
+        outcome = RoamingAdversary(session).execute("counter-rollback")
+        assert outcome.dos_succeeded
+        assert outcome.compromise.key_extracted
+
+    def test_paper_scale_device_cost(self):
+        """One attestation on the paper's 512 KB prover takes ~754 ms of
+        simulated time (Section 3.1)."""
+        config = DeviceConfig(ram_size=512 * 1024, flash_size=16 * 1024,
+                              app_size=2 * 1024)
+        session = build_session(device_config=config, seed="paper-scale")
+        before = session.device.cpu.cycle_count
+        session.attest_once(settle_seconds=10.0)
+        elapsed_ms = session.anchor.stats.attestation_cycles / 24_000
+        # 512 KB RAM + 16 KB flash: a little over the 754 ms headline.
+        assert 750 < elapsed_ms < 800

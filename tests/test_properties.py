@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers: crypto round-trips and hashlib agreement, CBC/PKCS#7, the
+EA-MPU's interval algebra, freshness-policy state machines, counters and
+wrap-around arithmetic, and the deterministic RNG.
+"""
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freshness import (CounterPolicy, InMemoryStateView,
+                                  NonceHistoryPolicy, TimestampPolicy)
+from repro.core.messages import AttestationRequest
+from repro.crypto.aes import AES128
+from repro.crypto.hmac import HmacSha1, constant_time_compare, hmac_sha1
+from repro.crypto.modes import CBC, cbc_mac, pkcs7_pad, pkcs7_unpad
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.sha1 import SHA1
+from repro.crypto.speck import Speck64_128
+from repro.mcu.cpu import CPU
+from repro.mcu.mpu import _merge_intervals, _subtract_intervals
+from repro.mcu.timer import HardwareCounter
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+@given(st.binary(max_size=2048))
+def test_sha1_matches_hashlib(data):
+    assert SHA1(data).digest() == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=512), st.lists(st.integers(1, 64), max_size=6))
+def test_sha1_chunking_invariance(data, cuts):
+    h = SHA1()
+    offset = 0
+    for cut in cuts:
+        h.update(data[offset:offset + cut])
+        offset += cut
+    h.update(data[offset:])
+    assert h.digest() == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=128), st.binary(max_size=512))
+def test_hmac_matches_stdlib(key, message):
+    assert hmac_sha1(key, message) == \
+        stdlib_hmac.new(key, message, hashlib.sha1).digest()
+
+
+@given(st.integers(0, 10_000))
+def test_hmac_compression_count_matches_execution(length):
+    """The analytic compression count equals what the implementation
+    actually performs (inner message blocks + fixed blocks)."""
+    message = b"\x00" * length
+    mac = HmacSha1(b"key-16-bytes-ok!", message)
+    mac.digest()
+    analytic = HmacSha1.total_compressions(length)
+    # Executed: 1 ipad key block + message blocks + inner pad + 2 outer.
+    inner_executed = 1 + mac.blocks_processed
+    assert analytic >= inner_executed
+    assert analytic - inner_executed <= 3
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16,
+                                                      max_size=16))
+def test_aes_roundtrip(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=8,
+                                                      max_size=8))
+def test_speck_roundtrip(key, block):
+    cipher = Speck64_128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(max_size=200), st.sampled_from([8, 16]))
+def test_pkcs7_roundtrip(data, block_size):
+    assert pkcs7_unpad(pkcs7_pad(data, block_size), block_size) == data
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16,
+                                                      max_size=16),
+       st.binary(max_size=300))
+def test_cbc_roundtrip(key, iv, plaintext):
+    mode = CBC(AES128(key))
+    assert mode.decrypt(iv, mode.encrypt(iv, plaintext)) == plaintext
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(max_size=100),
+       st.binary(max_size=100))
+def test_cbc_mac_injective_on_samples(key, m1, m2):
+    if m1 != m2:
+        assert cbc_mac(AES128(key), m1) != cbc_mac(AES128(key), m2)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_constant_time_compare_equivalence(a, b):
+    assert constant_time_compare(a, b) == (a == b)
+
+
+# ---------------------------------------------------------------------------
+# RNG
+# ---------------------------------------------------------------------------
+
+@given(st.binary(min_size=1, max_size=32), st.integers(0, 300))
+def test_rng_reproducible(seed, n):
+    assert DeterministicRng(seed).bytes(n) == DeterministicRng(seed).bytes(n)
+
+
+@given(st.binary(min_size=1, max_size=16),
+       st.integers(-1000, 1000), st.integers(0, 1000))
+def test_rng_randint_in_range(seed, low, span):
+    high = low + span
+    value = DeterministicRng(seed).randint(low, high)
+    assert low <= value <= high
+
+
+# ---------------------------------------------------------------------------
+# EA-MPU interval algebra
+# ---------------------------------------------------------------------------
+
+interval = st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+    lambda t: (min(t), max(t) + 1))
+
+
+@given(st.lists(interval, max_size=8))
+def test_merge_produces_disjoint_sorted(intervals):
+    merged = _merge_intervals(intervals)
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(merged, merged[1:]):
+        assert a_hi < b_lo
+    covered = set()
+    for lo, hi in intervals:
+        covered.update(range(lo, hi))
+    merged_covered = set()
+    for lo, hi in merged:
+        merged_covered.update(range(lo, hi))
+    assert covered == merged_covered
+
+
+@given(st.lists(interval, max_size=6), st.lists(interval, max_size=6))
+def test_subtract_matches_set_semantics(minuend, subtrahend):
+    m = _merge_intervals(minuend)
+    s = _merge_intervals(subtrahend)
+    result = _subtract_intervals(m, s)
+    expected = set()
+    for lo, hi in m:
+        expected.update(range(lo, hi))
+    for lo, hi in s:
+        expected.difference_update(range(lo, hi))
+    actual = set()
+    for lo, hi in result:
+        actual.update(range(lo, hi))
+    assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# Freshness state machines
+# ---------------------------------------------------------------------------
+
+def _request(**fields):
+    return AttestationRequest(challenge=b"c" * 16, **fields)
+
+
+@given(st.lists(st.integers(0, 50), max_size=30))
+def test_counter_policy_never_accepts_nonincreasing(counters):
+    """Whatever the arrival order, each accepted counter is strictly
+    greater than every previously accepted one."""
+    policy = CounterPolicy()
+    view = InMemoryStateView()
+    accepted = []
+    for counter in counters:
+        ok, _ = policy.check(_request(counter=counter), view)
+        if ok:
+            policy.commit(_request(counter=counter), view)
+            accepted.append(counter)
+    assert accepted == sorted(set(accepted))
+
+
+@given(st.lists(st.binary(min_size=8, max_size=8), max_size=30))
+def test_nonce_policy_accepts_each_nonce_once(nonces):
+    policy = NonceHistoryPolicy(nonce_size=8)
+    view = InMemoryStateView()
+    accepted = []
+    for nonce in nonces:
+        request = _request(nonce=nonce)
+        ok, _ = policy.check(request, view)
+        if ok:
+            policy.commit(request, view)
+            accepted.append(nonce)
+    assert len(accepted) == len(set(accepted))
+    assert set(accepted) == set(nonces)
+
+
+@given(st.integers(1, 10_000), st.integers(0, 100_000),
+       st.integers(0, 100_000))
+def test_timestamp_policy_window_semantics(window, local, stamp):
+    policy = TimestampPolicy(window_ticks=window)
+    view = InMemoryStateView(clock=local)
+    ok, _ = policy.check(_request(timestamp_ticks=stamp), view)
+    assert ok == (abs(stamp - local) <= window)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+       st.integers(1, 100))
+def test_monotonic_timestamps_strictly_increase(stamps, window):
+    policy = TimestampPolicy(window_ticks=window, monotonic=True)
+    accepted = []
+    for stamp in stamps:
+        view = InMemoryStateView(clock=stamp)  # perfectly synced clock
+        view.counter = accepted[-1] if accepted else 0
+        request = _request(timestamp_ticks=stamp)
+        ok, _ = policy.check(request, view)
+        if ok:
+            policy.commit(request, view)
+            accepted.append(stamp)
+    assert all(b > a for a, b in zip(accepted, accepted[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Hardware counters
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 100_000), st.sampled_from([8, 16, 32]),
+       st.integers(1, 64))
+@settings(max_examples=50)
+def test_counter_value_formula(cycles, width, divider):
+    cpu = CPU()
+    counter = HardwareCounter(cpu, width_bits=width, divider=divider)
+    cpu.consume_cycles(cycles) if cycles else None
+    assert counter.value == (cycles // divider) % (1 << width)
+
+
+@given(st.integers(0, 5000), st.integers(0, 255))
+@settings(max_examples=50)
+def test_counter_set_value_then_counts_on(cycles, new_value):
+    cpu = CPU()
+    counter = HardwareCounter(cpu, width_bits=8, software_writable=True)
+    if cycles:
+        cpu.consume_cycles(cycles)
+    counter.set_value(new_value)
+    assert counter.value == new_value
+    cpu.consume_cycles(3)
+    assert counter.value == (new_value + 3) % 256

@@ -1,0 +1,143 @@
+"""Second wave of property-based tests: scheduler, paths, guard,
+wire formats, model-checker consistency."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import AttestationRequest
+from repro.core.modelcheck import check_policy
+from repro.crypto.rng import DeterministicRng
+from repro.mcu.scheduler import CooperativeScheduler, PeriodicTask
+from repro.net.path import Hop, NetworkPath
+
+
+# ---------------------------------------------------------------------------
+# Scheduler invariants
+# ---------------------------------------------------------------------------
+
+busy_strategy = st.lists(
+    st.tuples(st.floats(0.0, 8.0), st.floats(0.05, 2.0)),
+    max_size=4,
+).map(lambda raw: _disjoint([(start, start + length)
+                             for start, length in raw]))
+
+
+def _disjoint(intervals):
+    """Make an arbitrary interval list disjoint by clipping."""
+    result = []
+    cursor = 0.0
+    for start, end in sorted(intervals):
+        start = max(start, cursor)
+        if end > start:
+            result.append((start, end))
+            cursor = end
+    return result
+
+
+@given(busy=busy_strategy,
+       period=st.floats(0.2, 2.0),
+       job_fraction=st.floats(0.05, 0.9))
+@settings(max_examples=60)
+def test_scheduler_executions_never_overlap_busy_intervals(
+        busy, period, job_fraction):
+    task = PeriodicTask("t", period, period * job_fraction,
+                        policy="catch-up")
+    report = CooperativeScheduler([task]).run(10.0, busy)
+    for job in report.jobs:
+        if job.started is None:
+            continue
+        for b_start, b_end in busy:
+            # No overlap between the job execution and any busy interval.
+            assert job.finished <= b_start + 1e-9 or \
+                job.started >= b_end - 1e-9
+
+
+@given(busy=busy_strategy, period=st.floats(0.2, 2.0))
+@settings(max_examples=60)
+def test_scheduler_jobs_start_after_release_and_run_in_order(busy, period):
+    task = PeriodicTask("t", period, period * 0.3, policy="catch-up")
+    report = CooperativeScheduler([task]).run(10.0, busy)
+    executed = [job for job in report.jobs if job.started is not None]
+    for job in executed:
+        assert job.started >= job.release - 1e-9
+        assert job.finished - job.started == \
+            __import__("pytest").approx(task.job_seconds)
+    for first, second in zip(executed, executed[1:]):
+        assert second.started >= first.finished - 1e-9
+
+
+@given(busy=busy_strategy)
+@settings(max_examples=40)
+def test_scheduler_skip_policy_never_reports_late(busy):
+    task = PeriodicTask("t", 1.0, 0.2, policy="skip")
+    report = CooperativeScheduler([task]).run(10.0, busy)
+    assert all(job.outcome in ("met", "skipped") for job in report.jobs)
+    assert report.met + report.skipped == report.released
+
+
+# ---------------------------------------------------------------------------
+# Network paths
+# ---------------------------------------------------------------------------
+
+hop_strategy = st.tuples(st.floats(0.0, 0.05), st.floats(0.0, 0.05)).map(
+    lambda t: Hop("h", t[0], t[1]))
+
+
+@given(hops=st.lists(hop_strategy, min_size=1, max_size=6),
+       seed=st.binary(min_size=1, max_size=8))
+@settings(max_examples=60)
+def test_path_samples_within_envelope(hops, seed):
+    path = NetworkPath(hops)
+    rng = DeterministicRng(seed)
+    for _ in range(20):
+        delay = path.sample(rng)
+        assert path.base_latency_seconds - 1e-12 <= delay
+        assert delay <= (path.base_latency_seconds
+                         + path.jitter_span_seconds + 1e-12)
+
+
+@given(hops=st.lists(hop_strategy, min_size=1, max_size=5))
+def test_path_composition_is_additive(hops):
+    path = NetworkPath(hops)
+    assert path.base_latency_seconds == __import__("pytest").approx(
+        sum(h.latency_seconds for h in hops))
+    assert path.jitter_span_seconds == __import__("pytest").approx(
+        sum(h.jitter_seconds for h in hops))
+
+
+# ---------------------------------------------------------------------------
+# Wire formats
+# ---------------------------------------------------------------------------
+
+@given(challenge=st.binary(max_size=32),
+       counter=st.one_of(st.none(), st.integers(0, 2 ** 64 - 2)),
+       nonce=st.one_of(st.none(), st.binary(min_size=1, max_size=32)))
+def test_request_wire_roundtrip_property(challenge, counter, nonce):
+    original = AttestationRequest(challenge=challenge, counter=counter,
+                                  nonce=nonce, auth_scheme="hmac-sha1",
+                                  auth_tag=b"t" * 20)
+    parsed = AttestationRequest.from_bytes(original.to_bytes())
+    assert parsed == original
+    assert parsed.signed_payload() == original.signed_payload()
+
+
+# ---------------------------------------------------------------------------
+# Model checker internal consistency
+# ---------------------------------------------------------------------------
+
+@given(requests=st.integers(2, 3), window=st.floats(0.5, 2.0))
+@settings(max_examples=10, deadline=None)
+def test_modelcheck_counter_invariants_hold_for_any_geometry(requests,
+                                                             window):
+    result = check_policy("counter", requests=requests, window=window,
+                          spacing=window * 3)
+    assert "no-double-acceptance" in result.holds
+    assert "order-safety" in result.holds
+    assert "honest-liveness" in result.holds
+
+
+@given(window=st.floats(0.5, 2.0))
+@settings(max_examples=8, deadline=None)
+def test_modelcheck_monotonic_timestamp_always_safe(window):
+    result = check_policy("timestamp", window=window, spacing=window * 3,
+                          monotonic_timestamps=True)
+    assert not result.violations
