@@ -16,6 +16,7 @@ import pytest
 from repro.attacks.scenarios import run_dos_flood
 from repro.core.analysis import render_table
 from repro.mcu import DeviceConfig
+from repro.obs import Telemetry
 
 from _report import run_once, write_report
 
@@ -30,22 +31,41 @@ def flood_device() -> DeviceConfig:
 
 
 @pytest.fixture(scope="module")
-def results():
-    return {scheme: run_dos_flood(auth_scheme=scheme, rate_per_second=RATE,
-                                  duration_seconds=DURATION,
-                                  device_config=flood_device(),
-                                  seed="bench-flood")
-            for scheme in SCHEMES}
+def flood_runs():
+    """Per-scheme flood runs observed through a telemetry sink; the
+    request counts below come out of the metrics registry."""
+    runs = {}
+    for scheme in SCHEMES:
+        telemetry = Telemetry()
+        result = run_dos_flood(auth_scheme=scheme, rate_per_second=RATE,
+                               duration_seconds=DURATION,
+                               device_config=flood_device(),
+                               telemetry=telemetry, seed="bench-flood")
+        runs[scheme] = (result, telemetry)
+    return runs
 
 
-def test_report_flood_impact(benchmark, results):
+@pytest.fixture(scope="module")
+def results(flood_runs):
+    return {scheme: result for scheme, (result, _) in flood_runs.items()}
+
+
+def test_report_flood_impact(benchmark, results, flood_runs):
     run_once(benchmark, lambda: None)
     rows = [["auth scheme", "forged reqs", "accepted", "rejected",
              "CPU busy (s)", "duty %", "energy (mJ)"]]
     for scheme in SCHEMES:
         r = results[scheme]
-        rows.append([scheme, str(r.requests_sent), str(r.accepted),
-                     str(r.rejected), f"{r.active_seconds:.3f}",
+        registry = flood_runs[scheme][1].registry
+        accepted = registry.value("prover.requests.accepted")
+        rejected = registry.total("prover.requests.rejected")
+        # The registry is the source of the table and must agree with
+        # the scenario's own bookkeeping.
+        assert accepted == r.accepted
+        assert rejected == r.rejected
+        assert registry.value("prover.requests.received") >= r.requests_sent
+        rows.append([scheme, str(r.requests_sent), str(accepted),
+                     str(rejected), f"{r.active_seconds:.3f}",
                      f"{100 * r.duty_fraction:.3f}",
                      f"{r.energy_mj:.4f}"])
     report = render_table(

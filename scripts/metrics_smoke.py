@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Smoke-test the telemetry pipeline end to end.
+
+Runs ``repro metrics`` on the quickstart scenario (tiny prover so CI
+stays fast), re-reads the two exported artefacts, and validates them
+against the telemetry schemas -- independently of the validation the
+command itself performs, so a bug that breaks the exporter *and* its
+in-process check still fails here.
+
+Exit status: 0 on success, 1 with diagnostics on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/metrics_smoke.py [--keep DIR]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", metavar="DIR", default=None,
+                        help="write the exports into DIR instead of a "
+                             "temporary directory")
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--ram-kb", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.cli import main as repro_main
+        from repro.obs import validate_jsonl_trace, validate_registry_dump
+    except ImportError as exc:
+        print(f"metrics-smoke: cannot import repro ({exc}); "
+              f"run with PYTHONPATH=src", file=sys.stderr)
+        return 1
+
+    if args.keep:
+        out_dir = Path(args.keep)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="metrics-smoke-")
+        out_dir = Path(cleanup.name)
+
+    trace_path = out_dir / "trace.jsonl"
+    registry_path = out_dir / "registry.json"
+    failures = []
+    try:
+        status = repro_main(["metrics", "--rounds", str(args.rounds),
+                             "--ram-kb", str(args.ram_kb),
+                             "--trace-out", str(trace_path),
+                             "--registry-out", str(registry_path)])
+        if status != 0:
+            failures.append(f"repro metrics exited {status}")
+
+        if not trace_path.is_file():
+            failures.append("trace export missing")
+        else:
+            trace_text = trace_path.read_text()
+            events = [line for line in trace_text.splitlines()
+                      if line.strip()]
+            if not events:
+                failures.append("trace export is empty")
+            failures += [f"trace: {e}"
+                         for e in validate_jsonl_trace(trace_text)]
+            kinds = {json.loads(line)["kind"] for line in events}
+            for expected in ("request-received", "request-accepted",
+                             "measurement-start", "measurement-end",
+                             "channel-send"):
+                if expected not in kinds:
+                    failures.append(f"trace never records {expected!r}")
+
+        if not registry_path.is_file():
+            failures.append("registry export missing")
+        else:
+            try:
+                dump = json.loads(registry_path.read_text())
+            except json.JSONDecodeError as exc:
+                failures.append(f"registry export is not JSON: {exc}")
+            else:
+                failures += [f"registry: {e}"
+                             for e in validate_registry_dump(dump)]
+                names = {metric["name"] for metric in dump.get("metrics", [])
+                         if isinstance(metric, dict)}
+                for expected in ("prover.requests.received",
+                                 "prover.requests.accepted",
+                                 "prover.attestation_cycles",
+                                 "cpu.cycles", "channel.sent"):
+                    if expected not in names:
+                        failures.append(
+                            f"registry never exported {expected!r}")
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    if failures:
+        for failure in failures:
+            print(f"metrics-smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"metrics-smoke: OK ({args.rounds} rounds, exports valid)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

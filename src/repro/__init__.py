@@ -31,6 +31,9 @@ Subpackages
     boot, energy.
 ``repro.net``
     Discrete-event Dolev-Yao network.
+``repro.obs``
+    Telemetry: metrics registry, structured event trace, export
+    schemas (attach with ``build_session(telemetry=Telemetry())``).
 ``repro.attacks``
     ``Adv_ext`` and ``Adv_roam`` with runnable scenarios.
 ``repro.hwcost``
@@ -47,16 +50,17 @@ from .errors import (ClockError, ConfigurationError, CryptoError,
                      SecureBootError, SimulationError, VerificationFailed)
 from .mcu import (ALL_PROFILES, BASELINE, Device, DeviceConfig, EXT_HARDENED,
                   ProtectionProfile, ROAM_HARDENED, UNPROTECTED)
+from .obs import EventTrace, MetricsRegistry, Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_PROFILES", "AttestationRequest", "AttestationResponse", "BASELINE",
     "ClockError", "ConfigurationError", "CryptoError", "Device",
-    "DeviceConfig", "DeviceError", "EXT_HARDENED", "MPULockedError",
-    "MemoryAccessViolation", "NetworkError", "ProtectionProfile",
-    "ProtocolError", "ROAM_HARDENED", "ReproError", "RequestRejected",
-    "SecureBootError", "Session", "SimulationError", "UNPROTECTED",
-    "VerificationFailed", "VerificationResult", "build_session",
-    "__version__",
+    "DeviceConfig", "DeviceError", "EXT_HARDENED", "EventTrace",
+    "MPULockedError", "MemoryAccessViolation", "MetricsRegistry",
+    "NetworkError", "ProtectionProfile", "ProtocolError", "ROAM_HARDENED",
+    "ReproError", "RequestRejected", "SecureBootError", "Session",
+    "SimulationError", "Telemetry", "UNPROTECTED", "VerificationFailed",
+    "VerificationResult", "build_session", "__version__",
 ]

@@ -251,17 +251,21 @@ class FloodResult:
 def run_dos_flood(*, auth_scheme: str, rate_per_second: float = 1.0,
                   duration_seconds: float = 60.0,
                   device_config: DeviceConfig | None = None,
+                  telemetry=None,
                   seed: str = "flood") -> FloodResult:
     """Flood one prover with forged requests and measure the damage.
 
     With ``auth_scheme="none"`` every request triggers a full memory
     measurement; with a MAC scheme each dies at validation cost; with
-    ECDSA the validation *is* the DoS.
+    ECDSA the validation *is* the DoS.  Pass a
+    :class:`~repro.obs.telemetry.Telemetry` to observe the flood through
+    the metrics registry (the DoS-energy benchmark reads its numbers
+    from there).
     """
     config = device_config if device_config is not None else _small_device()
     session = build_session(
         profile=ROAM_HARDENED, auth_scheme=auth_scheme, policy_name="none",
-        device_config=config, seed=seed)
+        device_config=config, telemetry=telemetry, seed=seed)
     device = session.device
 
     flooder = BogusRequestFlooder(session.channel, session.sim,

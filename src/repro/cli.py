@@ -9,6 +9,7 @@ Usage::
     python -m repro roam [--clock sw]      # Section 5 roaming grid
     python -m repro flood [--rate R] [--duration S]
     python -m repro attest [--ram-kb N] [--scheme S] [--policy P]
+    python -m repro metrics [--rounds N] [--trace-out F] [--registry-out F]
 
 Each subcommand prints the same tables the benchmark harness writes to
 ``benchmarks/results/``; the CLI exists so a downstream user can poke at
@@ -178,6 +179,91 @@ def _cmd_attest(args) -> int:
     return 0 if result.trusted else 1
 
 
+def _cmd_metrics(args) -> int:
+    """Observe the quickstart scenario through the telemetry subsystem.
+
+    Runs the quickstart deployment (roam-hardened 24 MHz prover, Speck
+    request MACs, counter freshness) with a metrics registry and event
+    trace attached, exports both, and cross-checks the registry against
+    the legacy :class:`ProverStats` counters -- the two accountings must
+    agree cycle-for-cycle.
+    """
+    import json
+
+    from .core.protocol import build_session
+    from .mcu.device import DeviceConfig
+    from .obs import (Telemetry, validate_jsonl_trace,
+                      validate_registry_dump)
+
+    telemetry = Telemetry()
+    session = build_session(
+        auth_scheme=args.scheme, policy_name=args.policy,
+        device_config=DeviceConfig(ram_size=args.ram_kb * 1024),
+        telemetry=telemetry, seed="quickstart")
+    session.learn_reference_state()
+    trusted_rounds = 0
+    for _ in range(args.rounds):
+        result = session.attest_once(settle_seconds=20.0)
+        trusted_rounds += int(result.trusted)
+    session.device.sync_energy()
+
+    registry = telemetry.registry
+    stats = session.anchor.stats
+    checks = {
+        "received": (registry.value("prover.requests.received"),
+                     stats.received),
+        "accepted": (registry.value("prover.requests.accepted"),
+                     stats.accepted),
+        "rejected": (registry.total("prover.requests.rejected"),
+                     stats.rejected_total),
+        "validation_cycles": (registry.value("prover.validation_cycles"),
+                              stats.validation_cycles),
+        "attestation_cycles": (registry.value("prover.attestation_cycles"),
+                               stats.attestation_cycles),
+    }
+    consistent = all(reg == legacy for reg, legacy in checks.values())
+
+    trace_text = telemetry.trace.to_jsonl()
+    dump = registry.dump()
+    schema_errors = validate_jsonl_trace(trace_text)
+    schema_errors += validate_registry_dump(dump)
+
+    registry_json = json.dumps(dump, indent=2, sort_keys=True)
+    try:
+        if args.trace_out:
+            telemetry.trace.export_jsonl(args.trace_out)
+        else:
+            print(trace_text)
+        if args.registry_out:
+            with open(args.registry_out, "w") as handle:
+                handle.write(registry_json + "\n")
+        else:
+            print(registry_json)
+    except OSError as exc:
+        print(f"error: cannot write export: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"\n# rounds: {args.rounds} ({trusted_rounds} trusted), "
+          f"trace events: {len(telemetry.trace)}, "
+          f"metrics: {len(registry)}", file=sys.stderr)
+    for name, (reg, legacy) in checks.items():
+        marker = "==" if reg == legacy else "!="
+        print(f"# registry vs ProverStats {name}: {reg} {marker} {legacy}",
+              file=sys.stderr)
+    for error in schema_errors:
+        print(f"# schema error: {error}", file=sys.stderr)
+    if not consistent:
+        print("# FAIL: registry disagrees with ProverStats", file=sys.stderr)
+        return 1
+    if schema_errors:
+        print("# FAIL: export violates the telemetry schema",
+              file=sys.stderr)
+        return 1
+    print("# OK: registry matches ProverStats and exports validate",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_modelcheck(args) -> int:
     from .core.modelcheck import PROPERTIES, check_policy
     rows = [["policy"] + list(PROPERTIES) + ["schedules"]]
@@ -311,6 +397,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable session summary")
     p.set_defaults(fn=_cmd_attest)
+
+    p = sub.add_parser("metrics",
+                       help="telemetry export + registry/stats cross-check")
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--ram-kb", type=int, default=64)
+    p.add_argument("--scheme", default="speck-64/128-cbc-mac",
+                   choices=["none", "speck-64/128-cbc-mac",
+                            "aes-128-cbc-mac", "hmac-sha1",
+                            "ecdsa-secp160r1"])
+    p.add_argument("--policy", default="counter",
+                   choices=["none", "nonce", "counter", "timestamp"])
+    p.add_argument("--trace-out", default=None,
+                   help="write the JSON-lines trace to a file")
+    p.add_argument("--registry-out", default=None,
+                   help="write the registry dump JSON to a file")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("modelcheck",
                        help="exhaustive freshness-policy verification")

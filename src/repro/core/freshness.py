@@ -27,6 +27,7 @@ compares it against these expectations.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -34,7 +35,8 @@ from ..crypto.rng import DeterministicRng
 from ..errors import ConfigurationError
 from .messages import AttestationRequest
 
-__all__ = ["ProverStateView", "InMemoryStateView", "VerifierFreshnessState",
+__all__ = ["ProverStateView", "InMemoryStateView", "NonceHistory",
+           "VerifierFreshnessState",
            "FreshnessPolicy", "NoFreshness", "NonceHistoryPolicy",
            "CounterPolicy", "TimestampPolicy", "make_policy", "POLICY_NAMES"]
 
@@ -44,7 +46,10 @@ class ProverStateView(Protocol):
 
     On a real device this is ``counter_R`` (also reused as the
     last-accepted-timestamp word), the real-time clock, and whatever
-    memory the nonce history occupies.
+    memory the nonce history occupies.  The nonce history is *ordered*
+    (insertion order) and owned by the view: a bounded cache evicts via
+    :meth:`pop_oldest_nonce`, so one policy object shared between
+    several provers never evicts across views.
     """
 
     def get_counter(self) -> int: ...
@@ -57,6 +62,63 @@ class ProverStateView(Protocol):
 
     def remember_nonce(self, nonce: bytes) -> None: ...
 
+    def forget_nonce(self, nonce: bytes) -> None: ...
+
+    def pop_oldest_nonce(self) -> bytes | None: ...
+
+    @property
+    def nonce_count(self) -> int: ...
+
+
+class NonceHistory:
+    """Insertion-ordered nonce set: O(1) membership, O(1) FIFO eviction.
+
+    The eviction queue lives here -- with the *state*, not with the
+    policy -- and uses :meth:`collections.deque.popleft` rather than
+    ``list.pop(0)``.  Entries removed out of order (``discard``) are
+    deleted lazily from the queue when they surface at the front.
+    """
+
+    def __init__(self):
+        self._members: set[bytes] = set()
+        self._order: deque[bytes] = deque()
+        #: Actual bytes of nonce material stored (nonces may be any
+        #: length, so the byte total is not ``count * constant``).
+        self.stored_bytes = 0
+
+    def __contains__(self, nonce: bytes) -> bool:
+        return nonce in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def add(self, nonce: bytes) -> bool:
+        """Remember ``nonce``; returns whether it was new."""
+        if nonce in self._members:
+            return False
+        self._members.add(nonce)
+        self._order.append(nonce)
+        self.stored_bytes += len(nonce)
+        return True
+
+    def discard(self, nonce: bytes) -> None:
+        if nonce in self._members:
+            self._members.discard(nonce)
+            self.stored_bytes -= len(nonce)
+
+    def pop_oldest(self) -> bytes | None:
+        """Evict and return the oldest live nonce (FIFO), if any."""
+        while self._order:
+            nonce = self._order.popleft()
+            if nonce in self._members:
+                self._members.discard(nonce)
+                self.stored_bytes -= len(nonce)
+                return nonce
+        return None
+
 
 class InMemoryStateView:
     """Dictionary-backed state view for tests and model checking."""
@@ -64,7 +126,7 @@ class InMemoryStateView:
     def __init__(self, *, counter: int = 0, clock: int | None = None):
         self.counter = counter
         self.clock = clock
-        self.nonces: set[bytes] = set()
+        self.nonces = NonceHistory()
 
     def get_counter(self) -> int:
         return self.counter
@@ -83,6 +145,13 @@ class InMemoryStateView:
 
     def forget_nonce(self, nonce: bytes) -> None:
         self.nonces.discard(nonce)
+
+    def pop_oldest_nonce(self) -> bytes | None:
+        return self.nonces.pop_oldest()
+
+    @property
+    def nonce_count(self) -> int:
+        return len(self.nonces)
 
 
 @dataclass
@@ -170,7 +239,6 @@ class NonceHistoryPolicy(FreshnessPolicy):
             raise ConfigurationError("nonce cache needs at least one slot")
         self.nonce_size = nonce_size
         self.max_entries = max_entries
-        self._fifo: list[bytes] = []
 
     def stamp(self, state: VerifierFreshnessState) -> dict:
         return {"nonce": state.rng.bytes(self.nonce_size)}
@@ -183,20 +251,17 @@ class NonceHistoryPolicy(FreshnessPolicy):
         return True, "ok"
 
     def commit(self, request, view) -> None:
+        # The eviction FIFO is per-view state (see ProverStateView): a
+        # policy object shared by several provers must never evict one
+        # prover's nonces because another prover's history grew.
         view.remember_nonce(request.nonce)
         if self.max_entries is not None:
-            self._fifo.append(request.nonce)
-            while len(self._fifo) > self.max_entries:
-                evicted = self._fifo.pop(0)
-                forget = getattr(view, "forget_nonce", None)
-                if forget is not None:
-                    forget(evicted)
+            while view.nonce_count > self.max_entries:
+                if view.pop_oldest_nonce() is None:
+                    break
 
     def prover_state_bytes(self, view: ProverStateView) -> int:
-        history = getattr(view, "nonces", None)
-        if history is None:
-            return 0
-        return len(history) * self.nonce_size
+        return view.nonce_count * self.nonce_size
 
 
 class CounterPolicy(FreshnessPolicy):
@@ -288,12 +353,18 @@ POLICY_NAMES = ("none", "nonce", "counter", "timestamp")
 
 
 def make_policy(name: str, *, window_ticks: int = 0, nonce_size: int = 16,
+                max_entries: int | None = None,
                 monotonic_timestamps: bool = False) -> FreshnessPolicy:
-    """Construct a freshness policy by Table 2 feature name."""
+    """Construct a freshness policy by Table 2 feature name.
+
+    ``max_entries`` (nonce policy only) bounds the prover's nonce cache,
+    the Section 4.2 memory fix whose replay window the model checker
+    exhibits (``check_policy("nonce", max_entries=1)``).
+    """
     if name == "none":
         return NoFreshness()
     if name == "nonce":
-        return NonceHistoryPolicy(nonce_size)
+        return NonceHistoryPolicy(nonce_size, max_entries=max_entries)
     if name == "counter":
         return CounterPolicy()
     if name == "timestamp":

@@ -127,6 +127,7 @@ def check_policy(policy_name: str, *, requests: int = 3,
                  delays: tuple[float, ...] = (0.0, 4.0, 8.0),
                  max_copies: int = 2,
                  min_replay_delay: float | None = None,
+                 max_entries: int | None = None,
                  monotonic_timestamps: bool = False) -> ModelCheckResult:
     """Exhaustively check ``policy_name`` over the bounded schedule space.
 
@@ -143,6 +144,10 @@ def check_policy(policy_name: str, *, requests: int = 3,
     adversary, under which exhaustive enumeration exposes the
     immediate-replay gap of the stateless timestamp scheme (closed by
     ``monotonic_timestamps=True`` -- see the ablation benchmark).
+
+    ``max_entries`` bounds the nonce policy's prover-side cache; a small
+    bound makes the checker exhibit the eviction-replay violation the
+    paper uses to reject truncated nonce histories (Section 4.2).
     """
     if spacing <= window:
         raise ConfigurationError(
@@ -152,6 +157,7 @@ def check_policy(policy_name: str, *, requests: int = 3,
 
     def fresh_policy() -> FreshnessPolicy:
         return make_policy(policy_name, window_ticks=window_ticks,
+                           max_entries=max_entries,
                            monotonic_timestamps=monotonic_timestamps)
 
     issued = _issue_requests(fresh_policy(), requests, spacing)

@@ -24,6 +24,7 @@ from ..mcu.device import Device, DeviceConfig
 from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
 from ..net.channel import ChannelAdversary, DolevYaoChannel
 from ..net.simulator import Simulation
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .authenticator import (EcdsaAuthenticator, RequestAuthenticator,
                             make_symmetric_authenticator)
 from .freshness import FreshnessPolicy, make_policy
@@ -126,6 +127,9 @@ class Session:
     verifier_node: VerifierNode
     policy: FreshnessPolicy
     key: bytes
+    #: The telemetry sink every layer reports into (the shared no-op
+    #: sink when the session was built without observation).
+    telemetry: Telemetry = field(default=NULL_TELEMETRY)
 
     def attest_once(self, settle_seconds: float = 5.0) -> VerificationResult:
         """Run one complete attestation round and return the verdict."""
@@ -206,6 +210,7 @@ def build_session(*, profile: ProtectionProfile = ROAM_HARDENED,
                   network_path=None,
                   key: bytes | None = None,
                   rate_limit_seconds: float = 0.0,
+                  telemetry: Telemetry | None = None,
                   seed: str = "session-0") -> Session:
     """Assemble a simulated attestation deployment.
 
@@ -217,6 +222,10 @@ def build_session(*, profile: ProtectionProfile = ROAM_HARDENED,
     ``key`` provisions an externally-derived ``K_Attest`` (e.g. from
     :func:`repro.crypto.kdf.derive_device_key`); by default a key is
     drawn from the session seed.
+
+    ``telemetry`` attaches a :class:`~repro.obs.telemetry.Telemetry`
+    sink to every layer (device, channel, prover anchor, verifier); the
+    default no-op sink observes nothing and costs nothing.
     """
     config = device_config if device_config is not None else DeviceConfig()
     if policy_name == "timestamp" and config.clock_kind == "none":
@@ -229,14 +238,17 @@ def build_session(*, profile: ProtectionProfile = ROAM_HARDENED,
     elif len(key) != 16:
         raise ConfigurationError("provisioned K_Attest must be 16 bytes")
 
+    sink = telemetry if telemetry is not None else NULL_TELEMETRY
+
     device = Device(config)
     device.provision(key)
     device.boot(profile)
+    device.attach_telemetry(sink)
 
     sim = Simulation()
     channel = DolevYaoChannel(sim, latency_seconds=latency_seconds,
                               adversary=adversary, path=network_path,
-                              seed=seed)
+                              seed=seed, telemetry=sink)
 
     # Clock plumbing for timestamps: the verifier converts simulation
     # seconds into prover ticks (synchronised-clocks assumption).
@@ -261,13 +273,16 @@ def build_session(*, profile: ProtectionProfile = ROAM_HARDENED,
         prover_auth = make_symmetric_authenticator(auth_scheme, key)
 
     verifier = Verifier(key, verifier_auth, policy,
-                        clock_ticks=clock_ticks, seed=seed + ":verifier")
+                        clock_ticks=clock_ticks, seed=seed + ":verifier",
+                        telemetry=sink)
     anchor = ProverTrustAnchor(device, prover_auth, policy,
-                               min_interval_seconds=rate_limit_seconds)
+                               min_interval_seconds=rate_limit_seconds,
+                               telemetry=sink)
 
     prover_node = ProverNode("prover", anchor, channel, sim)
     verifier_node = VerifierNode("verifier", verifier, channel, "prover", sim)
 
     return Session(sim=sim, channel=channel, device=device, anchor=anchor,
                    verifier=verifier, prover_node=prover_node,
-                   verifier_node=verifier_node, policy=policy, key=key)
+                   verifier_node=verifier_node, policy=policy, key=key,
+                   telemetry=sink)

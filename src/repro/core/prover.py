@@ -29,8 +29,9 @@ from ..crypto.hmac import hmac_sha1
 from ..errors import ConfigurationError
 from ..mcu.cpu import ExecutionContext
 from ..mcu.device import Device
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .authenticator import RequestAuthenticator
-from .freshness import FreshnessPolicy
+from .freshness import FreshnessPolicy, NonceHistory
 from .messages import AttestationRequest, AttestationResponse
 
 __all__ = ["DeviceStateView", "ProverStats", "ProverTrustAnchor"]
@@ -51,7 +52,7 @@ class DeviceStateView:
     def __init__(self, device: Device, context: ExecutionContext):
         self.device = device
         self.context = context
-        self._nonces: set[bytes] = set()
+        self._nonces = NonceHistory()
 
     def get_counter(self) -> int:
         return self.device.read_counter(self.context)
@@ -71,19 +72,32 @@ class DeviceStateView:
         """Eviction hook used by bounded nonce caches."""
         self._nonces.discard(nonce)
 
+    def pop_oldest_nonce(self) -> bytes | None:
+        """FIFO eviction for bounded nonce caches (this view's history
+        only -- a shared policy never evicts across provers)."""
+        return self._nonces.pop_oldest()
+
     def remember_nonce(self, nonce: bytes) -> None:
         self._nonces.add(nonce)
         # Nonce history must persist across power cycles, i.e. it occupies
-        # non-volatile memory.  Model the capacity limit of the flash.
+        # non-volatile memory.  Model the capacity limit of the flash,
+        # charging each nonce at its actual length (policies with
+        # non-default nonce_size must account storage correctly).
         capacity = self.device.config.flash_size // 4
-        if len(self._nonces) * 16 > capacity:
+        if self._nonces.stored_bytes > capacity:
             raise ConfigurationError(
                 "nonce history exhausted prover non-volatile storage "
-                f"({len(self._nonces)} nonces)")
+                f"({len(self._nonces)} nonces, "
+                f"{self._nonces.stored_bytes} bytes)")
 
     @property
     def nonce_count(self) -> int:
         return len(self._nonces)
+
+    @property
+    def nonce_bytes(self) -> int:
+        """Non-volatile bytes the nonce history currently occupies."""
+        return self._nonces.stored_bytes
 
 
 @dataclass
@@ -118,11 +132,15 @@ class ProverTrustAnchor:
         reading the key through the EA-MPU at construction.
     policy:
         Freshness policy (prover half).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` sink; defaults
+        to the shared no-op sink, so un-observed provers pay nothing.
     """
 
     def __init__(self, device: Device, authenticator: RequestAuthenticator,
                  policy: FreshnessPolicy, *,
-                 min_interval_seconds: float = 0.0):
+                 min_interval_seconds: float = 0.0,
+                 telemetry: Telemetry | None = None):
         if not device.booted:
             raise ConfigurationError("device must be booted before attaching "
                                      "the trust anchor")
@@ -141,6 +159,7 @@ class ProverTrustAnchor:
         self.context = device.context("Code_Attest")
         self.state = DeviceStateView(device, self.context)
         self.stats = ProverStats()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: (start_seconds, end_seconds) intervals the CPU spent attesting,
         #: for the primary-task interference analysis.
         self.busy_intervals: list[tuple[float, float]] = []
@@ -160,6 +179,10 @@ class ProverTrustAnchor:
         """
         self.stats.received += 1
         cpu = self.device.cpu
+        telemetry = self.telemetry
+        telemetry.count("prover.requests.received")
+        telemetry.event("request-received", cpu.elapsed_seconds,
+                        scheme=request.auth_scheme)
 
         # Step 1: authenticate the request.
         start = cpu.cycle_count
@@ -167,16 +190,18 @@ class ProverTrustAnchor:
             self.authenticator.prover_validation_cycles(self.device.cost_model))
         authentic = self.authenticator.verify(request.signed_payload(),
                                               request.auth_tag)
-        self.stats.validation_cycles += cpu.cycle_count - start
+        validation_cycles = cpu.cycle_count - start
+        self.stats.validation_cycles += validation_cycles
+        telemetry.count("prover.validation_cycles", validation_cycles)
+        telemetry.observe("prover.validation_cycles_per_request",
+                          validation_cycles)
         if not authentic:
-            self.stats.reject("bad-auth")
-            return None, "bad-auth"
+            return self._reject("bad-auth")
 
         # Step 2: freshness.
         fresh, reason = self.policy.check(request, self.state)
         if not fresh:
-            self.stats.reject(reason)
-            return None, reason
+            return self._reject(reason)
 
         # Step 2b (optional, naive-alternative ablation): rate limiting.
         # Checked before commit so a limited request burns no freshness
@@ -186,15 +211,18 @@ class ProverTrustAnchor:
             if (self._last_attest_seconds is not None
                     and now - self._last_attest_seconds
                     < self.min_interval_seconds):
-                self.stats.reject("rate-limited")
-                return None, "rate-limited"
+                return self._reject("rate-limited")
             self._last_attest_seconds = now
         self.policy.commit(request, self.state)
 
         # Step 3: the expensive measurement.
         start = cpu.cycle_count
         start_seconds = cpu.elapsed_seconds
+        telemetry.event("measurement-start", start_seconds,
+                        bytes=self.device.writable_memory_bytes)
         digest = self.device.digest_writable_memory(self.context)
+        telemetry.event("measurement-end", cpu.elapsed_seconds,
+                        cycles=cpu.cycle_count - start)
 
         # Step 4: authenticate the response.
         response = AttestationResponse(
@@ -207,10 +235,34 @@ class ProverTrustAnchor:
             self.device.cost_model.hmac_cycles(len(payload), mode="table"))
         response = response.with_tag(hmac_sha1(key, payload))
 
-        self.stats.attestation_cycles += cpu.cycle_count - start
+        attestation_cycles = cpu.cycle_count - start
+        self.stats.attestation_cycles += attestation_cycles
         self.stats.accepted += 1
         self.busy_intervals.append((start_seconds, cpu.elapsed_seconds))
+        telemetry.count("prover.requests.accepted")
+        telemetry.count("prover.attestation_cycles", attestation_cycles)
+        telemetry.observe("prover.attestation_cycles_per_request",
+                          attestation_cycles)
+        telemetry.event("request-accepted", cpu.elapsed_seconds,
+                        attestation_cycles=attestation_cycles)
+        self._publish_state_gauges()
         return response, "ok"
+
+    def _reject(self, reason: str) -> tuple[None, str]:
+        """Book one rejection in the stats and the telemetry sink."""
+        self.stats.reject(reason)
+        self.telemetry.count("prover.requests.rejected", reason=reason)
+        self.telemetry.event("request-rejected",
+                             self.device.cpu.elapsed_seconds, reason=reason)
+        return None, reason
+
+    def _publish_state_gauges(self) -> None:
+        """Refresh the freshness-state gauges after an accepted round."""
+        self.telemetry.set_gauge("prover.freshness_state_bytes",
+                                 self.freshness_state_bytes(),
+                                 policy=self.policy.name)
+        self.telemetry.set_gauge("prover.nonce_count",
+                                 self.state.nonce_count)
 
     # ------------------------------------------------------------------
 

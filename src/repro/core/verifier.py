@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from ..crypto.hmac import constant_time_compare, hmac_sha1
 from ..crypto.rng import DeterministicRng
 from ..errors import VerificationFailed
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .authenticator import RequestAuthenticator
 from .freshness import FreshnessPolicy, VerifierFreshnessState
 from .messages import AttestationRequest, AttestationResponse
@@ -57,11 +58,13 @@ class Verifier:
 
     def __init__(self, key: bytes, authenticator: RequestAuthenticator,
                  policy: FreshnessPolicy, *, clock_ticks=None,
-                 challenge_size: int = 16, seed: str = "verifier-0"):
+                 challenge_size: int = 16, seed: str = "verifier-0",
+                 telemetry: Telemetry | None = None):
         self.key = bytes(key)
         self.authenticator = authenticator
         self.policy = policy
         self.challenge_size = challenge_size
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         rng = DeterministicRng(seed)
         self.freshness_state = VerifierFreshnessState(
             rng=rng.substream("nonces"), clock_ticks=clock_ticks)
@@ -82,6 +85,7 @@ class Verifier:
             **fields)
         tag = self.authenticator.tag(request.signed_payload())
         self.requests_issued += 1
+        self.telemetry.count("verifier.requests_issued")
         return request.with_tag(tag)
 
     def learn_reference(self, measurement: bytes) -> None:
@@ -119,6 +123,14 @@ class Verifier:
         goodness is reported as ``None`` (unknown).
         """
         self.responses_validated += 1
+        result = self._check_response(request, response)
+        self.telemetry.count("verifier.responses_validated")
+        self.telemetry.count("verifier.verdicts",
+                             trusted="yes" if result.trusted else "no")
+        return result
+
+    def _check_response(self, request: AttestationRequest,
+                        response: AttestationResponse) -> VerificationResult:
         if response.challenge != request.challenge:
             return VerificationResult(False, None, "challenge-mismatch")
         expected = hmac_sha1(self.key, response.tagged_payload())

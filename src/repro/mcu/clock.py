@@ -129,6 +129,9 @@ class SoftwareClock:
         interrupts.set_vector_raw(irq, handler_address)
         self.wraps_signalled = 0
         self.wraps_serviced = 0
+        #: Optional observer called after each serviced wrap (telemetry
+        #: wiring; see :meth:`repro.mcu.device.Device.attach_telemetry`).
+        self.on_wrap_serviced = None
 
     # -- hardware side ---------------------------------------------------------
 
@@ -148,6 +151,8 @@ class SoftwareClock:
         current = self.bus.read_u64(self.context, self.msb_address)
         self.bus.write_u64(self.context, self.msb_address, current + 1)
         self.wraps_serviced += 1
+        if self.on_wrap_serviced is not None:
+            self.on_wrap_serviced(self.wraps_serviced)
 
     # -- software read side ------------------------------------------------------
 

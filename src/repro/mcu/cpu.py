@@ -115,6 +115,18 @@ class CPU:
         self._context_stack: list[ExecutionContext] = []
         self._cycle_listeners: list[CycleListener] = []
         self._dispatching = False
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry, prefix: str = "cpu") -> None:
+        """Attribute consumed cycles to the executing context by name.
+
+        Adds a ``<prefix>.cycles{context=...}`` counter update per
+        :meth:`consume_cycles` call.  Attaching is opt-in precisely
+        because this is the hottest path in the simulator: with no
+        telemetry attached the guard below is one attribute test.
+        """
+        self._telemetry = telemetry if telemetry.enabled else None
+        self._telemetry_prefix = prefix
 
     # -- context management --------------------------------------------------
 
@@ -188,6 +200,11 @@ class CPU:
             return
         self.cycle_count += cycles
         now = self.cycle_count
+        if self._telemetry is not None:
+            ctx = self._context_stack[-1] if self._context_stack else None
+            self._telemetry.count(
+                f"{self._telemetry_prefix}.cycles", cycles,
+                context=ctx.name if ctx is not None else "idle")
         if self._dispatching:
             # A listener is already running (e.g. an interrupt handler is
             # consuming cycles); let the outer dispatch loop observe the

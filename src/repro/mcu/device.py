@@ -29,6 +29,7 @@ from ..crypto.costmodel import CryptoCostModel
 from ..crypto.hmac import HmacSha1
 from ..crypto.sha1 import SHA1
 from ..errors import ConfigurationError, SecureBootError
+from ..obs.telemetry import NULL_TELEMETRY
 from .clock import SoftwareClock, WideHardwareClock
 from .cpu import CPU, ExecutionContext
 from .firmware import FirmwareImage, FirmwareModule
@@ -206,6 +207,51 @@ class Device:
         self.booted = False
         self.boot_profile: ProtectionProfile | None = None
         self.boot_log: list[str] = []
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire hardware-level observers into a telemetry sink.
+
+        Reports, without changing device behaviour:
+
+        * per-context cycle attribution (``cpu.cycles{context=...}``);
+        * EA-MPU denials as ``mpu-fault`` trace events plus a
+          ``device.mpu_faults`` counter;
+        * SW-clock wrap servicing as ``clock-wrap`` trace events plus a
+          ``device.clock_wraps`` counter;
+        * static geometry gauges (RAM/flash/writable bytes, MPU rules).
+
+        Attaching the no-op sink is a no-op: the hardware hot paths stay
+        observer-free unless someone is genuinely observing.
+        """
+        if not telemetry.enabled:
+            return
+        self.telemetry = telemetry
+        self.cpu.attach_telemetry(telemetry)
+        cfg = self.config
+
+        def on_mpu_fault(violation):
+            telemetry.count("device.mpu_faults")
+            telemetry.event("mpu-fault", self.cpu.elapsed_seconds,
+                            context=violation.context,
+                            access=violation.access,
+                            address=violation.address)
+
+        self.mpu.on_violation = on_mpu_fault
+
+        if self.clock is not None and self.clock.kind == "software":
+            def on_clock_wrap(total_wraps):
+                telemetry.count("device.clock_wraps")
+                telemetry.event("clock-wrap", self.cpu.elapsed_seconds,
+                                wraps_serviced=total_wraps)
+
+            self.clock.on_wrap_serviced = on_clock_wrap
+
+        telemetry.set_gauge("device.ram_bytes", cfg.ram_size)
+        telemetry.set_gauge("device.flash_bytes", cfg.flash_size)
+        telemetry.set_gauge("device.writable_bytes",
+                            self.writable_memory_bytes)
+        telemetry.set_gauge("device.mpu_rules", self.mpu.active_rule_count)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -257,6 +303,10 @@ class Device:
         """Flush energy accounting for cycles consumed inside nested
         interrupt dispatch (call before reading battery state)."""
         self._drain_battery(self.cpu.cycle_count, 0)
+        self.telemetry.set_gauge("device.energy_consumed_mj",
+                                 self.battery.consumed_mj)
+        self.telemetry.set_gauge("device.battery_fraction_remaining",
+                                 self.battery.fraction_remaining)
 
     # ------------------------------------------------------------------
     # Factory provisioning and application install

@@ -126,6 +126,10 @@ class ExecutionAwareMPU:
         self._registers = bytearray(RULE_BASE_OFFSET + RULE_STRIDE * max_rules)
         self._decoded: list[MPURule] | None = []  # cache; None = dirty
         self._violations: list[MemoryAccessViolation] = []
+        #: Optional observer called with each :class:`MemoryAccessViolation`
+        #: before it is raised (telemetry wiring; see
+        #: :meth:`repro.mcu.device.Device.attach_telemetry`).
+        self.on_violation = None
 
     # ------------------------------------------------------------------
     # Register file plumbing
@@ -334,6 +338,8 @@ class ExecutionAwareMPU:
                 f"{context.name!r}", address=lo, access=access,
                 context=context.name)
             self._violations.append(violation)
+            if self.on_violation is not None:
+                self.on_violation(violation)
             raise violation
 
 

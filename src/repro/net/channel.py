@@ -18,6 +18,7 @@ from typing import Protocol
 
 from ..crypto.rng import DeterministicRng
 from ..errors import NetworkError
+from ..obs.telemetry import NULL_TELEMETRY
 from .simulator import Simulation
 from .trace import Transcript, TranscriptEntry
 
@@ -86,7 +87,8 @@ class DolevYaoChannel:
 
     def __init__(self, sim: Simulation, *, latency_seconds: float = 0.005,
                  adversary: ChannelAdversary | None = None,
-                 path=None, seed: str = "channel-0"):
+                 path=None, seed: str = "channel-0",
+                 telemetry=None):
         """``path`` (a :class:`~repro.net.path.NetworkPath`) makes the
         per-message latency a sample of the multi-hop delay distribution
         instead of the fixed ``latency_seconds``."""
@@ -99,6 +101,7 @@ class DolevYaoChannel:
         self.adversary = adversary if adversary is not None else PassthroughAdversary()
         self.transcript = Transcript()
         self._endpoints: dict[str, Endpoint] = {}
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.delivered = 0
         self.dropped = 0
         self.injected = 0
@@ -125,20 +128,34 @@ class DolevYaoChannel:
         if receiver not in self._endpoints:
             raise NetworkError(f"unknown receiver {receiver!r}")
         entry = self.transcript.record(self.sim.now, sender, receiver, message)
+        kind = type(message).__name__
+        self.telemetry.count("channel.sent")
+        self.telemetry.event("channel-send", self.sim.now, sender=sender,
+                             receiver=receiver, message=kind)
         verdict = self.adversary.on_message(message, sender, receiver,
                                             self.sim.now)
         if verdict.action == "drop":
             self.dropped += 1
             entry.outcome = "dropped"
+            self.telemetry.count("channel.dropped")
+            self.telemetry.event("channel-drop", self.sim.now, sender=sender,
+                                 receiver=receiver, message=kind)
             return entry
         delay = self._one_way_delay() + verdict.extra_delay
         entry.outcome = "forwarded" if verdict.extra_delay == 0 else "delayed"
 
         def deliver():
             self.delivered += 1
+            self.telemetry.count("channel.delivered")
+            self.telemetry.event("channel-deliver", self.sim.now,
+                                 sender=sender, receiver=receiver,
+                                 message=kind)
+            self.telemetry.set_gauge("channel.pending_events",
+                                     self.sim.pending)
             self._endpoints[receiver].deliver(message, sender)
 
         self.sim.schedule(delay, deliver)
+        self.telemetry.set_gauge("channel.pending_events", self.sim.pending)
         return entry
 
     def inject(self, receiver: str, message, *, spoofed_sender: str,
@@ -155,9 +172,18 @@ class DolevYaoChannel:
                                        message)
         entry.outcome = "injected"
         self.injected += 1
+        kind = type(message).__name__
+        self.telemetry.count("channel.injected")
+        self.telemetry.event("channel-inject", self.sim.now,
+                             sender=spoofed_sender, receiver=receiver,
+                             message=kind)
 
         def deliver():
             self.delivered += 1
+            self.telemetry.count("channel.delivered")
+            self.telemetry.event("channel-deliver", self.sim.now,
+                                 sender=spoofed_sender, receiver=receiver,
+                                 message=kind)
             self._endpoints[receiver].deliver(message, spoofed_sender)
 
         self.sim.schedule(self._one_way_delay() + delay, deliver)

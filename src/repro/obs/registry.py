@@ -1,0 +1,194 @@
+"""Metrics: named counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately small and dependency-free.  Instruments are
+identified by a name plus optional labels (``counter("prover.rejected",
+reason="bad-auth")``), memoised on first use, and snapshot into a plain
+JSON-ready dictionary with :meth:`MetricsRegistry.dump`.
+
+Conventions used by the built-in instrumentation:
+
+* names are dotted paths, ``<component>.<quantity>`` (e.g.
+  ``prover.validation_cycles``, ``channel.dropped``);
+* labels carry the dimension that would otherwise explode the name
+  space (rejection reason, execution context, verdict);
+* cycle quantities are raw simulated cycles -- divide by the device
+  frequency for wall time, exactly like :class:`ProverStats` consumers
+  already do.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_CYCLE_BUCKETS"]
+
+#: Default histogram buckets for cycle-cost observations, spanning the
+#: Table 1 range: a Speck validation (~360 cycles at 24 MHz) up past the
+#: 512 KB measurement (~18.1 M cycles).  Upper bounds, in cycles.
+DEFAULT_CYCLE_BUCKETS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+                         100_000_000)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that may move both ways."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def add(self, amount: int | float) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    ``buckets`` are inclusive upper bounds; an implicit overflow bucket
+    catches everything above the last bound.  The running sum and count
+    are exact, so means survive the bucketing.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "overflow", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict,
+                 buckets: tuple[int | float, ...] = DEFAULT_CYCLE_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} needs ascending bucket bounds")
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels),
+                "buckets": list(self.buckets),
+                "bucket_counts": list(self.bucket_counts),
+                "overflow": self.overflow,
+                "count": self.count, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """The one place every instrumented layer reports into.
+
+    Instruments are created on first use and shared thereafter; asking
+    for an existing name with a different instrument kind is a
+    configuration error (it would silently fork the series).
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels, **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {cls.kind}")
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: tuple[int | float, ...] = DEFAULT_CYCLE_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- reading ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value(self, name: str, default: int | float = 0, **labels):
+        """Current value of a counter/gauge (``default`` when absent)."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None:
+            return default
+        return instrument.value
+
+    def total(self, name: str) -> int | float:
+        """Sum of a counter/gauge series across all label sets."""
+        return sum(instrument.value
+                   for (n, _), instrument in self._instruments.items()
+                   if n == name and not isinstance(instrument, Histogram))
+
+    def series(self, name: str) -> dict[tuple, Counter | Gauge | Histogram]:
+        """All instruments registered under ``name``, keyed by labels."""
+        return {labels: instrument
+                for (n, labels), instrument in self._instruments.items()
+                if n == name}
+
+    def dump(self) -> dict:
+        """JSON-ready snapshot of every instrument, deterministically
+        ordered by (name, labels)."""
+        metrics = [self._instruments[key].snapshot()
+                   for key in sorted(self._instruments)]
+        return {"schema": "repro.obs.registry/v1", "metrics": metrics}

@@ -1,0 +1,162 @@
+"""Schemas for exported telemetry, plus a dependency-free validator.
+
+Two artefacts leave the simulator:
+
+* the **event trace**, as JSON lines -- each line one object matching
+  :data:`EVENT_SCHEMA`;
+* the **registry dump**, one JSON object matching
+  :data:`REGISTRY_SCHEMA`.
+
+The schema dictionaries use a pragmatic subset of JSON-Schema vocabulary
+(``type``, ``required``, ``properties``, ``enum``) that
+:func:`validate_event` / :func:`validate_registry_dump` interpret
+directly -- the container has no ``jsonschema`` package, and the subset
+is all the smoke tooling needs.  Validators return a list of error
+strings (empty = valid) so CI can print every problem at once.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .trace import EVENT_KINDS
+
+__all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "validate_event",
+           "validate_jsonl_trace", "validate_registry_dump"]
+
+#: Schema of one trace-event object (one JSON line of the export).
+EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["seq", "time", "kind"],
+    "properties": {
+        "seq": {"type": "integer", "minimum": 0},
+        "time": {"type": "number", "minimum": 0},
+        "kind": {"type": "string", "enum": sorted(EVENT_KINDS)},
+    },
+    # Any additional property must be a JSON scalar.
+    "additional_scalars": True,
+}
+
+#: Schema of the registry dump object.
+REGISTRY_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "metrics"],
+    "properties": {
+        "schema": {"type": "string",
+                   "enum": ["repro.obs.registry/v1"]},
+        "metrics": {"type": "array"},
+    },
+}
+
+#: Schema of one metric snapshot inside the registry dump.
+_METRIC_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "name", "labels"],
+    "properties": {
+        "kind": {"type": "string",
+                 "enum": ["counter", "gauge", "histogram"]},
+        "name": {"type": "string"},
+        "labels": {"type": "object"},
+    },
+}
+
+_HISTOGRAM_REQUIRED = ("buckets", "bucket_counts", "overflow", "count", "sum")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+}
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check(obj, schema, path: str) -> list[str]:
+    errors = []
+    check = _TYPE_CHECKS[schema["type"]]
+    if not check(obj):
+        return [f"{path}: expected {schema['type']}, "
+                f"got {type(obj).__name__}"]
+    if schema["type"] != "object":
+        return errors
+    for key in schema.get("required", ()):
+        if key not in obj:
+            errors.append(f"{path}: missing required key {key!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if key not in obj:
+            continue
+        value = obj[key]
+        sub_path = f"{path}.{key}"
+        type_check = _TYPE_CHECKS[sub["type"]]
+        if not type_check(value):
+            errors.append(f"{sub_path}: expected {sub['type']}, "
+                          f"got {type(value).__name__}")
+            continue
+        if "enum" in sub and value not in sub["enum"]:
+            errors.append(f"{sub_path}: {value!r} not in allowed values")
+        if "minimum" in sub and value < sub["minimum"]:
+            errors.append(f"{sub_path}: {value!r} below minimum "
+                          f"{sub['minimum']}")
+    if schema.get("additional_scalars"):
+        known = set(schema.get("properties", ()))
+        for key, value in obj.items():
+            if key not in known and not isinstance(value, _SCALAR_TYPES):
+                errors.append(f"{path}.{key}: field must be a JSON scalar, "
+                              f"got {type(value).__name__}")
+    return errors
+
+
+def validate_event(event: dict) -> list[str]:
+    """Validate one decoded trace-event object; returns error strings."""
+    return _check(event, EVENT_SCHEMA, "event")
+
+
+def validate_jsonl_trace(text: str) -> list[str]:
+    """Validate a whole JSON-lines trace export.
+
+    Checks each line parses as JSON, matches :data:`EVENT_SCHEMA`, and
+    that sequence numbers strictly increase (append-only invariant).
+    """
+    errors = []
+    last_seq = -1
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        for error in validate_event(event):
+            errors.append(f"line {number}: {error}")
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(f"line {number}: seq {seq} not increasing")
+            last_seq = seq
+    return errors
+
+
+def validate_registry_dump(dump: dict) -> list[str]:
+    """Validate a decoded registry dump object; returns error strings."""
+    errors = _check(dump, REGISTRY_SCHEMA, "registry")
+    for index, metric in enumerate(dump.get("metrics", [])
+                                   if isinstance(dump, dict) else []):
+        path = f"registry.metrics[{index}]"
+        errors.extend(_check(metric, _METRIC_SCHEMA, path))
+        if not isinstance(metric, dict):
+            continue
+        if metric.get("kind") == "histogram":
+            for key in _HISTOGRAM_REQUIRED:
+                if key not in metric:
+                    errors.append(f"{path}: histogram missing {key!r}")
+        elif metric.get("kind") in ("counter", "gauge"):
+            if not isinstance(metric.get("value"),
+                              (int, float)) or isinstance(
+                                  metric.get("value"), bool):
+                errors.append(f"{path}: {metric.get('kind')} needs a "
+                              f"numeric 'value'")
+    return errors

@@ -1,0 +1,83 @@
+"""The telemetry facade instrumented components report into.
+
+Components hold a telemetry object and call it unconditionally; by
+default that object is :data:`NULL_TELEMETRY`, whose every method is a
+``pass`` -- so un-observed simulations pay a single attribute load and
+call per hook, and zero allocation.  Attaching a real
+:class:`Telemetry` turns the same hooks into registry updates and trace
+records without any behavioural change to the pipeline.
+
+Extra-hot paths (per-cycle accounting in :class:`repro.mcu.cpu.CPU`)
+additionally guard on :attr:`enabled` so even the no-op call is skipped.
+"""
+
+from __future__ import annotations
+
+from .registry import DEFAULT_CYCLE_BUCKETS, MetricsRegistry
+from .trace import EventTrace
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """A metrics registry and an event trace behind one reporting API."""
+
+    enabled = True
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else EventTrace()
+
+    # -- reporting hooks -------------------------------------------------
+
+    def event(self, kind: str, time: float, **fields) -> None:
+        """Record one typed trace event at simulated ``time``."""
+        self.trace.record(kind, time, **fields)
+
+    def count(self, name: str, amount: int | float = 1, **labels) -> None:
+        """Increment a counter."""
+        self.registry.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: int | float, **labels) -> None:
+        """Set a gauge to a point-in-time value."""
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: int | float,
+                buckets=DEFAULT_CYCLE_BUCKETS, **labels) -> None:
+        """Record one histogram observation."""
+        self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+
+class NullTelemetry:
+    """The default sink: every hook is a no-op.
+
+    Shares :class:`Telemetry`'s reporting surface so components never
+    branch on whether anyone is observing.  ``registry`` and ``trace``
+    are ``None`` on purpose -- reading metrics off the null sink is a
+    bug, and an ``AttributeError`` beats silent zeros.
+    """
+
+    enabled = False
+    registry = None
+    trace = None
+
+    __slots__ = ()
+
+    def event(self, kind: str, time: float, **fields) -> None:
+        pass
+
+    def count(self, name: str, amount: int | float = 1, **labels) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: int | float, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value: int | float,
+                buckets=DEFAULT_CYCLE_BUCKETS, **labels) -> None:
+        pass
+
+
+#: Shared no-op sink; components default to this when no telemetry is
+#: attached.
+NULL_TELEMETRY = NullTelemetry()

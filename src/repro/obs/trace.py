@@ -1,0 +1,122 @@
+"""Structured event trace: typed records with simulated timestamps.
+
+Every record is a :class:`TraceEvent` -- a monotonically numbered,
+simulated-time-stamped, typed event with a flat dictionary of JSON
+scalar fields.  The trace is append-only; :meth:`EventTrace.to_jsonl`
+exports it as JSON lines, one event per line, matching
+:data:`repro.obs.schema.EVENT_SCHEMA`.
+
+Event kinds are a closed set (:data:`EVENT_KINDS`): recording an unknown
+kind raises immediately, so a typo in instrumentation fails the test
+that exercises it rather than producing an unparseable trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["EVENT_KINDS", "TraceEvent", "EventTrace"]
+
+#: The typed event vocabulary.  One kind per observable pipeline edge.
+EVENT_KINDS = frozenset({
+    # prover request pipeline (timestamps in device seconds)
+    "request-received",
+    "request-rejected",
+    "request-accepted",
+    "measurement-start",
+    "measurement-end",
+    # network (timestamps in simulation seconds)
+    "channel-send",
+    "channel-drop",
+    "channel-deliver",
+    "channel-inject",
+    # device hardware (timestamps in device seconds)
+    "clock-wrap",
+    "mpu-fault",
+    # operator-side monitoring (timestamps in simulation seconds)
+    "monitor-event",
+})
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed pipeline event."""
+
+    seq: int
+    time: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        record = {"seq": self.seq, "time": self.time, "kind": self.kind}
+        record.update(self.fields)
+        return record
+
+
+class EventTrace:
+    """Append-only, bounded-memory event log.
+
+    ``max_events`` guards long-running simulations: past the limit the
+    oldest events are discarded and ``dropped_events`` counts them, so a
+    truncated export is detectable instead of silently complete.
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ConfigurationError("trace needs room for at least 1 event")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self._seq = 0
+
+    def record(self, kind: str, time: float, **fields) -> TraceEvent:
+        """Append one event; returns it for chaining in tests."""
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown trace event kind {kind!r}; "
+                f"known: {', '.join(sorted(EVENT_KINDS))}")
+        for key, value in fields.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ConfigurationError(
+                    f"event field {key!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}")
+        event = TraceEvent(self._seq, float(time), kind, fields)
+        self._seq += 1
+        self.events.append(event)
+        if len(self.events) > self.max_events:
+            overflow = len(self.events) - self.max_events
+            del self.events[:overflow]
+            self.dropped_events += overflow
+        return event
+
+    # -- reading ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines (one event object per line)."""
+        return "\n".join(json.dumps(event.as_dict(), sort_keys=True)
+                         for event in self.events)
+
+    def export_jsonl(self, path) -> int:
+        """Write the JSON-lines trace to ``path``; returns event count."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self.events)

@@ -53,7 +53,13 @@ class MonitorEvent:
 
 @dataclass
 class AttestationMonitor:
-    """Periodic attestation with retries and escalation."""
+    """Periodic attestation with retries and escalation.
+
+    Monitor events are mirrored into the session's telemetry sink as
+    ``monitor-event`` trace records and ``monitor.events`` counters, so
+    operator-side escalation shows up in the same export as the
+    prover-side cycle costs.
+    """
 
     session: Session
     policy: MonitorPolicy = field(default_factory=MonitorPolicy)
@@ -68,6 +74,10 @@ class AttestationMonitor:
 
     def _log(self, kind: str, detail: str) -> None:
         self.events.append(MonitorEvent(self.session.sim.now, kind, detail))
+        telemetry = self.session.telemetry
+        telemetry.count("monitor.events", kind=kind)
+        telemetry.event("monitor-event", self.session.sim.now,
+                        monitor_kind=kind, detail=detail)
 
     def run_round(self) -> bool:
         """One scheduled round: attempt + retries; returns success."""

@@ -1,0 +1,194 @@
+"""Regression tests for the freshness-state bugfix batch.
+
+Three bugs fixed together:
+
+* the device state view charged every nonce at a hard-coded 16 bytes
+  when checking flash capacity, regardless of the policy's actual
+  ``nonce_size``;
+* the bounded nonce cache's eviction FIFO lived on the *policy* object,
+  so a policy shared between provers evicted one prover's nonces when
+  another prover's history grew (and used ``list.pop(0)``);
+* ``make_policy("nonce", ...)`` could not construct the bounded-cache
+  variant at all.
+"""
+
+import pytest
+
+from repro.core.freshness import (InMemoryStateView, NonceHistory,
+                                  NonceHistoryPolicy, make_policy)
+from repro.core.messages import AttestationRequest
+from repro.core.modelcheck import check_policy
+from repro.errors import ConfigurationError
+from repro.obs import Telemetry
+
+
+def request(nonce=None, counter=None):
+    return AttestationRequest(challenge=b"c" * 16, nonce=nonce,
+                              counter=counter)
+
+
+class TestNonceHistory:
+    def test_fifo_eviction_order(self):
+        history = NonceHistory()
+        for i in range(3):
+            assert history.add(bytes([i]) * 8)
+        assert history.pop_oldest() == bytes([0]) * 8
+        assert history.pop_oldest() == bytes([1]) * 8
+        assert len(history) == 1
+
+    def test_duplicate_add_is_ignored(self):
+        history = NonceHistory()
+        assert history.add(b"n" * 8)
+        assert not history.add(b"n" * 8)
+        assert len(history) == 1
+        assert history.stored_bytes == 8
+
+    def test_lazy_discard_skips_dead_entries_on_pop(self):
+        history = NonceHistory()
+        for i in range(3):
+            history.add(bytes([i]) * 8)
+        history.discard(bytes([0]) * 8)
+        # The discarded head must not resurface as an eviction victim.
+        assert history.pop_oldest() == bytes([1]) * 8
+
+    def test_stored_bytes_tracks_actual_lengths(self):
+        history = NonceHistory()
+        history.add(b"a" * 8)
+        history.add(b"b" * 64)
+        assert history.stored_bytes == 72
+        history.pop_oldest()
+        assert history.stored_bytes == 64
+
+    def test_pop_on_empty_returns_none(self):
+        assert NonceHistory().pop_oldest() is None
+
+
+class TestFlashCapacityUsesActualNonceLength:
+    """Bug 1: capacity check hard-coded 16 bytes per nonce."""
+
+    def test_large_nonces_exhaust_flash_sooner(self, session_factory):
+        session = session_factory(policy_name="nonce")
+        view = session.anchor.state
+        capacity = session.device.config.flash_size // 4
+        nonce_size = 64
+        fits = capacity // nonce_size
+        for i in range(fits):
+            view.remember_nonce(i.to_bytes(nonce_size, "big"))
+        assert view.nonce_bytes == fits * nonce_size
+        # One more 64-byte nonce exceeds the flash budget.  Under the
+        # old 16-bytes-per-nonce accounting this would have been
+        # accepted (fits+1 nonces * 16 bytes << capacity).
+        assert (fits + 1) * 16 < capacity
+        with pytest.raises(ConfigurationError):
+            view.remember_nonce(fits.to_bytes(nonce_size, "big"))
+
+    def test_small_nonces_fit_more_than_the_old_formula(self,
+                                                        session_factory):
+        session = session_factory(policy_name="nonce")
+        view = session.anchor.state
+        capacity = session.device.config.flash_size // 4
+        # The old formula (count * 16) would reject after capacity/16
+        # 8-byte nonces; actual-length accounting fits twice as many.
+        old_limit = capacity // 16
+        for i in range(old_limit + 1):
+            view.remember_nonce(i.to_bytes(8, "big"))
+        assert view.nonce_count == old_limit + 1
+
+
+class TestEvictionFifoIsPerView:
+    """Bug 2: the FIFO lived on the policy and cross-evicted views."""
+
+    def test_shared_policy_does_not_cross_evict(self):
+        policy = NonceHistoryPolicy(max_entries=2)
+        prover_a = InMemoryStateView()
+        prover_b = InMemoryStateView()
+        a_nonces = [bytes([i]) * 16 for i in range(2)]
+        for nonce in a_nonces:
+            policy.commit(request(nonce), prover_a)
+        # A third commit -- on a *different* prover -- previously pushed
+        # the shared FIFO over max_entries and evicted prover A's oldest
+        # nonce, silently reopening A's replay window.
+        policy.commit(request(bytes([9]) * 16), prover_b)
+        for nonce in a_nonces:
+            assert policy.check(request(nonce), prover_a) == \
+                (False, "replayed-nonce")
+        assert prover_a.nonce_count == 2
+        assert prover_b.nonce_count == 1
+
+    def test_eviction_still_works_within_one_view(self):
+        policy = NonceHistoryPolicy(max_entries=2)
+        view = InMemoryStateView()
+        oldest = bytes(16)
+        for nonce in (oldest, bytes([1]) * 16, bytes([2]) * 16):
+            policy.commit(request(nonce), view)
+        assert view.nonce_count == 2
+        ok, _ = policy.check(request(oldest), view)
+        assert ok  # evicted => replayable: the attack the bound invites
+
+    def test_policy_has_no_fifo_state_of_its_own(self):
+        policy = NonceHistoryPolicy(max_entries=1)
+        assert not any("fifo" in attr.lower() for attr in vars(policy))
+
+
+class TestMakePolicyBoundedVariant:
+    """Bug 3: the factory could not build a bounded cache."""
+
+    def test_factory_passes_max_entries_through(self):
+        policy = make_policy("nonce", max_entries=4)
+        assert isinstance(policy, NonceHistoryPolicy)
+        assert policy.max_entries == 4
+
+    def test_factory_default_is_unbounded(self):
+        assert make_policy("nonce").max_entries is None
+
+    def test_factory_validates_bound(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("nonce", max_entries=0)
+
+    def test_model_checker_exhibits_eviction_replay(self):
+        """No monkeypatching needed any more: the checker can build the
+        bounded variant itself and finds the replay automatically."""
+        result = check_policy("nonce", max_entries=1)
+        assert "no-double-acceptance" in result.fails
+
+    def test_unbounded_nonce_policy_still_checks_clean(self):
+        result = check_policy("nonce")
+        assert "no-double-acceptance" not in result.fails
+
+
+class TestRateLimitBurnsNoFreshnessState:
+    """A rate-limited request must not advance freshness state, and must
+    be booked as a rejection (stats and registry)."""
+
+    def test_rate_limited_request_is_counted_and_stateless(
+            self, session_factory):
+        session = session_factory(telemetry=Telemetry(),
+                                  rate_limit_seconds=1000.0,
+                                  seed="rate-limit-regression")
+        session.learn_reference_state()
+        anchor = session.anchor
+        first = session.verifier.make_request()
+        second = session.verifier.make_request()
+
+        response, reason = anchor.handle_request(first)
+        assert response is not None and reason == "ok"
+        counter_after_first = anchor.state.get_counter()
+
+        # Immediately after: inside the rate window.
+        response, reason = anchor.handle_request(second)
+        assert response is None and reason == "rate-limited"
+        # No freshness state burnt: the counter word did not move.
+        assert anchor.state.get_counter() == counter_after_first
+        # Booked in ProverStats and in the registry, labelled by reason.
+        assert anchor.stats.rejected == {"rate-limited": 1}
+        registry = session.telemetry.registry
+        assert registry.value("prover.requests.rejected",
+                              reason="rate-limited") == 1
+
+        # Because no state was burnt, the *same* stamped request is
+        # still fresh once the rate window has passed.
+        session.device.idle_seconds(2000.0)
+        response, reason = anchor.handle_request(second)
+        assert response is not None and reason == "ok"
+        assert anchor.stats.accepted == 2
+        assert registry.value("prover.requests.accepted") == 2

@@ -1,0 +1,178 @@
+"""End-to-end instrumentation: the registry must mirror the pipeline.
+
+The acceptance bar for the telemetry layer: attach a sink to a whole
+session, run the protocol, and every number the legacy counters
+(:class:`ProverStats`, channel/verifier bookkeeping) report must be
+readable -- equal -- out of the metrics registry, with the trace telling
+the same story event by event.  And attaching no sink must change
+nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, validate_jsonl_trace, validate_registry_dump
+from repro.services.monitor import AttestationMonitor, MonitorPolicy
+
+
+@pytest.fixture
+def observed(session_factory):
+    session = session_factory(telemetry=Telemetry(), seed="obs-e2e")
+    session.learn_reference_state()
+    return session
+
+
+class TestProverRegistryMatchesStats:
+    def test_accepted_rounds(self, observed):
+        for _ in range(3):
+            result = observed.attest_once(settle_seconds=10.0)
+            assert result.trusted
+        stats = observed.anchor.stats
+        registry = observed.telemetry.registry
+        assert registry.value("prover.requests.received") == stats.received
+        assert registry.value("prover.requests.accepted") == stats.accepted
+        assert registry.total("prover.requests.rejected") == \
+            stats.rejected_total
+        assert registry.value("prover.validation_cycles") == \
+            stats.validation_cycles
+        assert registry.value("prover.attestation_cycles") == \
+            stats.attestation_cycles
+
+    def test_rejections_are_labelled_by_reason(self, observed):
+        request = observed.verifier.make_request()
+        # Replay the same request twice: the second must die at freshness.
+        observed.anchor.handle_request(request)
+        response, reason = observed.anchor.handle_request(request)
+        assert response is None
+        registry = observed.telemetry.registry
+        assert registry.value("prover.requests.rejected", reason=reason) == 1
+        assert observed.anchor.stats.rejected == {reason: 1}
+        rejected = observed.telemetry.trace.of_kind("request-rejected")
+        assert [e.fields["reason"] for e in rejected] == [reason]
+
+    def test_histograms_observe_once_per_request(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        registry = observed.telemetry.registry
+        stats = observed.anchor.stats
+        validation = registry.histogram("prover.validation_cycles_per_request")
+        attestation = registry.histogram(
+            "prover.attestation_cycles_per_request")
+        assert validation.count == stats.received
+        assert attestation.count == stats.accepted
+        assert validation.sum == stats.validation_cycles
+        assert attestation.sum == stats.attestation_cycles
+
+
+class TestTraceTellsTheStory:
+    def test_event_pipeline_of_a_clean_round(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        trace = observed.telemetry.trace
+        assert trace.count("request-received") == 1
+        assert trace.count("request-accepted") == 1
+        assert trace.count("measurement-start") == 1
+        assert trace.count("measurement-end") == 1
+        # request + response each cross the channel once.
+        assert trace.count("channel-send") == 2
+        assert trace.count("channel-deliver") == 2
+        # The whole export validates and seq is strictly increasing.
+        assert validate_jsonl_trace(trace.to_jsonl()) == []
+
+    def test_measurement_cycles_match_stats(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        ends = observed.telemetry.trace.of_kind("measurement-end")
+        stats = observed.anchor.stats
+        assert len(ends) == 1
+        # The measurement is the dominant share of the attestation cost.
+        assert 0 < ends[0].fields["cycles"] <= stats.attestation_cycles
+
+
+class TestOtherLayers:
+    def test_verifier_counters(self, observed):
+        assert observed.attest_once(settle_seconds=10.0).trusted
+        registry = observed.telemetry.registry
+        assert registry.value("verifier.requests_issued") == 1
+        assert registry.value("verifier.responses_validated") == 1
+        assert registry.value("verifier.verdicts", trusted="yes") == 1
+        assert registry.value("verifier.verdicts", trusted="no",
+                              default=0) == 0
+
+    def test_channel_counters_balance(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        registry = observed.telemetry.registry
+        sent = registry.value("channel.sent")
+        assert sent == 2
+        assert registry.value("channel.delivered") \
+            + registry.value("channel.dropped") == sent
+        assert registry.value("channel.pending_events") == 0
+
+    def test_device_geometry_gauges(self, observed):
+        registry = observed.telemetry.registry
+        config = observed.device.config
+        assert registry.value("device.ram_bytes") == config.ram_size
+        assert registry.value("device.flash_bytes") == config.flash_size
+        assert registry.value("device.writable_bytes") == \
+            observed.device.writable_memory_bytes
+
+    def test_energy_gauges_track_battery(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        observed.device.sync_energy()
+        registry = observed.telemetry.registry
+        battery = observed.device.battery
+        assert registry.value("device.energy_consumed_mj") == \
+            pytest.approx(battery.consumed_mj)
+        assert registry.value("device.battery_fraction_remaining") == \
+            pytest.approx(battery.fraction_remaining)
+
+    def test_cpu_cycles_attributed_to_contexts(self, observed):
+        observed.attest_once(settle_seconds=10.0)
+        registry = observed.telemetry.registry
+        attest = registry.value("cpu.cycles", context="Code_Attest")
+        assert attest > 0
+        # Cycles observed through telemetry never exceed the CPU's own
+        # counter (the sink attaches after boot, so early cycles are
+        # legitimately unobserved).
+        assert registry.total("cpu.cycles") <= observed.device.cpu.cycle_count
+
+    def test_monitor_events_mirrored(self, observed):
+        monitor = AttestationMonitor(
+            observed, MonitorPolicy(interval_seconds=30.0))
+        monitor.run(rounds=2)
+        registry = observed.telemetry.registry
+        trace = observed.telemetry.trace
+        assert registry.total("monitor.events") == len(monitor.events)
+        assert trace.count("monitor-event") == len(monitor.events)
+        assert registry.value("monitor.events", kind="ok") == \
+            sum(1 for e in monitor.events if e.kind == "ok")
+
+
+class TestNoBehaviourChange:
+    def test_observed_and_unobserved_sessions_agree(self, session_factory):
+        plain = session_factory(seed="obs-parity")
+        observed = session_factory(telemetry=Telemetry(), seed="obs-parity")
+        for session in (plain, observed):
+            session.learn_reference_state()
+            for _ in range(2):
+                assert session.attest_once(settle_seconds=10.0).trusted
+        assert plain.anchor.stats == observed.anchor.stats
+        assert plain.device.cpu.cycle_count == observed.device.cpu.cycle_count
+        plain_summary = plain.summary()
+        observed_summary = observed.summary()
+        assert plain_summary == observed_summary
+
+    def test_null_sink_is_the_default(self, session_factory):
+        session = session_factory(seed="obs-default")
+        assert session.telemetry.enabled is False
+        assert session.anchor.telemetry is session.telemetry
+        assert session.device.telemetry is session.telemetry
+
+
+class TestExportsValidate:
+    def test_registry_dump_and_trace_export(self, observed, tmp_path):
+        observed.attest_once(settle_seconds=10.0)
+        observed.device.sync_energy()
+        dump = json.loads(json.dumps(observed.telemetry.registry.dump()))
+        assert validate_registry_dump(dump) == []
+        path = tmp_path / "trace.jsonl"
+        observed.telemetry.trace.export_jsonl(path)
+        assert validate_jsonl_trace(path.read_text()) == []

@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("reqs", {})
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("reqs", {})
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth", {})
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper(self):
+        h = Histogram("lat", {}, buckets=(10, 100))
+        h.observe(10)      # lands in <=10
+        h.observe(11)      # lands in <=100
+        h.observe(1000)    # overflow
+        assert h.count == 3
+        assert h.sum == 1021
+        assert h.bucket_counts == [1, 1]
+        assert h.overflow == 1
+
+    def test_mean(self):
+        h = Histogram("lat", {}, buckets=(10,))
+        assert h.mean == 0.0
+        h.observe(4)
+        h.observe(6)
+        assert h.mean == 5.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", {}, buckets=(100, 10))
+
+
+class TestMetricsRegistry:
+    def test_counter_is_memoized_per_label_set(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reqs", scheme="speck")
+        b = reg.counter("reqs", scheme="speck")
+        c = reg.counter("reqs", scheme="hmac")
+        assert a is b and a is not c
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reqs", a="1", b="2")
+        b = reg.counter("reqs", b="2", a="1")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("reqs")
+
+    def test_value_and_total_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("rej", reason="stale").inc(2)
+        reg.counter("rej", reason="auth").inc(3)
+        assert reg.value("rej", reason="stale") == 2
+        assert reg.value("missing", default=-1) == -1
+        assert reg.total("rej") == 5
+
+    def test_total_excludes_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(10,)).observe(5)
+        assert reg.total("lat") == 0
+
+    def test_dump_is_deterministic_and_schema_tagged(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", x="2").inc()
+        reg.counter("a", x="1").inc()
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=(1, 2)).observe(1)
+        dump = reg.dump()
+        assert dump["schema"] == "repro.obs.registry/v1"
+        names = [(m["name"], tuple(sorted(m["labels"].items())))
+                 for m in dump["metrics"]]
+        assert names == sorted(names)
+        assert dump == reg.dump()

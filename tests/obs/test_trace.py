@@ -1,0 +1,117 @@
+"""Unit tests for the event trace, schemas, and telemetry facade."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (EVENT_KINDS, EventTrace, NULL_TELEMETRY, Telemetry,
+                       validate_event, validate_jsonl_trace,
+                       validate_registry_dump)
+
+
+class TestEventTrace:
+    def test_records_are_numbered_and_typed(self):
+        trace = EventTrace()
+        a = trace.record("request-received", 0.5, scheme="speck")
+        b = trace.record("request-accepted", 1.0)
+        assert (a.seq, b.seq) == (0, 1)
+        assert a.kind == "request-received"
+        assert a.fields == {"scheme": "speck"}
+        assert len(trace) == 2
+        assert trace.count("request-received") == 1
+        assert [e.kind for e in trace.of_kind("request-accepted")] == \
+            ["request-accepted"]
+
+    def test_unknown_kind_raises(self):
+        trace = EventTrace()
+        with pytest.raises(ConfigurationError):
+            trace.record("request-recieved", 0.0)  # the typo this catches
+
+    def test_non_scalar_field_raises(self):
+        trace = EventTrace()
+        with pytest.raises(ConfigurationError):
+            trace.record("channel-send", 0.0, payload=[1, 2, 3])
+
+    def test_bounded_memory_drops_oldest_and_counts(self):
+        trace = EventTrace(max_events=3)
+        for i in range(5):
+            trace.record("channel-send", float(i))
+        assert len(trace) == 3
+        assert trace.dropped_events == 2
+        assert [e.seq for e in trace] == [2, 3, 4]
+
+    def test_jsonl_roundtrip_validates(self, tmp_path):
+        trace = EventTrace()
+        trace.record("measurement-start", 0.1, bytes=8192)
+        trace.record("measurement-end", 0.9, cycles=290000)
+        text = trace.to_jsonl()
+        assert validate_jsonl_trace(text) == []
+        path = tmp_path / "trace.jsonl"
+        assert trace.export_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "measurement-start"
+
+    def test_export_of_empty_trace_is_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert EventTrace().export_jsonl(path) == 0
+        assert path.read_text() == ""
+
+
+class TestSchemaValidation:
+    def test_valid_event_passes(self):
+        assert validate_event({"seq": 0, "time": 0.0,
+                               "kind": "clock-wrap", "wraps": 1}) == []
+
+    def test_every_known_kind_is_in_the_schema_enum(self):
+        for kind in EVENT_KINDS:
+            assert validate_event({"seq": 0, "time": 0.0, "kind": kind}) == []
+
+    def test_bad_events_are_rejected_with_reasons(self):
+        assert validate_event({"time": 0.0, "kind": "clock-wrap"})
+        assert validate_event({"seq": 0, "time": 0.0, "kind": "nope"})
+        assert validate_event({"seq": -1, "time": 0.0, "kind": "clock-wrap"})
+        assert validate_event({"seq": 0, "time": 0.0, "kind": "clock-wrap",
+                               "extra": {"nested": True}})
+
+    def test_jsonl_seq_must_increase(self):
+        text = ('{"seq": 1, "time": 0.0, "kind": "channel-send"}\n'
+                '{"seq": 1, "time": 0.1, "kind": "channel-send"}')
+        errors = validate_jsonl_trace(text)
+        assert any("not increasing" in e for e in errors)
+
+    def test_registry_dump_roundtrip(self):
+        telemetry = Telemetry()
+        telemetry.count("prover.requests.received")
+        telemetry.set_gauge("device.ram_bytes", 8192)
+        telemetry.observe("prover.validation_cycles_per_request", 360)
+        dump = json.loads(json.dumps(telemetry.registry.dump()))
+        assert validate_registry_dump(dump) == []
+
+    def test_registry_dump_rejects_malformed(self):
+        assert validate_registry_dump({"metrics": []})          # no schema tag
+        assert validate_registry_dump(
+            {"schema": "repro.obs.registry/v1",
+             "metrics": [{"kind": "counter", "name": "x", "labels": {},
+                          "value": "three"}]})
+
+
+class TestTelemetryFacade:
+    def test_hooks_update_registry_and_trace(self):
+        telemetry = Telemetry()
+        telemetry.count("prover.requests.rejected", reason="stale-nonce")
+        telemetry.event("request-rejected", 0.25, reason="stale-nonce")
+        assert telemetry.registry.value("prover.requests.rejected",
+                                        reason="stale-nonce") == 1
+        assert telemetry.trace.count("request-rejected") == 1
+
+    def test_null_sink_is_inert_and_shared(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.registry is None
+        assert NULL_TELEMETRY.trace is None
+        # All hooks accept the same arguments and do nothing.
+        NULL_TELEMETRY.count("anything", 5, label="x")
+        NULL_TELEMETRY.event("not-even-a-valid-kind", 0.0)
+        NULL_TELEMETRY.set_gauge("g", 1)
+        NULL_TELEMETRY.observe("h", 2)

@@ -15,7 +15,8 @@ class TestParser:
         for argv in (["table1"], ["table2"], ["table2", "--model-check"],
                      ["table3"], ["overhead"], ["roam", "--clock", "hw64"],
                      ["flood", "--rate", "1.0"],
-                     ["attest", "--scheme", "hmac-sha1"]):
+                     ["attest", "--scheme", "hmac-sha1"],
+                     ["metrics", "--rounds", "3"]):
             args = parser.parse_args(argv)
             assert callable(args.fn)
 
@@ -111,3 +112,49 @@ class TestCommands:
         assert summary["device"]["profile"] == "roam-hardened"
         assert summary["stats"]["accepted"] == 1
         assert 0 < summary["energy"]["consumed_mj"] < 100
+
+    def test_metrics_to_stdout(self, capsys):
+        import json
+        assert main(["metrics", "--rounds", "1", "--ram-kb", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "# OK: registry matches ProverStats" in captured.err
+        # stdout carries trace JSONL followed by the registry dump.
+        assert '"kind": "request-accepted"' in captured.out
+        dump_start = captured.out.index('{\n  "metrics"')
+        dump = json.loads(captured.out[dump_start:])
+        assert dump["schema"] == "repro.obs.registry/v1"
+
+    def test_metrics_to_files(self, tmp_path):
+        import json
+
+        from repro.obs import validate_jsonl_trace, validate_registry_dump
+        trace = tmp_path / "trace.jsonl"
+        registry = tmp_path / "registry.json"
+        assert main(["metrics", "--rounds", "2", "--ram-kb", "8",
+                     "--trace-out", str(trace),
+                     "--registry-out", str(registry)]) == 0
+        assert validate_jsonl_trace(trace.read_text()) == []
+        assert validate_registry_dump(
+            json.loads(registry.read_text())) == []
+
+
+class TestMetricsSmokeScript:
+    def test_smoke_script_passes(self, tmp_path):
+        """The CI smoke script: run `repro metrics` on the quickstart
+        scenario and validate both exports against the schemas."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        script = repo / "scripts" / "metrics_smoke.py"
+        env_path = str(repo / "src")
+        proc = subprocess.run(
+            [sys.executable, str(script), "--ram-kb", "8",
+             "--keep", str(tmp_path)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stderr
+        assert "metrics-smoke: OK" in proc.stderr
+        assert (tmp_path / "trace.jsonl").is_file()
+        assert (tmp_path / "registry.json").is_file()
