@@ -9,16 +9,46 @@ the same primitive (Section 4.1, "a SHA-1-based HMAC can be validated in
 The implementation follows RFC 2104 exactly: ``H(K ^ opad || H(K ^ ipad
 || message))`` with 64-byte block size.  Keys longer than one block are
 first hashed; shorter keys are zero-padded.
+
+Host-side midstate cache
+------------------------
+
+Every HMAC under key ``K`` starts by absorbing the same two 64-byte
+blocks, ``K ^ ipad`` and ``K ^ opad``.  Fleet and flood scenarios build
+thousands of :class:`HmacSha1` objects per key, so under the fast-path
+engines (:mod:`repro.fastpath`) the SHA-1 states *after* those pad
+blocks are cached per key and cloned into each new object instead of
+being recomputed.  The cache is LRU-bounded so a fleet of many distinct
+device keys cannot grow it without limit, and it is host-side only: the
+simulated cycle charges come from :mod:`repro.crypto.costmodel` and are
+identical whether or not the cache hits.  (The cache maps raw key bytes
+to key-derived hash states, which is fine for a simulator but would be
+key-material handling in a real implementation.)
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from .. import fastpath
 from .sha1 import BLOCK_SIZE, DIGEST_SIZE, SHA1
 
-__all__ = ["HmacSha1", "hmac_sha1", "constant_time_compare"]
+__all__ = ["HmacSha1", "hmac_sha1", "constant_time_compare",
+           "clear_hmac_midstate_cache", "hmac_midstate_cache_info"]
 
 _IPAD = 0x36
 _OPAD = 0x5C
+
+#: Upper bound on cached (engine, key) midstate pairs.
+HMAC_MIDSTATE_CACHE_MAX = 128
+
+#: key: (engine, padded key) -> (inner prototype, outer prototype); the
+#: prototypes are SHA1 objects that have absorbed exactly the pad block,
+#: cloned (never mutated) on every hit.
+_midstate_cache: "OrderedDict[tuple[str, bytes], tuple[SHA1, SHA1]]" = \
+    OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
 
 
 def _prepare_key(key: bytes) -> bytes:
@@ -26,6 +56,41 @@ def _prepare_key(key: bytes) -> bytes:
     if len(key) > BLOCK_SIZE:
         key = SHA1(key).digest()
     return key.ljust(BLOCK_SIZE, b"\x00")
+
+
+def _pad_midstates(padded: bytes) -> tuple[SHA1, SHA1]:
+    """Inner/outer SHA-1 prototypes for ``padded`` (64-byte key block),
+    cached per (engine, key) with LRU eviction."""
+    global _cache_hits, _cache_misses
+    cache_key = (fastpath.engine(), padded)
+    entry = _midstate_cache.get(cache_key)
+    if entry is not None:
+        _cache_hits += 1
+        _midstate_cache.move_to_end(cache_key)
+        return entry
+    _cache_misses += 1
+    entry = (SHA1(bytes(b ^ _IPAD for b in padded)),
+             SHA1(bytes(b ^ _OPAD for b in padded)))
+    _midstate_cache[cache_key] = entry
+    while len(_midstate_cache) > HMAC_MIDSTATE_CACHE_MAX:
+        _midstate_cache.popitem(last=False)
+    return entry
+
+
+def clear_hmac_midstate_cache() -> None:
+    """Drop all cached midstates and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _midstate_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def hmac_midstate_cache_info() -> dict:
+    """Cache statistics (for the wall-clock benchmarks and tests)."""
+    return {"size": len(_midstate_cache),
+            "max_size": HMAC_MIDSTATE_CACHE_MAX,
+            "hits": _cache_hits,
+            "misses": _cache_misses}
 
 
 class HmacSha1:
@@ -43,8 +108,15 @@ class HmacSha1:
         if not isinstance(key, (bytes, bytearray)):
             raise TypeError("HMAC key must be bytes")
         padded = _prepare_key(bytes(key))
-        self._inner = SHA1(bytes(b ^ _IPAD for b in padded))
-        self._outer_key = bytes(b ^ _OPAD for b in padded)
+        if fastpath.is_fast():
+            inner_proto, outer_proto = _pad_midstates(padded)
+            self._inner = inner_proto.copy()
+            self._outer_proto: SHA1 | None = outer_proto
+            self._outer_key: bytes | None = None
+        else:
+            self._inner = SHA1(bytes(b ^ _IPAD for b in padded))
+            self._outer_proto = None
+            self._outer_key = bytes(b ^ _OPAD for b in padded)
         if data:
             self.update(data)
 
@@ -55,12 +127,16 @@ class HmacSha1:
     def copy(self) -> "HmacSha1":
         clone = HmacSha1.__new__(HmacSha1)
         clone._inner = self._inner.copy()
+        clone._outer_proto = self._outer_proto
         clone._outer_key = self._outer_key
         return clone
 
     def digest(self) -> bytes:
         """Return the 20-byte HMAC tag."""
-        outer = SHA1(self._outer_key)
+        if self._outer_proto is not None:
+            outer = self._outer_proto.copy()
+        else:
+            outer = SHA1(self._outer_key)
         outer.update(self._inner.digest())
         return outer.digest()
 
@@ -69,7 +145,8 @@ class HmacSha1:
 
     @property
     def blocks_processed(self) -> int:
-        """Message blocks absorbed so far (excludes key/finalise blocks)."""
+        """Blocks absorbed by the inner hash so far (the ipad key block
+        plus full message blocks; excludes finalise/outer blocks)."""
         return self._inner.blocks_processed
 
     @staticmethod
@@ -81,6 +158,10 @@ class HmacSha1:
         paper's 512 KB example this yields 1 + 8193 + 2 = 8196 compressions,
         and 8196 * 0.092 ms = 754.032 ms -- exactly the figure in
         Section 3.1.  See :mod:`repro.crypto.costmodel`.
+
+        This count is *simulated* work: the cost model charges it no
+        matter which host engine ran the hash or whether the midstate
+        cache hit.
         """
         if message_length < 0:
             raise ValueError("message_length must be non-negative")

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import fastpath
 from ..crypto.costmodel import CryptoCostModel
 from ..crypto.hmac import HmacSha1
 from ..crypto.sha1 import SHA1
@@ -66,6 +67,9 @@ _CLOCK_REG_OFF = 0x1000
 _IRQ_MASK_OFF = 0x1100
 
 _KEY_SIZE = 16
+
+#: Chunk size of the per-chunk checked memory walk (the naive path).
+_MEASURE_CHUNK = 4096
 
 
 @dataclass
@@ -368,12 +372,7 @@ class Device:
         """Measure the application in flash against the ROM reference."""
         app_start, app_end = self.firmware.span("app")
         digest = SHA1()
-        chunk = 4096
-        address = app_start
-        while address < app_end:
-            length = min(chunk, app_end - address)
-            digest.update(self.bus.read(boot_ctx, address, length))
-            address += length
+        self._absorb_spans(boot_ctx, [(app_start, app_end)], digest.update)
         # Charge hashing cost (boot-time, so it does not affect the
         # attestation latency experiments, but energy is energy).
         self.cpu.consume_cycles(
@@ -490,6 +489,41 @@ class Device:
     # The attestation measurement (Section 3.1's expensive operation)
     # ------------------------------------------------------------------
 
+    def _absorb_spans(self, context: ExecutionContext,
+                      spans: list[tuple[int, int]], absorb) -> int:
+        """Feed every byte of ``spans`` through ``absorb``; returns the
+        total byte count.
+
+        This is the one shared memory walker behind the keyed
+        measurement, the unkeyed state digest and the secure-boot
+        verification.  Fast path: one MPU pre-check per span, then a
+        single read-only ``memoryview`` straight onto the region backing
+        store (zero copies).  It falls back to the seed's per-chunk
+        checked-and-copied reads whenever the span is ineligible for
+        bulk access (an EA-MPU rule splits it, MMIO, unmapped tail --
+        see :meth:`~repro.mcu.memory.MemoryBus.can_bulk_read`), a bus
+        tracer is observing the access pattern, or the fast path is
+        disabled.  Either way the MPU arbitration outcome, the absorbed
+        bytes and the simulated accounting are identical.
+        """
+        bus = self.bus
+        total = 0
+        for start, end in spans:
+            length = end - start
+            if length <= 0:
+                continue
+            if (fastpath.is_fast() and not bus.has_tracers
+                    and bus.can_bulk_read(context, start, length)):
+                absorb(bus.read_view(context, start, length))
+            else:
+                address = start
+                while address < end:
+                    step = min(_MEASURE_CHUNK, end - address)
+                    absorb(bus.read(context, address, step))
+                    address += step
+            total += length
+        return total
+
     def measure_writable_memory(self, context: ExecutionContext,
                                 key: bytes, challenge: bytes) -> bytes:
         """HMAC-SHA1 over all writable memory, keyed with ``key``.
@@ -500,16 +534,10 @@ class Device:
         the 754 ms operation for 512 KB at 24 MHz.
         """
         mac = HmacSha1(key, challenge)
-        total = 0
-        chunk = 4096
         with self.cpu.running(context):
-            for region in self.memory.writable_regions():
-                address = region.start
-                while address < region.end:
-                    length = min(chunk, region.end - address)
-                    mac.update(self.bus.read(context, address, length))
-                    address += length
-                    total += length
+            spans = [(r.start, r.end)
+                     for r in self.memory.writable_regions()]
+            total = self._absorb_spans(context, spans, mac.update)
             self.cpu.consume_cycles(
                 self.cost_model.hmac_cycles(total + len(challenge),
                                             mode="exact"))
@@ -543,16 +571,9 @@ class Device:
         afterwards (see :class:`repro.core.messages.AttestationResponse`).
         """
         digest = SHA1()
-        total = 0
-        chunk = 4096
         with self.cpu.running(context):
-            for start, end in self.attested_spans():
-                address = start
-                while address < end:
-                    length = min(chunk, end - address)
-                    digest.update(self.bus.read(context, address, length))
-                    address += length
-                    total += length
+            total = self._absorb_spans(context, self.attested_spans(),
+                                       digest.update)
             self.cpu.consume_cycles(self.cost_model.sha1_cycles(total))
         if self.config.uninterruptible_attest:
             self.interrupts.run_pending()

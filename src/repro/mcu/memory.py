@@ -219,6 +219,13 @@ class MemoryBus:
         """Register a callback observing every access (for tests/benches)."""
         self._tracers.append(tracer)
 
+    @property
+    def has_tracers(self) -> bool:
+        """Whether any access tracer is observing the bus.  Bulk readers
+        check this and fall back to per-chunk reads so tracers keep
+        seeing the exact access pattern the naive path produces."""
+        return bool(self._tracers)
+
     def _trace(self, context: str | None, access: str, address: int,
                length: int) -> None:
         for tracer in self._tracers:
@@ -261,6 +268,76 @@ class MemoryBus:
                 region.peripheral.mmio_write(offset + i, byte, context)
             return
         region._data[address - region.start:address - region.start + len(data)] = data
+
+    # -- bulk access path ----------------------------------------------------
+    #
+    # The attestation measurement reads hundreds of kilobytes through the
+    # bus; copying every 4 KB chunk into fresh ``bytes`` dominates host
+    # wall-clock once hashing itself is fast.  ``read_view`` hands the
+    # hash a read-only window straight onto the region's backing store
+    # after one permission check over the whole span.  ``can_bulk_read``
+    # is the eligibility pre-check: a span qualifies only when it lies in
+    # one non-MMIO region and no EA-MPU rule overlaps it, so a single
+    # check is *provably* equivalent to the per-chunk sweep (every byte
+    # is unruled ordinary memory).  Anything else -- rules splitting the
+    # region, MMIO, unmapped tails -- must take the per-chunk checked
+    # path.
+
+    def can_bulk_read(self, context: str | None, address: int,
+                      length: int) -> bool:
+        """Whether ``[address, address+length)`` is eligible for a
+        single zero-copy :meth:`read_view`."""
+        if length <= 0:
+            return False
+        region = self.memory_map.find(address)
+        if region is None or address + length > region.end:
+            return False
+        if region.mem_type is MemoryType.MMIO:
+            return False
+        if self._mpu is not None and not self._mpu.span_unruled(
+                address, address + length):
+            return False
+        return True
+
+    def read_view(self, context: str | None, address: int,
+                  length: int) -> memoryview:
+        """Zero-copy software load: a read-only view of backing memory.
+
+        Performs the same :meth:`_check` arbitration as :meth:`read`
+        (one check over the full span) and emits one trace record.
+        Callers should gate on :meth:`can_bulk_read`; MMIO regions are
+        still served correctly via the per-byte peripheral path.
+        """
+        region = self._check(context, "read", address, length)
+        self._trace(context, "read", address, length)
+        if region.mem_type is MemoryType.MMIO:
+            return memoryview(self.read(context, address, length))
+        offset = address - region.start
+        return memoryview(region._data)[offset:offset + length].toreadonly()
+
+    def read_into(self, context: str | None, address: int, length: int,
+                  out: bytearray, out_offset: int = 0) -> int:
+        """Software load of ``length`` bytes directly into ``out``.
+
+        One permission check, one ``memcpy``-style slice store, no
+        intermediate ``bytes`` object.  Returns ``length``.
+        """
+        if out_offset < 0 or out_offset + length > len(out):
+            raise ConfigurationError(
+                f"read_into of {length} bytes at output offset "
+                f"{out_offset} exceeds buffer of {len(out)} bytes")
+        region = self._check(context, "read", address, length)
+        self._trace(context, "read", address, length)
+        if region.mem_type is MemoryType.MMIO:
+            offset = address - region.start
+            for i in range(length):
+                out[out_offset + i] = \
+                    region.peripheral.mmio_read(offset + i, context) & 0xFF
+            return length
+        offset = address - region.start
+        out[out_offset:out_offset + length] = \
+            memoryview(region._data)[offset:offset + length]
+        return length
 
     def read_u32(self, context: str | None, address: int) -> int:
         return int.from_bytes(self.read(context, address, 4), "little")

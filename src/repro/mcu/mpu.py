@@ -301,6 +301,24 @@ class ExecutionAwareMPU:
         """All violations this MPU has raised (diagnostic log)."""
         return list(self._violations)
 
+    def span_unruled(self, start: int, end: int) -> bool:
+        """Whether no valid rule's data range overlaps ``[start, end)``.
+
+        An unruled span is ordinary memory: any context may access it and
+        the per-byte interval sweep of :meth:`check_access` degenerates to
+        a no-op.  The bulk read path
+        (:meth:`repro.mcu.memory.MemoryBus.read_view`) uses this as its
+        pre-check -- whenever *any* rule splits the span, bulk access
+        falls back to the per-chunk checked path so denial behaviour and
+        violation reporting stay byte-identical with the naive walk.
+        """
+        if not self.enabled:
+            return True
+        for rule in self.rules():
+            if rule.data_overlap(start, end) is not None:
+                return False
+        return True
+
     def check_access(self, context, access: str, address: int,
                      length: int) -> None:
         """Arbitrate a software access; raise on denial.

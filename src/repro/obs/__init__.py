@@ -35,8 +35,9 @@ Attach a telemetry to a session at build time::
 """
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .schema import (EVENT_SCHEMA, REGISTRY_SCHEMA, validate_event,
-                     validate_jsonl_trace, validate_registry_dump)
+from .schema import (EVENT_SCHEMA, REGISTRY_SCHEMA, WALLCLOCK_SCHEMA,
+                     validate_event, validate_jsonl_trace,
+                     validate_registry_dump, validate_wallclock_report)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .trace import EVENT_KINDS, EventTrace, TraceEvent
 
@@ -44,6 +45,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "EVENT_KINDS", "EventTrace", "TraceEvent",
     "NULL_TELEMETRY", "NullTelemetry", "Telemetry",
-    "EVENT_SCHEMA", "REGISTRY_SCHEMA", "validate_event",
-    "validate_jsonl_trace", "validate_registry_dump",
+    "EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
+    "validate_event", "validate_jsonl_trace", "validate_registry_dump",
+    "validate_wallclock_report",
 ]

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import json
 
+from ..fastpath import ENGINES
 from .trace import EVENT_KINDS
 
-__all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "validate_event",
-           "validate_jsonl_trace", "validate_registry_dump"]
+__all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
+           "validate_event", "validate_jsonl_trace",
+           "validate_registry_dump", "validate_wallclock_report"]
 
 #: Schema of one trace-event object (one JSON line of the export).
 EVENT_SCHEMA = {
@@ -62,10 +64,67 @@ _METRIC_SCHEMA = {
 
 _HISTOGRAM_REQUIRED = ("buckets", "bucket_counts", "overflow", "count", "sum")
 
+#: Schema of the host wall-clock benchmark report
+#: (``BENCH_wallclock.json`` at the repository root, written by
+#: ``benchmarks/bench_wallclock.py``; see ``docs/performance.md``).
+WALLCLOCK_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "engine_default", "sweep", "naive_baseline",
+                 "speedup", "hmac_cache", "equivalence"],
+    "properties": {
+        "schema": {"type": "string",
+                   "enum": ["repro.perf.wallclock/v1"]},
+        "engine_default": {"type": "string", "enum": sorted(ENGINES)},
+        "sweep": {"type": "array"},
+        "naive_baseline": {"type": "object"},
+        "speedup": {"type": "object"},
+        "hmac_cache": {"type": "object"},
+        "equivalence": {"type": "object"},
+    },
+}
+
+#: Schema of one measurement-sweep entry inside the wall-clock report.
+_SWEEP_ENTRY_SCHEMA = {
+    "type": "object",
+    "required": ["ram_kb", "writable_kb", "engine", "seconds", "mb_per_s",
+                 "digest"],
+    "properties": {
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "writable_kb": {"type": "integer", "minimum": 1},
+        "engine": {"type": "string", "enum": sorted(ENGINES)},
+        "seconds": {"type": "number", "minimum": 0},
+        "mb_per_s": {"type": "number", "minimum": 0},
+        "digest": {"type": "string"},
+    },
+}
+
+_SPEEDUP_SCHEMA = {
+    "type": "object",
+    "required": ["ram_kb", "naive_seconds", "fast_seconds", "factor"],
+    "properties": {
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "naive_seconds": {"type": "number", "minimum": 0},
+        "fast_seconds": {"type": "number", "minimum": 0},
+        "factor": {"type": "number", "minimum": 0},
+    },
+}
+
+_EQUIVALENCE_SCHEMA = {
+    "type": "object",
+    "required": ["ram_kb", "rounds", "identical", "engines"],
+    "properties": {
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "rounds": {"type": "integer", "minimum": 1},
+        "identical": {"type": "boolean"},
+        "engines": {"type": "object"},
+    },
+}
+
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
     "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
     "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
     "number": lambda v: (isinstance(v, (int, float))
                          and not isinstance(v, bool)),
@@ -159,4 +218,36 @@ def validate_registry_dump(dump: dict) -> list[str]:
                                   metric.get("value"), bool):
                 errors.append(f"{path}: {metric.get('kind')} needs a "
                               f"numeric 'value'")
+    return errors
+
+
+def validate_wallclock_report(report: dict) -> list[str]:
+    """Validate a decoded ``BENCH_wallclock.json`` report object.
+
+    Checks the report envelope, every sweep entry, the naive baseline,
+    the speedup and equivalence blocks.  Shape only -- whether the
+    equivalence block is *clean* (``identical: true``) is policy, and
+    ``scripts/perf_smoke.py`` enforces it separately.
+    """
+    errors = _check(report, WALLCLOCK_SCHEMA, "wallclock")
+    if not isinstance(report, dict):
+        return errors
+    for index, entry in enumerate(report.get("sweep", [])
+                                  if isinstance(report.get("sweep"), list)
+                                  else []):
+        errors.extend(_check(entry, _SWEEP_ENTRY_SCHEMA,
+                             f"wallclock.sweep[{index}]"))
+    if "naive_baseline" in report:
+        errors.extend(_check(report["naive_baseline"], _SWEEP_ENTRY_SCHEMA,
+                             "wallclock.naive_baseline"))
+        baseline = report["naive_baseline"]
+        if isinstance(baseline, dict) and baseline.get("engine") not in (
+                None, "naive"):
+            errors.append("wallclock.naive_baseline: engine must be 'naive'")
+    if "speedup" in report:
+        errors.extend(_check(report["speedup"], _SPEEDUP_SCHEMA,
+                             "wallclock.speedup"))
+    if "equivalence" in report:
+        errors.extend(_check(report["equivalence"], _EQUIVALENCE_SCHEMA,
+                             "wallclock.equivalence"))
     return errors

@@ -1,0 +1,125 @@
+"""The HMAC pad-midstate cache: correctness first, then cache policy.
+
+The cache is a host-side optimization only -- tags, ``blocks_processed``
+and :meth:`HmacSha1.total_compressions` must be identical whether the
+cache hits, misses, or (under the naive engine) does not exist at all.
+"""
+
+import hmac as stdlib_hmac
+
+import pytest
+
+from repro import fastpath
+from repro.crypto.hmac import (HMAC_MIDSTATE_CACHE_MAX, HmacSha1,
+                               clear_hmac_midstate_cache, hmac_sha1,
+                               hmac_midstate_cache_info)
+
+ENGINES = list(fastpath.ENGINES)
+
+KEYS = [b"k", b"0123456789abcdef", b"K" * 64, b"L" * 100]
+MESSAGES = [b"", b"m", b"x" * 55, b"x" * 56, b"x" * 64, b"x" * 1000]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_hmac_midstate_cache()
+    yield
+    clear_hmac_midstate_cache()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("key", KEYS)
+@pytest.mark.parametrize("message", MESSAGES)
+def test_matches_stdlib_under_every_engine(engine, key, message):
+    expected = stdlib_hmac.new(key, message, "sha1")
+    with fastpath.forced(engine):
+        assert hmac_sha1(key, message) == expected.digest()
+        # Cached second construction must not change the tag.
+        assert HmacSha1(key, message).hexdigest() == expected.hexdigest()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_blocks_processed_identical_across_engines(engine):
+    """Simulated accounting: ipad key block + full message blocks,
+    regardless of engine or cache state."""
+    message = b"z" * 130
+    with fastpath.forced(engine):
+        mac = HmacSha1(b"key-16-bytes-pad", message)
+        assert mac.blocks_processed == 1 + len(message) // 64
+        mac.digest()
+        assert mac.blocks_processed == 1 + len(message) // 64
+
+
+def test_cache_hits_and_misses_are_counted():
+    with fastpath.forced("accel"):
+        HmacSha1(b"alpha")
+        info = hmac_midstate_cache_info()
+        assert (info["misses"], info["hits"]) == (1, 0)
+        HmacSha1(b"alpha")
+        HmacSha1(b"alpha", b"payload")
+        info = hmac_midstate_cache_info()
+        assert (info["misses"], info["hits"]) == (1, 2)
+        HmacSha1(b"beta")
+        info = hmac_midstate_cache_info()
+        assert (info["misses"], info["size"]) == (2, 2)
+
+
+def test_naive_engine_bypasses_the_cache():
+    with fastpath.forced("naive"):
+        HmacSha1(b"alpha", b"m").digest()
+        info = hmac_midstate_cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == info["misses"] == 0
+
+
+def test_cache_is_lru_bounded():
+    with fastpath.forced("accel"):
+        for index in range(HMAC_MIDSTATE_CACHE_MAX + 10):
+            HmacSha1(index.to_bytes(4, "big"))
+        info = hmac_midstate_cache_info()
+        assert info["size"] == HMAC_MIDSTATE_CACHE_MAX == info["max_size"]
+        # The oldest keys were evicted: constructing them again misses.
+        misses_before = hmac_midstate_cache_info()["misses"]
+        HmacSha1((0).to_bytes(4, "big"))
+        assert hmac_midstate_cache_info()["misses"] == misses_before + 1
+        # The most recent key is still cached.
+        hits_before = hmac_midstate_cache_info()["hits"]
+        HmacSha1((HMAC_MIDSTATE_CACHE_MAX + 9).to_bytes(4, "big"))
+        assert hmac_midstate_cache_info()["hits"] == hits_before + 1
+
+
+def test_clear_resets_everything():
+    with fastpath.forced("accel"):
+        HmacSha1(b"alpha")
+        HmacSha1(b"alpha")
+        clear_hmac_midstate_cache()
+        info = hmac_midstate_cache_info()
+        assert (info["size"], info["hits"], info["misses"]) == (0, 0, 0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_cached_prototypes_are_never_mutated(engine):
+    """Hundreds of objects under one key must stay independent: the
+    cache hands out clones, never the cached prototypes themselves."""
+    key = b"shared-fleet-key"
+    with fastpath.forced(engine):
+        first = HmacSha1(key, b"first message")
+        second = HmacSha1(key)
+        second.update(b"second")
+        clone = first.copy()
+        clone.update(b" diverges")
+        assert first.digest() == stdlib_hmac.new(
+            key, b"first message", "sha1").digest()
+        assert second.digest() == stdlib_hmac.new(
+            key, b"second", "sha1").digest()
+        assert clone.digest() == stdlib_hmac.new(
+            key, b"first message diverges", "sha1").digest()
+
+
+def test_total_compressions_independent_of_cache():
+    """8196 compressions for 512 KB (Section 3.1) -- a *simulated*
+    count, charged identically on cache hit and miss."""
+    assert HmacSha1.total_compressions(512 * 1024) == 8196
+    with fastpath.forced("accel"):
+        HmacSha1(b"k")  # warm the cache
+        assert HmacSha1.total_compressions(512 * 1024) == 8196
