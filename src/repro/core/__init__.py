@@ -21,16 +21,20 @@ from .modelcheck import (ModelCheckResult, check_policy,
                          table2_from_model_checking)
 from .protocol import ProverNode, Session, VerifierNode, build_session
 from .prover import DeviceStateView, ProverStats, ProverTrustAnchor
+from .resilience import (BREAKER_STATES, CircuitBreaker, ResilientOutcome,
+                         RetryPolicy)
 from .verifier import VerificationResult, Verifier
 
 __all__ = [
     "AesCbcMacAuthenticator", "AttackOutcome", "AttestationRequest",
-    "AttestationResponse", "CounterPolicy", "DeviceStateView",
+    "AttestationResponse", "BREAKER_STATES", "CircuitBreaker",
+    "CounterPolicy", "DeviceStateView",
     "EcdsaAuthenticator", "FreshnessPolicy", "HmacAuthenticator",
     "InMemoryStateView", "MitigationMatrix", "ModelCheckResult",
     "NoFreshness",
     "NonceHistoryPolicy", "NullAuthenticator", "POLICY_NAMES", "ProverNode",
-    "ProverStats", "ProverTrustAnchor", "RequestAuthenticator", "Session",
+    "ProverStats", "ProverTrustAnchor", "RequestAuthenticator",
+    "ResilientOutcome", "RetryPolicy", "Session",
     "SpeckCbcMacAuthenticator", "TimestampPolicy", "VerificationResult",
     "Verifier", "VerifierFreshnessState", "VerifierNode", "build_session",
     "check_policy", "make_policy", "make_symmetric_authenticator",

@@ -30,6 +30,7 @@ from .authenticator import (EcdsaAuthenticator, RequestAuthenticator,
 from .freshness import FreshnessPolicy, make_policy
 from .messages import AttestationRequest, AttestationResponse
 from .prover import ProverTrustAnchor
+from .resilience import ResilientOutcome, RetryPolicy
 from .verifier import VerificationResult, Verifier
 
 __all__ = ["ProverNode", "VerifierNode", "Session", "build_session"]
@@ -85,13 +86,26 @@ class VerifierNode:
         self.prover_name = prover_name
         self.sim = sim
         self._outstanding: list[AttestationRequest] = []
+        self._request_times: dict[bytes, float] = {}
         self.results: list[VerificationResult] = []
+        #: Simulation time the most recent result was appended (any
+        #: verdict, including unsolicited), and the measured request ->
+        #: response duration of the most recent *matched* response.
+        #: Retry policies clamp their per-attempt deadline to the latter
+        #: so retries never fire faster than a round trip completes.
+        self.last_result_time: float | None = None
+        self.last_round_seconds: float | None = None
         channel.attach(self)
 
     def request_attestation(self) -> AttestationRequest:
         """Issue one attestation request towards the prover."""
         request = self.verifier.make_request()
         self._outstanding.append(request)
+        self._request_times[request.challenge] = self.sim.now
+        if len(self._request_times) > 4096:
+            # Dropped requests never get popped; bound the map.
+            oldest = next(iter(self._request_times))
+            del self._request_times[oldest]
         self.channel.send(self.name, self.prover_name, request)
         return request
 
@@ -102,8 +116,13 @@ class VerifierNode:
         if request is None:
             self.results.append(VerificationResult(
                 False, None, "unsolicited-response"))
+            self.last_result_time = self.sim.now
             return
+        sent_at = self._request_times.pop(request.challenge, None)
+        if sent_at is not None:
+            self.last_round_seconds = self.sim.now - sent_at
         self.results.append(self.verifier.check_response(request, message))
+        self.last_result_time = self.sim.now
 
     def _match_request(self, response: AttestationResponse
                        ) -> AttestationRequest | None:
@@ -142,6 +161,67 @@ class Session:
         if not self.verifier_node.results:
             return VerificationResult(False, None, "no-response")
         return self.verifier_node.results[-1]
+
+    def attest_resilient(self, retry: "RetryPolicy",
+                         rng: DeterministicRng | None = None
+                         ) -> ResilientOutcome:
+        """One logical attestation with deadlines, backoff and a budget.
+
+        Each attempt waits ``retry.effective_timeout(...)`` -- the
+        configured per-attempt deadline, clamped up to the most recently
+        measured round trip so a retry can never fire while the response
+        it is retrying for is still in flight.  Failed attempts back off
+        exponentially (with deterministic jitter when ``rng`` is given)
+        until the retry count or the total time budget runs out.
+
+        Telemetry: ``session.timeouts`` / ``session.retries`` /
+        ``session.backoff_seconds`` counters and the matching
+        ``session-*`` trace events, plus ``verifier.timeouts`` via
+        :meth:`~repro.core.verifier.Verifier.record_timeout`.
+        """
+        node = self.verifier_node
+        round_start = self.sim.now
+        attempts = 0
+        timeouts = 0
+        backoff_total = 0.0
+        gave_up = None
+        while True:
+            attempts += 1
+            timeout = retry.effective_timeout(node.last_round_seconds)
+            baseline = len(node.results)
+            result = self.attest_once(settle_seconds=timeout)
+            if len(node.results) == baseline:
+                # Nothing arrived within this attempt's deadline --
+                # whatever attest_once returned is a stale verdict.
+                result = VerificationResult(False, None, "no-response")
+                timeouts += 1
+                self.verifier.record_timeout()
+                self.telemetry.count("session.timeouts")
+                self.telemetry.event("session-timeout", self.sim.now,
+                                     attempt=attempts)
+            if result.trusted:
+                break
+            if attempts > retry.max_retries:
+                gave_up = "retries-exhausted"
+                break
+            if retry.budget_exhausted(self.sim.now - round_start):
+                gave_up = "budget-exhausted"
+                break
+            self.telemetry.count("session.retries")
+            self.telemetry.event("session-retry", self.sim.now,
+                                 attempt=attempts, detail=result.detail)
+            delay = retry.backoff_delay(attempts, rng)
+            if delay > 0.0:
+                backoff_total += delay
+                self.telemetry.count("session.backoff_seconds", delay)
+                self.telemetry.event("session-backoff", self.sim.now,
+                                     seconds=delay, attempt=attempts)
+                self.sim.run(until=self.sim.now + delay)
+        return ResilientOutcome(result=result, attempts=attempts,
+                                timeouts=timeouts,
+                                backoff_seconds=backoff_total,
+                                elapsed_seconds=self.sim.now - round_start,
+                                gave_up=gave_up)
 
     def summary(self) -> dict:
         """Machine-readable snapshot of the deployment and its history.

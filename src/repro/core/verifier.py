@@ -71,6 +71,7 @@ class Verifier:
         self._challenge_rng = rng.substream("challenges")
         self.requests_issued = 0
         self.responses_validated = 0
+        self.timeouts = 0
         #: Known-good state digests (populated from a golden device).
         self.reference_measurements: set[bytes] = set()
 
@@ -87,6 +88,17 @@ class Verifier:
         self.requests_issued += 1
         self.telemetry.count("verifier.requests_issued")
         return request.with_tag(tag)
+
+    def record_timeout(self) -> None:
+        """Account one request that went unanswered within its deadline.
+
+        Called by :meth:`repro.core.protocol.Session.attest_resilient`
+        (and anything else driving a :class:`~repro.core.resilience.\
+RetryPolicy`) so verifier-side give-ups show up next to the issue/
+        validate counters.
+        """
+        self.timeouts += 1
+        self.telemetry.count("verifier.timeouts")
 
     def learn_reference(self, measurement: bytes) -> None:
         """Record a known-good state digest (deployment-time step)."""

@@ -2,12 +2,16 @@
 
 from .channel import (ChannelAdversary, DolevYaoChannel, Endpoint,
                       PassthroughAdversary, Verdict)
+from .faults import (BernoulliLoss, Duplicator, FaultModel, FaultPipeline,
+                     GilbertElliottLoss, LatencyJitter, Reorderer)
 from .path import DIRECT_LINK, Hop, NetworkPath, campus_path, wan_path
 from .simulator import Simulation
 from .trace import Transcript, TranscriptEntry
 
 __all__ = [
-    "ChannelAdversary", "DIRECT_LINK", "DolevYaoChannel", "Endpoint",
-    "Hop", "NetworkPath", "PassthroughAdversary", "Simulation",
+    "BernoulliLoss", "ChannelAdversary", "DIRECT_LINK", "DolevYaoChannel",
+    "Duplicator", "Endpoint", "FaultModel", "FaultPipeline",
+    "GilbertElliottLoss", "Hop", "LatencyJitter", "NetworkPath",
+    "PassthroughAdversary", "Reorderer", "Simulation",
     "Transcript", "TranscriptEntry", "Verdict", "campus_path", "wan_path",
 ]

@@ -42,18 +42,27 @@ class Verdict:
     ----------
     action:
         ``"forward"`` -- deliver after ``extra_delay``;
-        ``"drop"`` -- never deliver.
+        ``"drop"`` -- never deliver;
+        ``"duplicate"`` -- deliver after ``extra_delay``, then deliver a
+        copy ``duplicate_delay`` later (the Section 3.2 insert power
+        exercised on a genuine message; with ``duplicate_delay > 0``, a
+        delayed duplicate -- i.e. a replay the freshness policy must
+        reject).
     extra_delay:
         Seconds of adversarial delay on top of channel latency.
+    duplicate_delay:
+        Extra spacing between the original and its copy (``"duplicate"``
+        only).
     """
 
     action: str = "forward"
     extra_delay: float = 0.0
+    duplicate_delay: float = 0.0
 
     def __post_init__(self):
-        if self.action not in ("forward", "drop"):
+        if self.action not in ("forward", "drop", "duplicate"):
             raise NetworkError(f"unknown verdict action {self.action!r}")
-        if self.extra_delay < 0:
+        if self.extra_delay < 0 or self.duplicate_delay < 0:
             raise NetworkError("adversarial delay cannot be negative")
 
 
@@ -105,6 +114,7 @@ class DolevYaoChannel:
         self.delivered = 0
         self.dropped = 0
         self.injected = 0
+        self.duplicated = 0
 
     def _one_way_delay(self) -> float:
         if self.path is not None:
@@ -155,8 +165,37 @@ class DolevYaoChannel:
             self._endpoints[receiver].deliver(message, sender)
 
         self.sim.schedule(delay, deliver)
+        if verdict.action == "duplicate":
+            self._schedule_duplicate(sender, receiver, message, kind,
+                                     delay + verdict.duplicate_delay)
         self.telemetry.set_gauge("channel.pending_events", self.sim.pending)
         return entry
+
+    def _schedule_duplicate(self, sender: str, receiver: str, message,
+                            kind: str, delay: float) -> None:
+        """Deliver an adversarial copy of a forwarded message.
+
+        The copy gets its own transcript entry (outcome ``"duplicated"``)
+        so an eavesdropper -- and the regression tests -- see both
+        transmissions on the wire.
+        """
+        copy_entry = self.transcript.record(self.sim.now, sender, receiver,
+                                            message)
+        copy_entry.outcome = "duplicated"
+        self.duplicated += 1
+        self.telemetry.count("channel.duplicated")
+        self.telemetry.event("channel-duplicate", self.sim.now,
+                             sender=sender, receiver=receiver, message=kind)
+
+        def deliver_copy():
+            self.delivered += 1
+            self.telemetry.count("channel.delivered")
+            self.telemetry.event("channel-deliver", self.sim.now,
+                                 sender=sender, receiver=receiver,
+                                 message=kind, duplicate=True)
+            self._endpoints[receiver].deliver(message, sender)
+
+        self.sim.schedule(delay, deliver_copy)
 
     def inject(self, receiver: str, message, *, spoofed_sender: str,
                delay: float = 0.0) -> None:

@@ -22,7 +22,7 @@ class TranscriptEntry:
     sender: str
     receiver: str
     message: object
-    outcome: str = "pending"   # forwarded | delayed | dropped | injected
+    outcome: str = "pending"   # forwarded | delayed | dropped | injected | duplicated
 
     def __repr__(self) -> str:
         return (f"TranscriptEntry(t={self.time:.6f}, {self.sender}->"

@@ -33,6 +33,12 @@ EVENT_KINDS = frozenset({
     "channel-drop",
     "channel-deliver",
     "channel-inject",
+    "channel-duplicate",
+    # verifier-side resilience (timestamps in simulation seconds)
+    "session-retry",
+    "session-timeout",
+    "session-backoff",
+    "breaker-state",
     # device hardware (timestamps in device seconds)
     "clock-wrap",
     "mpu-fault",

@@ -7,6 +7,14 @@ device's primary task, Section 3.1 -- so over-attesting is self-DoS).
 :class:`AttestationMonitor` implements that policy over a
 :class:`~repro.core.protocol.Session` and produces an auditable event log.
 
+Retry semantics are delegated to a
+:class:`~repro.core.resilience.RetryPolicy`: each attempt has a deadline
+(clamped up to the most recently *measured* round trip, so low settings
+can no longer fire retries faster than the attestation itself -- every
+such premature retry used to cost the prover a full extra measurement),
+and attempts are spaced by exponential backoff when the policy asks for
+it.
+
 Escalation ladder:
 
 * ``ok`` -- round trusted;
@@ -21,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.protocol import Session
+from ..core.resilience import RetryPolicy
+from ..crypto.rng import DeterministicRng
 from ..errors import ConfigurationError
 
 __all__ = ["MonitorEvent", "MonitorPolicy", "AttestationMonitor"]
@@ -28,18 +38,34 @@ __all__ = ["MonitorEvent", "MonitorPolicy", "AttestationMonitor"]
 
 @dataclass(frozen=True)
 class MonitorPolicy:
-    """Tunable knobs of the monitoring loop."""
+    """Tunable knobs of the monitoring loop.
+
+    ``retry_delay_seconds`` and ``max_retries`` are the legacy
+    fixed-cadence knobs, kept as deprecated aliases: when ``retry`` is
+    not given they are translated into an equivalent
+    :class:`~repro.core.resilience.RetryPolicy` (per-attempt deadline =
+    ``retry_delay_seconds``, no backoff, no budget).  New code should
+    pass ``retry`` directly.
+    """
 
     interval_seconds: float = 600.0
-    retry_delay_seconds: float = 5.0
-    max_retries: int = 2
+    retry_delay_seconds: float = 5.0   # deprecated: use ``retry``
+    max_retries: int = 2               # deprecated: use ``retry``
     failure_threshold: int = 3
+    retry: RetryPolicy | None = None
 
     def __post_init__(self):
         if self.interval_seconds <= 0 or self.retry_delay_seconds <= 0:
             raise ConfigurationError("monitor intervals must be positive")
         if self.max_retries < 0 or self.failure_threshold < 1:
             raise ConfigurationError("invalid retry/threshold settings")
+
+    def effective_retry(self) -> RetryPolicy:
+        """The retry policy this monitor actually runs."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(attempt_timeout_seconds=self.retry_delay_seconds,
+                           max_retries=self.max_retries)
 
 
 @dataclass(frozen=True)
@@ -58,17 +84,21 @@ class AttestationMonitor:
     Monitor events are mirrored into the session's telemetry sink as
     ``monitor-event`` trace records and ``monitor.events`` counters, so
     operator-side escalation shows up in the same export as the
-    prover-side cycle costs.
+    prover-side cycle costs.  Backoff jitter (when the retry policy
+    configures any) draws from a :class:`DeterministicRng` seeded by
+    ``seed``, preserving the simulation's replayability.
     """
 
     session: Session
     policy: MonitorPolicy = field(default_factory=MonitorPolicy)
+    seed: str = "monitor-rng"
 
     def __post_init__(self):
         self.events: list[MonitorEvent] = []
         self.consecutive_failures = 0
         self.alarmed = False
         self.rounds_run = 0
+        self._rng = DeterministicRng(self.seed).substream("backoff-jitter")
 
     # ------------------------------------------------------------------
 
@@ -81,10 +111,14 @@ class AttestationMonitor:
 
     def run_round(self) -> bool:
         """One scheduled round: attempt + retries; returns success."""
+        retry = self.policy.effective_retry()
+        sim = self.session.sim
+        node = self.session.verifier_node
+        round_start = sim.now
         attempts = 0
         while True:
-            result = self.session.attest_once(
-                settle_seconds=self.policy.retry_delay_seconds)
+            timeout = retry.effective_timeout(node.last_round_seconds)
+            result = self.session.attest_once(settle_seconds=timeout)
             self.rounds_run += 1
             if result.trusted:
                 if self.alarmed:
@@ -94,9 +128,15 @@ class AttestationMonitor:
                 self._log("ok", result.detail)
                 return True
             attempts += 1
-            if attempts > self.policy.max_retries:
+            if attempts > retry.max_retries:
+                break
+            if retry.budget_exhausted(sim.now - round_start):
                 break
             self._log("retry", f"attempt {attempts} failed: {result.detail}")
+            delay = retry.backoff_delay(attempts, self._rng)
+            if delay > 0.0:
+                self.session.telemetry.count("monitor.backoff_seconds", delay)
+                sim.run(until=sim.now + delay)
         self.consecutive_failures += 1
         self._log("failure", f"round failed after {attempts} attempts: "
                              f"{result.detail}")

@@ -10,6 +10,12 @@ What the swarm view adds over single-device sessions:
 * fleet-level schedules (round-robin sweeps with a configurable pace),
 * aggregate health reporting (which devices attested, which failed, how
   much fleet energy attestation consumed),
+* graceful degradation: per-device circuit breakers
+  (:class:`~repro.core.resilience.CircuitBreaker`) move persistently
+  failing devices through ``healthy`` -> ``degraded`` -> ``quarantined``
+  instead of lumping every silence into one bucket, and quarantined
+  devices are only probed periodically so they stop consuming sweep
+  time,
 * staggered timing so the Section 3.1 cost asymmetry becomes visible at
   scale: a verifier can trivially saturate a whole fleet of 24 MHz
   provers from one machine.
@@ -20,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.protocol import Session, build_session
+from ..core.resilience import CircuitBreaker, RetryPolicy
+from ..crypto.rng import DeterministicRng
 from ..errors import ConfigurationError
 from ..mcu.device import DeviceConfig
 from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
@@ -42,18 +50,39 @@ class SwarmMember:
 
 @dataclass
 class SweepReport:
-    """Result of one attestation sweep across the fleet."""
+    """Result of one attestation sweep across the fleet.
+
+    Failures are bucketed by *cause*, not lumped together: a device
+    whose traffic the channel dropped (``no_response``) needs a network
+    fix, a device that refused the request or failed authentication
+    (``refused``) needs a protocol/key look, and a device reporting a
+    digest outside the reference set (``untrusted``) needs incident
+    response.  ``skipped_quarantined`` lists members the circuit breaker
+    held out of this sweep.
+    """
 
     attempted: int = 0
     trusted: int = 0
     untrusted: list[str] = field(default_factory=list)
-    unresponsive: list[str] = field(default_factory=list)
+    #: No response and no prover-side rejection: the channel ate it.
+    no_response: list[str] = field(default_factory=list)
+    #: The device rejected the request (bad MAC, stale freshness) or
+    #: answered with a response that failed authentication.
+    refused: list[str] = field(default_factory=list)
+    skipped_quarantined: list[str] = field(default_factory=list)
+    retries: int = 0
     fleet_energy_mj: float = 0.0
     sweep_seconds: float = 0.0
 
     @property
+    def unresponsive(self) -> list[str]:
+        """Deprecated pre-split bucket: ``no_response`` + ``refused``."""
+        return self.no_response + self.refused
+
+    @property
     def healthy(self) -> bool:
-        return not self.untrusted and not self.unresponsive
+        return not (self.untrusted or self.no_response or self.refused
+                    or self.skipped_quarantined)
 
 
 class Swarm:
@@ -63,6 +92,12 @@ class Swarm:
     not share a radio in this model; contention is out of scope for the
     paper).  ``member_configs`` may override per-device hardware, e.g. to
     mix clock designs in one fleet.
+
+    ``retry`` attaches a fleet-wide
+    :class:`~repro.core.resilience.RetryPolicy` to every sweep (each
+    member's attestation is retried under it); ``degrade_after`` /
+    ``quarantine_after`` / ``probe_every_sweeps`` tune the per-device
+    circuit breakers.
     """
 
     def __init__(self, size: int, *, profile: ProtectionProfile = ROAM_HARDENED,
@@ -71,12 +106,21 @@ class Swarm:
                  device_config: DeviceConfig | None = None,
                  member_configs: dict[int, DeviceConfig] | None = None,
                  master_key: bytes | None = None,
+                 retry: RetryPolicy | None = None,
+                 degrade_after: int = 1, quarantine_after: int = 3,
+                 probe_every_sweeps: int = 4,
                  seed: str = "swarm"):
         if size < 1:
             raise ConfigurationError("swarm needs at least one member")
+        if probe_every_sweeps < 1:
+            raise ConfigurationError("probe_every_sweeps must be >= 1")
         overrides = member_configs if member_configs is not None else {}
         self.master_key = master_key
+        self.retry = retry
+        self.probe_every_sweeps = probe_every_sweeps
         self.members: list[SwarmMember] = []
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._retry_rng = DeterministicRng(seed).substream("sweep-jitter")
         for index in range(size):
             config = overrides.get(index, device_config)
             if config is None:
@@ -94,6 +138,9 @@ class Swarm:
                 key=key, seed=f"{seed}:{index}")
             session.learn_reference_state()
             self.members.append(SwarmMember(device_id, session))
+            self.breakers[device_id] = CircuitBreaker(
+                degrade_after=degrade_after,
+                quarantine_after=quarantine_after)
         self.sweeps_run = 0
 
     def __len__(self) -> int:
@@ -107,38 +154,84 @@ class Swarm:
 
     # ------------------------------------------------------------------
 
-    def sweep(self, *, stagger_seconds: float = 0.0) -> SweepReport:
+    def _record_breaker(self, member: SwarmMember, success: bool) -> None:
+        breaker = self.breakers[member.device_id]
+        previous = breaker.state
+        if success:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        if breaker.state != previous:
+            telemetry = member.session.telemetry
+            telemetry.count("swarm.breaker_transitions", to=breaker.state)
+            telemetry.event("breaker-state", member.session.sim.now,
+                            device=member.device_id, previous=previous,
+                            state=breaker.state)
+
+    def sweep(self, *, stagger_seconds: float = 0.0,
+              retry: RetryPolicy | None = None) -> SweepReport:
         """Attest every member once; returns the fleet health report.
 
         ``stagger_seconds`` spaces requests out (a real verifier paces
         sweeps so fleet-wide attestation does not synchronise every
-        device's unavailability window).
+        device's unavailability window).  ``retry`` overrides the
+        fleet-wide retry policy for this sweep.  Quarantined members are
+        skipped except for their periodic probe.
         """
+        retry = retry if retry is not None else self.retry
         report = SweepReport()
         for index, member in enumerate(self.members):
+            breaker = self.breakers[member.device_id]
+            if not breaker.should_attempt(self.probe_every_sweeps):
+                report.skipped_quarantined.append(member.device_id)
+                continue
             session = member.session
             if stagger_seconds:
                 session.sim.run(until=session.sim.now
                                 + index * stagger_seconds)
             before_energy = session.device.battery.consumed_mj
+            rejected_before = session.anchor.stats.rejected_total
             start = session.sim.now
-            result = session.attest_once()
+            if retry is not None:
+                jitter_rng = self._retry_rng.substream(
+                    f"{member.device_id}:{self.sweeps_run}")
+                outcome = session.attest_resilient(retry, rng=jitter_rng)
+                result = outcome.result
+                report.retries += outcome.retries
+            else:
+                result = session.attest_once()
             report.attempted += 1
             report.sweep_seconds = max(report.sweep_seconds,
                                        session.sim.now - start)
             session.device.sync_energy()
             report.fleet_energy_mj += (session.device.battery.consumed_mj
                                        - before_energy)
-            if result.detail == "no-response":
-                report.unresponsive.append(member.device_id)
-            elif result.trusted:
+            if result.trusted:
                 report.trusted += 1
+                self._record_breaker(member, True)
+                continue
+            self._record_breaker(member, False)
+            if result.detail == "no-response":
+                # Silence has two causes the transcript distinguishes:
+                # the prover rejecting the request (it saw it and said
+                # no) vs the channel never delivering anything.
+                if session.anchor.stats.rejected_total > rejected_before:
+                    report.refused.append(member.device_id)
+                else:
+                    report.no_response.append(member.device_id)
+            elif not result.authentic:
+                report.refused.append(member.device_id)
             else:
                 report.untrusted.append(member.device_id)
         self.sweeps_run += 1
         return report
 
     # ------------------------------------------------------------------
+
+    def device_states(self) -> dict[str, str]:
+        """Circuit-breaker state per device (graceful-degradation view)."""
+        return {device_id: breaker.state
+                for device_id, breaker in self.breakers.items()}
 
     def fleet_battery_report(self) -> dict[str, float]:
         """Remaining battery fraction per device."""

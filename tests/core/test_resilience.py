@@ -1,0 +1,247 @@
+"""Retry policies, circuit breakers, and resilient sessions."""
+
+import pytest
+
+from repro.core import build_session
+from repro.core.messages import AttestationRequest
+from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.net.channel import Verdict
+from repro.net.faults import BernoulliLoss
+from repro.obs.telemetry import Telemetry
+from tests.conftest import tiny_config
+
+
+class DropFirstN:
+    def __init__(self, count):
+        self.remaining = count
+
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest) and self.remaining > 0:
+            self.remaining -= 1
+            return Verdict("drop")
+        return Verdict("forward")
+
+
+class DropAllRequests:
+    def on_message(self, message, sender, receiver, time):
+        if isinstance(message, AttestationRequest):
+            return Verdict("drop")
+        return Verdict("forward")
+
+
+def resilient_session(adversary=None, seed="resilience", **kwargs):
+    session = build_session(device_config=tiny_config(),
+                            adversary=adversary, seed=seed, **kwargs)
+    session.learn_reference_state()
+    return session
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_timeout_seconds=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(total_budget_seconds=0)
+
+    def test_backoff_progression(self):
+        policy = RetryPolicy(base_backoff_seconds=0.5, backoff_factor=2.0,
+                             max_backoff_seconds=3.0)
+        delays = [policy.backoff_delay(n) for n in range(1, 6)]
+        assert delays == [0.5, 1.0, 2.0, 3.0, 3.0]   # capped
+
+    def test_zero_base_means_no_backoff(self):
+        policy = RetryPolicy()
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_delay(7) == 0.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_backoff_seconds=1.0, jitter_fraction=0.5)
+        a = policy.backoff_delay(1, DeterministicRng("jitter"))
+        b = policy.backoff_delay(1, DeterministicRng("jitter"))
+        assert a == b
+        assert 1.0 <= a <= 1.5
+
+    def test_jitter_needs_no_rng_when_disabled(self):
+        policy = RetryPolicy(base_backoff_seconds=1.0)
+        assert policy.backoff_delay(2, None) == 2.0
+
+    def test_effective_timeout_clamps_up_only(self):
+        policy = RetryPolicy(attempt_timeout_seconds=2.0)
+        assert policy.effective_timeout(None) == 2.0
+        assert policy.effective_timeout(0.5) == 2.0
+        assert policy.effective_timeout(7.5) == 7.5
+
+    def test_budget(self):
+        policy = RetryPolicy(total_budget_seconds=10.0)
+        assert not policy.budget_exhausted(9.9)
+        assert policy.budget_exhausted(10.0)
+        assert not RetryPolicy().budget_exhausted(1e9)
+
+
+class TestCircuitBreaker:
+    def test_starts_healthy(self):
+        assert CircuitBreaker().state == "healthy"
+
+    def test_degrades_then_quarantines(self):
+        breaker = CircuitBreaker(degrade_after=1, quarantine_after=3)
+        breaker.record_failure()
+        assert breaker.state == "degraded"
+        breaker.record_failure()
+        assert breaker.state == "degraded"
+        breaker.record_failure()
+        assert breaker.state == "quarantined"
+        assert breaker.transitions == [("healthy", "degraded"),
+                                       ("degraded", "quarantined")]
+
+    def test_success_resets(self):
+        breaker = CircuitBreaker(degrade_after=1, quarantine_after=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == "healthy"
+        assert breaker.consecutive_failures == 0
+        assert breaker.transitions[-1] == ("quarantined", "healthy")
+
+    def test_quarantine_probe_cadence(self):
+        breaker = CircuitBreaker(degrade_after=1, quarantine_after=1)
+        breaker.record_failure()
+        assert breaker.state == "quarantined"
+        decisions = [breaker.should_attempt(probe_every=3)
+                     for _ in range(6)]
+        assert decisions == [False, False, True, False, False, True]
+
+    def test_healthy_always_attempts(self):
+        breaker = CircuitBreaker()
+        assert all(breaker.should_attempt() for _ in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(degrade_after=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(degrade_after=3, quarantine_after=2)
+
+
+class TestAttestResilient:
+    def test_clean_channel_single_attempt(self):
+        session = resilient_session()
+        outcome = session.attest_resilient(RetryPolicy())
+        assert outcome.trusted
+        assert outcome.attempts == 1
+        assert outcome.timeouts == 0
+        assert outcome.gave_up is None
+
+    def test_retries_ride_out_transient_loss(self):
+        session = resilient_session(adversary=DropFirstN(2), seed="res-2")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=2.0, max_retries=3))
+        assert outcome.trusted
+        assert outcome.attempts == 3
+        assert outcome.timeouts == 2
+        assert session.verifier.timeouts == 2
+
+    def test_retries_exhausted(self):
+        session = resilient_session(adversary=DropAllRequests(), seed="res-3")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=1.0, max_retries=2))
+        assert not outcome.trusted
+        assert outcome.gave_up == "retries-exhausted"
+        assert outcome.attempts == 3
+        assert outcome.result.detail == "no-response"
+
+    def test_budget_exhausted(self):
+        session = resilient_session(adversary=DropAllRequests(), seed="res-4")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=2.0, max_retries=50,
+                        total_budget_seconds=5.0))
+        assert outcome.gave_up == "budget-exhausted"
+        assert outcome.elapsed_seconds < 10.0
+
+    def test_backoff_advances_simulated_time(self):
+        session = resilient_session(adversary=DropFirstN(1), seed="res-5")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=1.0, max_retries=2,
+                        base_backoff_seconds=4.0))
+        assert outcome.trusted
+        assert outcome.backoff_seconds == 4.0
+        assert outcome.elapsed_seconds >= 5.0   # timeout + backoff
+
+    def test_timeout_clamps_to_measured_round_trip(self):
+        """After one measured round, a too-tight deadline is clamped up
+        so the retry waits for the response instead of racing it."""
+        session = resilient_session(seed="res-6")
+        first = session.attest_resilient(RetryPolicy())
+        assert first.trusted
+        measured = session.verifier_node.last_round_seconds
+        assert measured is not None and measured > 0
+        tight = RetryPolicy(attempt_timeout_seconds=measured / 100,
+                            max_retries=0)
+        outcome = session.attest_resilient(tight)
+        assert outcome.trusted            # deadline was clamped up
+        assert outcome.timeouts == 0
+
+    def test_stale_result_not_mistaken_for_answer(self):
+        """A deadline shorter than the round trip with no measured
+        history must report a timeout, not return the previous round's
+        verdict."""
+        session = resilient_session(seed="res-7")
+        assert session.attest_resilient(RetryPolicy()).trusted
+        session.verifier_node.last_round_seconds = None  # forget history
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=1e-6, max_retries=0))
+        assert not outcome.trusted
+        assert outcome.timeouts == 1
+        assert outcome.result.detail == "no-response"
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        session = resilient_session(adversary=DropFirstN(2), seed="res-8",
+                                    telemetry=telemetry)
+        session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=1.0, max_retries=3,
+                        base_backoff_seconds=0.5))
+        dump = telemetry.registry.dump()
+        counters = {m["name"]: m["value"] for m in dump["metrics"]
+                    if m["kind"] == "counter" and not m["labels"]}
+        assert counters["session.timeouts"] == 2
+        assert counters["session.retries"] == 2
+        assert counters["verifier.timeouts"] == 2
+        assert counters["session.backoff_seconds"] == pytest.approx(1.5)
+        assert telemetry.trace.count("session-timeout") == 2
+        assert telemetry.trace.count("session-retry") == 2
+        assert telemetry.trace.count("session-backoff") == 2
+
+    def test_deterministic_replay(self):
+        """Two identically-seeded lossy runs agree on everything."""
+
+        def run():
+            telemetry = Telemetry()
+            session = build_session(
+                device_config=tiny_config(),
+                adversary=BernoulliLoss(0.3, seed="det-loss"),
+                telemetry=telemetry, seed="det-session")
+            session.learn_reference_state()
+            policy = RetryPolicy(attempt_timeout_seconds=2.0, max_retries=4,
+                                 base_backoff_seconds=0.25,
+                                 jitter_fraction=0.2)
+            rng = DeterministicRng("det-jitter")
+            outcomes = [session.attest_resilient(policy, rng=rng)
+                        for _ in range(4)]
+            transcript = [(e.sender, e.receiver, e.outcome)
+                          for e in session.channel.transcript]
+            return ([(o.trusted, o.attempts, o.timeouts, o.backoff_seconds)
+                     for o in outcomes],
+                    transcript, telemetry.trace.to_jsonl())
+
+        assert run() == run()

@@ -1,0 +1,35 @@
+"""Tier-1 wiring for ``scripts/robustness_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a broken robustness layer fails the suite, not
+just the nightly job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "robustness_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestRobustnessSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "robustness-smoke: OK" in proc.stderr
+        assert "deterministic replay clean" in proc.stderr
+
+    def test_impossible_success_gate_fails_loudly(self):
+        """Sanity-check the gate actually gates: demanding more verified
+        rounds than the campaign runs must exit 1 with a diagnostic."""
+        proc = run_smoke("--rounds", "2", "--min-ok", "3")
+        assert proc.returncode == 1
+        assert "FAIL: success rate" in proc.stderr
