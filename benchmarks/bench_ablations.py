@@ -18,7 +18,6 @@ from repro.core import build_session
 from repro.core.analysis import render_table
 from repro.core.freshness import (CounterPolicy, NonceHistoryPolicy,
                                   InMemoryStateView)
-from repro.core.messages import AttestationRequest
 from repro.crypto import CryptoCostModel
 from repro.mcu import DeviceConfig, DutyCycleTask
 

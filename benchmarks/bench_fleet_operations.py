@@ -12,9 +12,9 @@ measures what an operator cares about at fleet scale:
   node is flagged.
 """
 
-import pytest
 
 from repro.core.analysis import render_table
+from repro.core.resilience import RetryPolicy
 from repro.mcu import DeviceConfig
 from repro.services.monitor import AttestationMonitor, MonitorPolicy
 from repro.services.swarm import Swarm
@@ -58,8 +58,9 @@ def test_report_monitoring_cost(benchmark):
                                 seed=f"bench-mon-{interval}")
         session.learn_reference_state()
         monitor = AttestationMonitor(
-            session, policy=MonitorPolicy(interval_seconds=interval,
-                                          retry_delay_seconds=5.0))
+            session, policy=MonitorPolicy(
+                interval_seconds=interval,
+                retry=RetryPolicy(attempt_timeout_seconds=5.0)))
         monitor.run(rounds=3)
         rows.append([f"{interval:.0f}", str(monitor.rounds_run),
                      f"{100 * monitor.duty_cost_fraction:.4f}"])

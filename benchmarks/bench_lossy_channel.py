@@ -13,7 +13,6 @@ With no fault model installed (the 0% row) the numbers must match a
 plain session exactly -- the robustness layer is pay-as-you-go.
 """
 
-import pytest
 
 from repro.core import build_session, render_table
 from repro.core.resilience import RetryPolicy

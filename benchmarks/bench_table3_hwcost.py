@@ -6,7 +6,6 @@ count scaling sweep that the "116 registers, 182 LUTs per rule" figures
 imply.
 """
 
-import pytest
 
 from repro.core.analysis import render_table
 from repro.hwcost import (HardwareCostModel, SISKIYOU_PEAK,

@@ -11,6 +11,7 @@ Run:  python examples/incident_response.py
 """
 
 from repro import build_session
+from repro.core.resilience import RetryPolicy
 from repro.attacks.forensics import (ForensicExaminer, MemorySnapshot,
                                      diff_snapshots)
 from repro.mcu import DeviceConfig
@@ -29,8 +30,8 @@ def main() -> None:
     golden = session.learn_reference_state()
     baseline_snapshot = MemorySnapshot(session.device)
     monitor = AttestationMonitor(session, policy=MonitorPolicy(
-        interval_seconds=60.0, retry_delay_seconds=5.0,
-        max_retries=1, failure_threshold=2))
+        interval_seconds=60.0, failure_threshold=2,
+        retry=RetryPolicy(attempt_timeout_seconds=5.0, max_retries=1)))
     print("  prover deployed; golden digest recorded; monitoring every "
           f"{monitor.policy.interval_seconds:.0f}s")
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Smoke-test the static-analysis layer end to end.
+
+Four gates -- any failure exits 1 with diagnostics:
+
+1. **Ground truth** -- statically verifying all four shipped profiles
+   (under both a hardware and the software clock) must reproduce the
+   expected failure sets: ``roam-hardened`` passes every invariant, the
+   weaker profiles fail exactly the invariants whose roaming attacks
+   succeed against them.
+2. **Clean tree** -- ``repro lint`` (run through the real CLI) must exit
+   0 on the repository with only the checked-in waivers.
+3. **Determinism** -- building the combined ``repro.analysis/v1`` JSON
+   report twice from the same inputs must produce byte-identical text,
+   and the report must validate against the exported schema.
+4. **Failure mode** -- linting the deliberately tainted fixture tree
+   must flag every seeded rule (DET001, DET002, FLT001, TEL001); a
+   linter that cannot see planted violations proves nothing.
+
+Usage::
+
+    PYTHONPATH=src python scripts/analysis_smoke.py
+        [--lint-root tests/analysis/fixtures/seeded]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+SEEDED_RULES = {"DET001", "DET002", "FLT001", "TEL001"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lint-root",
+                        default="tests/analysis/fixtures/seeded",
+                        help="tainted tree for the failure-mode gate, "
+                             "relative to the repo root")
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.analysis import (build_report, expected_failures,
+                                    lint_tree, load_waivers,
+                                    render_report_json,
+                                    verify_shipped_profiles)
+    except ImportError as exc:
+        print(f"analysis-smoke: cannot import repro ({exc}); "
+              f"run with PYTHONPATH=src", file=sys.stderr)
+        return 1
+
+    failures = []
+
+    # Gate 1: static verdicts reproduce the dynamic ground truth.
+    reports = verify_shipped_profiles(clock_kinds=("hw64", "sw"))
+    for report in reports:
+        expected = expected_failures(report.profile, report.clock_kind)
+        if report.failed() != expected:
+            failures.append(
+                f"ground truth: {report.profile}/{report.clock_kind} "
+                f"violated {sorted(report.failed())}, expected "
+                f"{sorted(expected)}")
+
+    # Gate 2: the shipped tree lints clean through the real CLI.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"], cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(f"clean tree: 'repro lint' exited "
+                        f"{proc.returncode}:\n{proc.stdout}{proc.stderr}")
+
+    # Gate 3: the combined report is schema-valid and byte-deterministic.
+    waivers = load_waivers(REPO / "lint-waivers.json")
+    try:
+        first = render_report_json(
+            build_report(reports, lint_tree(REPO, waivers=waivers)))
+        second = render_report_json(
+            build_report(verify_shipped_profiles(clock_kinds=("hw64", "sw")),
+                         lint_tree(REPO, waivers=waivers)))
+    except ValueError as exc:
+        failures.append(f"schema: combined report invalid: {exc}")
+        first = second = ""
+    if first != second:
+        failures.append("determinism: two same-input report builds "
+                        "differ byte-for-byte")
+
+    # Gate 4: the tainted fixture tree is actually flagged.
+    tainted = lint_tree(REPO / args.lint_root)
+    flagged = {v.rule for v in tainted.violations}
+    missing = SEEDED_RULES - flagged
+    if missing:
+        failures.append(f"failure mode: seeded rules {sorted(missing)} "
+                        f"not detected in {args.lint_root}")
+    if tainted.clean:
+        failures.append("failure mode: tainted tree linted clean")
+
+    if failures:
+        for failure in failures:
+            print(f"analysis-smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    secure = sum(1 for r in reports if r.holds)
+    print(f"analysis-smoke: OK ({len(reports)} profile reports, "
+          f"{secure} secure configurations, lint clean, report "
+          f"deterministic at {len(first)} bytes, "
+          f"{len(tainted.violations)} seeded violations detected)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

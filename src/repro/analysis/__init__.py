@@ -1,0 +1,41 @@
+"""Static analysis of the prover's protection configuration and codebase.
+
+Two passes, one report:
+
+``repro.analysis.invariants``
+    Pure interval reasoning over a booted device's EA-MPU rule table:
+    does this configuration actually stop ``Adv_roam``?  Verdicts map
+    failing invariants onto the paper's attack names (key forgery,
+    counter rollback, clock reset), with concrete counterexample
+    addresses.
+``repro.analysis.lint``
+    AST-level determinism/consistency rules for the repo itself: no
+    host clock or host RNG in simulated paths, exact integer cycle
+    accounting, telemetry names drawn from the exported schema, no new
+    uses of deprecated aliases.
+``repro.analysis.report``
+    Combines both into the deterministic ``repro.analysis/v1`` JSON
+    document validated by :mod:`repro.obs.schema`.
+
+CLI: ``repro verify-profile`` and ``repro lint``; CI gate:
+``scripts/analysis_smoke.py``.
+"""
+
+from .invariants import (ATTACK_FOR_INVARIANT, EXPECTED_FAILURES,
+                         INVARIANT_ORDER, Counterexample, InvariantVerdict,
+                         MachineModel, ProfileReport, analyze_device,
+                         analyze_model, expected_failures, verify_profile,
+                         verify_shipped_profiles)
+from .lint import (DEFAULT_LINT_DIRS, LintReport, LintViolation, Waiver,
+                   lint_file, lint_source, lint_tree, load_waivers)
+from .report import build_report, render_report_json
+
+__all__ = [
+    "ATTACK_FOR_INVARIANT", "EXPECTED_FAILURES", "INVARIANT_ORDER",
+    "Counterexample", "InvariantVerdict", "MachineModel", "ProfileReport",
+    "analyze_device", "analyze_model", "expected_failures",
+    "verify_profile", "verify_shipped_profiles",
+    "DEFAULT_LINT_DIRS", "LintReport", "LintViolation", "Waiver",
+    "lint_file", "lint_source", "lint_tree", "load_waivers",
+    "build_report", "render_report_json",
+]

@@ -1,0 +1,355 @@
+"""AST-based determinism and consistency linter for the repro tree.
+
+The simulator's claims are only reproducible if simulated time stays
+simulated: cycle accounting must be exact integer arithmetic, simulated
+code paths must never consult the host clock or host RNG, and telemetry
+names must match the exported schema or dashboards silently read zeros.
+These are invariants of the *codebase*, so they are enforced the same
+way the EA-MPU configuration is -- statically.
+
+Rules
+-----
+
+``DET001``
+    No host-clock calls (``time.time``/``time.monotonic``/
+    ``datetime.now``/...) inside simulated-path modules (``src/repro``
+    minus ``repro.perf``, which owns the host-clock boundary).
+``DET002``
+    No stdlib ``random`` in the same scope: simulated randomness must
+    come from a seeded generator passed in explicitly.
+``FLT001``
+    No float arithmetic inside cycle-accounting functions (name ends in
+    ``_cycles`` or is ``consume_cycles``): float literals, true
+    division, and ``float()`` all risk drift; ``//`` and integer ceil
+    division are exact.  Functions converting to/from wall units
+    (``ms``/``seconds`` in the name) are the sanctioned boundary.
+``TEL001``
+    Literal metric names passed to ``.count``/``.set_gauge``/
+    ``.observe`` on a telemetry-ish receiver must exist in
+    :data:`repro.obs.schema.METRIC_NAMES`; literal kinds passed to
+    ``.event`` must exist in :data:`repro.obs.trace.EVENT_KINDS`.
+``DEP001``
+    No new uses of deprecated aliases: ``retry_delay_seconds``,
+    ``MonitorPolicy(max_retries=...)``, ``.unresponsive``.
+
+Violations can be waived by a checked-in JSON waiver list (one entry =
+one rule+path pair with a justification); the definition sites of the
+deprecated aliases themselves are waived this way rather than
+special-cased in rule logic.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs.schema import LINT_RULE_IDS, METRIC_NAMES
+from ..obs.trace import EVENT_KINDS
+
+__all__ = ["LintViolation", "Waiver", "LintReport", "load_waivers",
+           "lint_source", "lint_file", "lint_tree", "iter_python_files",
+           "DEFAULT_LINT_DIRS"]
+
+#: Directories scanned by default, relative to the repo root.
+DEFAULT_LINT_DIRS = ("src", "scripts", "benchmarks", "examples", "tests")
+
+_HOST_CLOCK_CALLS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "time_ns"), ("time", "process_time"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+_TELEMETRY_METRIC_METHODS = {"count", "set_gauge", "observe"}
+
+_DEPRECATED_ATTRIBUTES = {
+    "retry_delay_seconds": "use the retry= RetryPolicy instead",
+    "unresponsive": "use no_response + refused",
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    rule: str
+    path: str            # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    waiver_reason: str | None = None
+
+    def as_dict(self) -> dict:
+        entry = {"rule": self.rule, "path": self.path, "line": self.line,
+                 "col": self.col, "message": self.message}
+        if self.waiver_reason is not None:
+            entry["waiver_reason"] = self.waiver_reason
+        return entry
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    rule: str
+    path: str
+    reason: str
+
+    def matches(self, violation: LintViolation) -> bool:
+        return (violation.rule == self.rule
+                and violation.path == self.path)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    files_scanned: int
+    violations: tuple[LintViolation, ...]   # unwaived, sorted
+    waived: tuple[LintViolation, ...]       # waived, sorted
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {"files_scanned": self.files_scanned, "clean": self.clean,
+                "violations": [v.as_dict() for v in self.violations],
+                "waived": [v.as_dict() for v in self.waived]}
+
+
+def load_waivers(path: Path) -> list[Waiver]:
+    """Load the checked-in waiver list (missing file = no waivers)."""
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text())
+    waivers = []
+    for entry in entries:
+        rule = entry["rule"]
+        if rule not in LINT_RULE_IDS:
+            raise ValueError(f"waiver references unknown rule {rule!r}")
+        if not entry.get("reason"):
+            raise ValueError(f"waiver for {rule} on {entry['path']} "
+                             f"has no justification")
+        waivers.append(Waiver(rule=rule, path=entry["path"],
+                              reason=entry["reason"]))
+    return waivers
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations (each yields (rule, line, col, message) tuples)
+# ---------------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """Flatten ``a.b.c`` into ("a", "b", "c"); None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_simulated_path(path: str) -> bool:
+    """Modules where host time/randomness is forbidden outright."""
+    return (path.startswith("src/repro/")
+            and not path.startswith("src/repro/perf/"))
+
+
+def _check_host_clock(tree: ast.AST, path: str):
+    if not _is_simulated_path(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None or len(dotted) < 2:
+            continue
+        if (dotted[-2], dotted[-1]) in _HOST_CLOCK_CALLS:
+            yield ("DET001", node.lineno, node.col_offset,
+                   f"host clock call {'.'.join(dotted)}() in simulated "
+                   f"path (host time belongs in repro.perf)")
+
+
+def _check_host_random(tree: ast.AST, path: str):
+    if not _is_simulated_path(path):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    yield ("DET002", node.lineno, node.col_offset,
+                           "stdlib random imported in simulated path "
+                           "(pass a seeded Random in explicitly)")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield ("DET002", node.lineno, node.col_offset,
+                       "stdlib random imported in simulated path "
+                       "(pass a seeded Random in explicitly)")
+
+
+def _is_cycle_function(name: str) -> bool:
+    if "ms" in name or "seconds" in name:
+        return False   # sanctioned wall-unit conversion boundary
+    return name.endswith("_cycles") or name == "consume_cycles"
+
+
+def _check_float_cycles(tree: ast.AST, path: str):
+    if not path.startswith("src/repro/"):
+        return
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_cycle_function(func.name):
+            continue
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)):
+                yield ("FLT001", node.lineno, node.col_offset,
+                       f"float literal {node.value!r} in cycle-accounting "
+                       f"function {func.name}()")
+            elif (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Div)):
+                yield ("FLT001", node.lineno, node.col_offset,
+                       f"true division in cycle-accounting function "
+                       f"{func.name}() (use // or ceil-div)")
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "float"):
+                yield ("FLT001", node.lineno, node.col_offset,
+                       f"float() conversion in cycle-accounting "
+                       f"function {func.name}()")
+
+
+def _telemetry_receiver(node: ast.AST) -> bool:
+    """Heuristic: the receiver looks like a Telemetry object."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return False
+    return any("telemetry" in part.lower() for part in dotted)
+
+
+def _check_telemetry_names(tree: ast.AST, path: str):
+    if not path.startswith("src/repro/"):
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        method = node.func.attr
+        if method not in _TELEMETRY_METRIC_METHODS and method != "event":
+            continue
+        if not _telemetry_receiver(node.func.value):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            continue   # dynamic names are out of static reach
+        name = first.value
+        if method == "event":
+            if name not in EVENT_KINDS:
+                yield ("TEL001", first.lineno, first.col_offset,
+                       f"event kind {name!r} not in "
+                       f"repro.obs.trace.EVENT_KINDS")
+        elif name not in METRIC_NAMES:
+            yield ("TEL001", first.lineno, first.col_offset,
+                   f"metric name {name!r} not in "
+                   f"repro.obs.schema.METRIC_NAMES")
+
+
+def _check_deprecated(tree: ast.AST, path: str):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            hint = _DEPRECATED_ATTRIBUTES.get(node.attr)
+            if hint is not None:
+                yield ("DEP001", node.lineno, node.col_offset,
+                       f"deprecated attribute .{node.attr} ({hint})")
+        elif isinstance(node, ast.Call):
+            callee = _dotted(node.func)
+            for kw in node.keywords:
+                if kw.arg == "retry_delay_seconds":
+                    yield ("DEP001", kw.value.lineno,
+                           kw.value.col_offset,
+                           "deprecated keyword retry_delay_seconds= "
+                           "(use retry= with a RetryPolicy)")
+                elif (kw.arg == "max_retries" and callee is not None
+                        and callee[-1] == "MonitorPolicy"):
+                    yield ("DEP001", kw.value.lineno,
+                           kw.value.col_offset,
+                           "deprecated MonitorPolicy(max_retries=) "
+                           "(use retry= with a RetryPolicy)")
+
+
+_ALL_CHECKS = (_check_host_clock, _check_host_random, _check_float_cycles,
+               _check_telemetry_names, _check_deprecated)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def lint_source(source: str, path: str) -> list[LintViolation]:
+    """Lint one module's source text.  ``path`` is repo-relative."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintViolation(rule="DET001", path=path,
+                              line=exc.lineno or 0, col=exc.offset or 0,
+                              message=f"unparseable module: {exc.msg}")]
+    found = []
+    for check in _ALL_CHECKS:
+        for rule, line, col, message in check(tree, path):
+            found.append(LintViolation(rule=rule, path=path, line=line,
+                                       col=col, message=message))
+    return found
+
+
+def lint_file(file_path: Path, repo_root: Path) -> list[LintViolation]:
+    rel = file_path.relative_to(repo_root).as_posix()
+    return lint_source(file_path.read_text(), rel)
+
+
+def iter_python_files(repo_root: Path,
+                      dirs: tuple[str, ...] = DEFAULT_LINT_DIRS
+                      ) -> list[Path]:
+    """Deterministically ordered ``.py`` files under the given dirs."""
+    files: list[Path] = []
+    for name in dirs:
+        base = repo_root / name
+        if not base.exists():
+            continue
+        files.extend(p for p in base.rglob("*.py")
+                     if "__pycache__" not in p.parts
+                     and not any(part.endswith(".egg-info")
+                                 for part in p.parts))
+    return sorted(set(files))
+
+
+def lint_tree(repo_root: Path, *,
+              dirs: tuple[str, ...] = DEFAULT_LINT_DIRS,
+              waivers: list[Waiver] | None = None) -> LintReport:
+    """Lint every Python file under ``dirs`` and apply waivers."""
+    waivers = waivers or []
+    files = iter_python_files(repo_root, dirs)
+    kept: list[LintViolation] = []
+    waived: list[LintViolation] = []
+    for file_path in files:
+        for violation in lint_file(file_path, repo_root):
+            matched = next((w for w in waivers if w.matches(violation)),
+                           None)
+            if matched is not None:
+                waived.append(LintViolation(
+                    rule=violation.rule, path=violation.path,
+                    line=violation.line, col=violation.col,
+                    message=violation.message,
+                    waiver_reason=matched.reason))
+            else:
+                kept.append(violation)
+    kept.sort(key=LintViolation.sort_key)
+    waived.sort(key=LintViolation.sort_key)
+    return LintReport(files_scanned=len(files),
+                      violations=tuple(kept), waived=tuple(waived))

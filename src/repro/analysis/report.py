@@ -1,0 +1,43 @@
+"""Deterministic machine-readable report for the static-analysis passes.
+
+One JSON document (``repro.analysis/v1``) combines the per-profile
+invariant verdicts with the repo lint results, validated by
+:func:`repro.obs.schema.validate_analysis_report`.  The encoding is
+byte-identical for identical inputs: entries are emitted in a fixed
+order, keys are sorted, and nothing host-dependent (timestamps, absolute
+paths, dict iteration order) leaks in -- CI diffs two runs to prove it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..obs.schema import validate_analysis_report
+from .invariants import ProfileReport
+from .lint import LintReport
+
+__all__ = ["build_report", "render_report_json"]
+
+
+def build_report(profile_reports: list[ProfileReport] | tuple,
+                 lint_report: LintReport) -> dict:
+    """Assemble and validate the combined analysis report."""
+    profiles = [r.as_dict() for r in
+                sorted(profile_reports,
+                       key=lambda r: (r.profile, r.clock_kind))]
+    report = {
+        "schema": "repro.analysis/v1",
+        "profiles": profiles,
+        "lint": lint_report.as_dict(),
+    }
+    errors = validate_analysis_report(report)
+    if errors:
+        raise ValueError("analysis report violates its schema: "
+                         + "; ".join(errors))
+    return report
+
+
+def render_report_json(report: dict) -> str:
+    """Canonical JSON encoding (sorted keys, fixed separators)."""
+    return json.dumps(report, indent=2, sort_keys=True,
+                      separators=(",", ": ")) + "\n"

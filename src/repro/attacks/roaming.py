@@ -28,7 +28,7 @@ from ..core.messages import AttestationRequest
 from ..core.protocol import Session
 from ..errors import DeviceError, EntryPointViolation, MemoryAccessViolation
 from ..mcu.device import Device
-from .external import ReplayAttacker, request_entries
+from .external import ReplayAttacker
 
 __all__ = ["CompromiseReport", "RoamingOutcome", "RoamingAdversary"]
 

@@ -108,10 +108,11 @@ def _reorder_cell(policy: str, auth_scheme: str, seed: str) -> AttackOutcome:
     accepted = session.anchor.stats.accepted
     # B alone should be accepted; A's acceptance means reorder worked.
     succeeded = accepted >= 2
+    slipped = ("out-of-order request slipped through" if succeeded
+               else "late original rejected")
     return AttackOutcome(
         attack="reorder", defence=policy, succeeded=succeeded,
-        detail=f"{accepted}/2 requests accepted "
-               f"({'out-of-order request slipped through' if succeeded else 'late original rejected'})")
+        detail=f"{accepted}/2 requests accepted ({slipped})")
 
 
 def _delay_cell(policy: str, auth_scheme: str, seed: str) -> AttackOutcome:

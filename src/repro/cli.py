@@ -10,6 +10,8 @@ Usage::
     python -m repro flood [--rate R] [--duration S]
     python -m repro attest [--ram-kb N] [--scheme S] [--policy P]
     python -m repro metrics [--rounds N] [--trace-out F] [--registry-out F]
+    python -m repro verify-profile [--profile P] [--clock C] [--json]
+    python -m repro lint [paths ...] [--json] [--waivers F]
 
 Each subcommand prints the same tables the benchmark harness writes to
 ``benchmarks/results/``; the CLI exists so a downstream user can poke at
@@ -29,10 +31,12 @@ __all__ = ["main"]
 
 def _cmd_table1(args) -> int:
     model = CryptoCostModel(frequency_hz=args.mhz * 1_000_000)
+    hmac_fixed = model.hmac_cycles(0, "table")
+    hmac_block = model.hmac_cycles(128, "table") - model.hmac_cycles(64, "table")
     rows = [["primitive op", "ms"],
-            ["hmac fixed", f"{model.cycles_to_ms(model.hmac_cycles(0, 'table')):.3f}"],
+            ["hmac fixed", f"{model.cycles_to_ms(hmac_fixed):.3f}"],
             ["hmac / 64 B block",
-             f"{model.cycles_to_ms(model.hmac_cycles(128, 'table') - model.hmac_cycles(64, 'table')):.3f}"],
+             f"{model.cycles_to_ms(hmac_block):.3f}"],
             ["aes key expansion",
              f"{model.cycles_to_ms(model.aes_key_expansion_cycles()):.3f}"],
             ["aes encrypt / block",
@@ -313,6 +317,85 @@ def _cmd_swatt(args) -> int:
     return 0
 
 
+def _cmd_verify_profile(args) -> int:
+    """Statically verify protection profiles against the EA-MPU model.
+
+    Exit status reflects *agreement with ground truth*: an unprotected
+    profile failing its invariants is the expected outcome, not an
+    error.  Any divergence from :func:`repro.analysis.expected_failures`
+    -- a hardened profile with a hole, or an unhardened one that
+    spuriously verifies -- exits non-zero.
+    """
+    import json
+
+    from .analysis import expected_failures, verify_profile
+    from .mcu.profiles import ALL_PROFILES
+
+    profiles = [p for p in ALL_PROFILES if args.profile in (None, p.name)]
+    clock_kinds = tuple(args.clock) if args.clock else ("hw64", "sw")
+    reports = []
+    mismatches = []
+    for profile in profiles:
+        for clock_kind in clock_kinds:
+            report = verify_profile(profile, clock_kind=clock_kind)
+            reports.append(report)
+            expected = expected_failures(profile.name, clock_kind)
+            if report.failed() != expected:
+                mismatches.append((report, expected))
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2,
+                         sort_keys=True))
+        return 1 if mismatches else 0
+    rows = [["profile", "clock", "verdict", "violated invariants",
+             "enabled attacks"]]
+    for report in reports:
+        rows.append([report.profile, report.clock_kind,
+                     "SECURE" if report.holds else "VULNERABLE",
+                     ", ".join(sorted(report.failed())) or "-",
+                     ", ".join(sorted(report.failed_attacks())) or "-"])
+    print(render_table(rows, title="Static EA-MPU configuration verdicts"))
+    shown = False
+    for report in reports:
+        for verdict in report.verdicts:
+            if verdict.holds or verdict.counterexample is None:
+                continue
+            if not shown:
+                print("\ncounterexamples:")
+                shown = True
+            print(f"  {report.profile}/{report.clock_kind} "
+                  f"{verdict.invariant}: {verdict.counterexample.detail}")
+    for report, expected in mismatches:
+        print(f"\nMISMATCH {report.profile}/{report.clock_kind}: "
+              f"violated {sorted(report.failed())}, ground truth expects "
+              f"{sorted(expected)}", file=sys.stderr)
+    if not mismatches:
+        print("\nall verdicts agree with the dynamic ground truth")
+    return 1 if mismatches else 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the determinism/consistency linter over the tree."""
+    import json
+    import pathlib
+
+    from .analysis import DEFAULT_LINT_DIRS, lint_tree, load_waivers
+
+    root = pathlib.Path(args.root)
+    waivers = load_waivers(root / args.waivers)
+    dirs = tuple(args.paths) if args.paths else DEFAULT_LINT_DIRS
+    report = lint_tree(root, dirs=dirs, waivers=waivers)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+    for violation in report.violations:
+        print(f"{violation.path}:{violation.line}:{violation.col}: "
+              f"{violation.rule} {violation.message}")
+    print(f"{report.files_scanned} files scanned, "
+          f"{len(report.violations)} violations, "
+          f"{len(report.waived)} waived", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def _cmd_report(args) -> int:
     """Aggregate benchmarks/results/*.txt into one markdown report."""
     import pathlib
@@ -424,6 +507,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=8)
     p.add_argument("--iterations", type=int, default=8000)
     p.set_defaults(fn=_cmd_swatt)
+
+    p = sub.add_parser("verify-profile",
+                       help="static EA-MPU protection-invariant verifier")
+    p.add_argument("--profile", default=None,
+                   choices=["unprotected", "baseline", "ext-hardened",
+                            "roam-hardened"],
+                   help="verify one profile instead of all four")
+    p.add_argument("--clock", action="append",
+                   choices=["hw64", "hw32div", "sw", "none"],
+                   help="clock designs to verify under (repeatable; "
+                        "default hw64 and sw)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable profile reports")
+    p.set_defaults(fn=_cmd_verify_profile)
+
+    p = sub.add_parser("lint",
+                       help="determinism/consistency lint over the repo")
+    p.add_argument("paths", nargs="*",
+                   help="directories to scan, relative to --root "
+                        "(default: src scripts benchmarks examples tests)")
+    p.add_argument("--root", default=".",
+                   help="repository root the scan is relative to")
+    p.add_argument("--waivers", default="lint-waivers.json",
+                   help="waiver list, relative to --root")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable lint report")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("report",
                        help="aggregate benchmark results into markdown")

@@ -15,7 +15,7 @@ replay detection purely a freshness-state problem).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ProtocolError
 

@@ -28,7 +28,7 @@ seed schedule byte-identical retries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 

@@ -9,7 +9,7 @@ adversary can only forge what a real adversary could.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..crypto.hmac import constant_time_compare, hmac_sha1
 from ..crypto.rng import DeterministicRng

@@ -41,7 +41,6 @@ accounting modes are offered:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
@@ -139,7 +138,7 @@ class CryptoCostModel:
         if message_length < 0:
             raise ValueError("message_length must be non-negative")
         if mode == "table":
-            blocks = math.ceil(message_length / _HMAC_BLOCK_BYTES)
+            blocks = -(-message_length // _HMAC_BLOCK_BYTES)
             ms = self.costs.hmac_fixed_ms + blocks * self.costs.hmac_block_ms
         elif mode == "exact":
             compressions = HmacSha1.total_compressions(message_length)
@@ -174,7 +173,7 @@ class CryptoCostModel:
     def aes_cbc_mac_cycles(self, message_length: int,
                            key_preexpanded: bool = True) -> int:
         """Cycles for an AES-128 CBC-MAC over ``message_length`` bytes."""
-        blocks = max(1, math.ceil(message_length / _AES_BLOCK_BYTES))
+        blocks = max(1, -(-message_length // _AES_BLOCK_BYTES))
         cycles = self.aes_encrypt_cycles(blocks)
         if not key_preexpanded:
             cycles += self.aes_key_expansion_cycles()
@@ -198,7 +197,7 @@ class CryptoCostModel:
         With a pre-expanded key and a one-block message this is the paper's
         headline "0.015 ms" fast path (Section 4.1).
         """
-        blocks = max(1, math.ceil(message_length / _SPECK_BLOCK_BYTES))
+        blocks = max(1, -(-message_length // _SPECK_BLOCK_BYTES))
         # The paper quotes the *decrypt* per-block figure (0.015 ms) for
         # request validation; validating an appended tag by recomputation
         # uses encryption (0.017 ms).  We charge the cheaper published

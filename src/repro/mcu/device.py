@@ -23,7 +23,7 @@ Address map::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import fastpath
 from ..crypto.costmodel import CryptoCostModel
@@ -258,6 +258,42 @@ class Device:
         telemetry.set_gauge("device.mpu_rules", self.mpu.active_rule_count)
 
     # ------------------------------------------------------------------
+    # Well-known protected spans (half-open address ranges)
+    # ------------------------------------------------------------------
+
+    @property
+    def key_span(self) -> tuple[int, int]:
+        """Address span of ``K_Attest``."""
+        return (self.key_address, self.key_address + _KEY_SIZE)
+
+    @property
+    def counter_span(self) -> tuple[int, int]:
+        """Address span of the freshness word ``counter_R``."""
+        return (self.counter_address, self.counter_address + 8)
+
+    @property
+    def clock_msb_span(self) -> tuple[int, int]:
+        """Address span of the SW-clock ``Clock_MSB`` word."""
+        return (self.clock_msb_address, self.clock_msb_address + 8)
+
+    @property
+    def idt_span(self) -> tuple[int, int]:
+        """Address span of the interrupt descriptor table."""
+        return (self.idt_base, self.idt_base + self.interrupts.idt_size)
+
+    @property
+    def irq_mask_span(self) -> tuple[int, int]:
+        """Address span of the interrupt mask register."""
+        base = MMIO_BASE + _IRQ_MASK_OFF
+        return (base, base + self.interrupts.mask.size)
+
+    @property
+    def mpu_register_span(self) -> tuple[int, int]:
+        """Address span of the EA-MPU's own configuration registers."""
+        base = MMIO_BASE + _MPU_OFF
+        return (base, base + self.mpu.register_file_size)
+
+    # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
@@ -402,37 +438,28 @@ class Device:
             rule_index += 1
 
         if profile.protect_key:
-            key_span = (self.key_address, self.key_address + _KEY_SIZE)
-            next_rule(code=attest_span, data=key_span,
+            next_rule(code=attest_span, data=self.key_span,
                       read=True, write=False)
         if profile.protect_counter:
-            counter_span = (self.counter_address, self.counter_address + 8)
-            next_rule(code=attest_span, data=counter_span,
+            next_rule(code=attest_span, data=self.counter_span,
                       read=True, write=True)
         if profile.protect_clock and self.clock is not None:
             if self.clock.kind == "hardware":
                 next_rule(code=ALL_CODE, data=self.clock_register_span,
                           read=True, write=False)
             else:
-                idt_span = (self.idt_base,
-                            self.idt_base + self.interrupts.idt_size)
-                next_rule(code=ALL_CODE, data=idt_span,
+                next_rule(code=ALL_CODE, data=self.idt_span,
                           read=True, write=False)
-                msb_span = (self.clock_msb_address, self.clock_msb_address + 8)
                 clock_code = self.firmware.span("Code_Clock")
-                next_rule(code=ALL_CODE, data=msb_span,
+                next_rule(code=ALL_CODE, data=self.clock_msb_span,
                           read=True, write=False)
-                next_rule(code=clock_code, data=msb_span,
+                next_rule(code=clock_code, data=self.clock_msb_span,
                           read=True, write=True)
-                mask_base = MMIO_BASE + _IRQ_MASK_OFF
-                next_rule(code=ALL_CODE,
-                          data=(mask_base, mask_base + self.interrupts.mask.size),
+                next_rule(code=ALL_CODE, data=self.irq_mask_span,
                           read=True, write=False)
         self.mpu.set_enabled(True, boot_ctx.name)
         if profile.lockdown:
-            mpu_base = MMIO_BASE + _MPU_OFF
-            next_rule(code=ALL_CODE,
-                      data=(mpu_base, mpu_base + self.mpu.register_file_size),
+            next_rule(code=ALL_CODE, data=self.mpu_register_span,
                       read=True, write=False)
 
     # ------------------------------------------------------------------

@@ -41,7 +41,8 @@ from ..errors import ConfigurationError, MemoryAccessViolation, MPULockedError
 
 __all__ = ["MPURule", "ExecutionAwareMPU", "CTRL_OFFSET", "RULE_BASE_OFFSET",
            "RULE_STRIDE", "FLAG_READ", "FLAG_WRITE", "FLAG_VALID",
-           "FLAG_HARDWIRED", "CTRL_ENABLE", "CTRL_LOCK", "NO_CODE", "ALL_CODE"]
+           "FLAG_HARDWIRED", "CTRL_ENABLE", "CTRL_LOCK", "NO_CODE", "ALL_CODE",
+           "merge_intervals", "subtract_intervals", "intersect_intervals"]
 
 CTRL_OFFSET = 0x00
 RULE_BASE_OFFSET = 0x10
@@ -347,8 +348,8 @@ class ExecutionAwareMPU:
                 granted.append(overlap)
         if not covered:
             return
-        denied = _subtract_intervals(_merge_intervals(covered),
-                                     _merge_intervals(granted))
+        denied = subtract_intervals(merge_intervals(covered),
+                                    merge_intervals(granted))
         if denied:
             lo, hi = denied[0]
             violation = MemoryAccessViolation(
@@ -361,11 +362,14 @@ class ExecutionAwareMPU:
             raise violation
 
 
-def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
-    """Merge overlapping half-open intervals into a sorted disjoint list."""
-    if not intervals:
+def merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping half-open intervals into a sorted disjoint list.
+
+    Empty intervals (``lo >= hi``) cover nothing and are dropped.
+    """
+    ordered = sorted(i for i in intervals if i[0] < i[1])
+    if not ordered:
         return []
-    ordered = sorted(intervals)
     merged = [ordered[0]]
     for lo, hi in ordered[1:]:
         last_lo, last_hi = merged[-1]
@@ -376,9 +380,9 @@ def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
     return merged
 
 
-def _subtract_intervals(minuend: list[tuple[int, int]],
-                        subtrahend: list[tuple[int, int]]
-                        ) -> list[tuple[int, int]]:
+def subtract_intervals(minuend: list[tuple[int, int]],
+                       subtrahend: list[tuple[int, int]]
+                       ) -> list[tuple[int, int]]:
     """Subtract one disjoint sorted interval list from another."""
     result = []
     for lo, hi in minuend:
@@ -394,3 +398,20 @@ def _subtract_intervals(minuend: list[tuple[int, int]],
         if cursor < hi:
             result.append((cursor, hi))
     return result
+
+
+def intersect_intervals(a: list[tuple[int, int]],
+                        b: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Intersection of two disjoint sorted half-open interval lists."""
+    result = []
+    for lo, hi in a:
+        for o_lo, o_hi in b:
+            cut_lo, cut_hi = max(lo, o_lo), min(hi, o_hi)
+            if cut_lo < cut_hi:
+                result.append((cut_lo, cut_hi))
+    return merge_intervals(result)
+
+
+#: Backwards-compatible aliases for the pre-`repro.analysis` private names.
+_merge_intervals = merge_intervals
+_subtract_intervals = subtract_intervals

@@ -8,7 +8,7 @@ code queries it for recorded requests to replay later.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 __all__ = ["TranscriptEntry", "Transcript"]

@@ -35,7 +35,9 @@ Attach a telemetry to a session at build time::
 """
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .schema import (EVENT_SCHEMA, REGISTRY_SCHEMA, WALLCLOCK_SCHEMA,
+from .schema import (ANALYSIS_SCHEMA, EVENT_SCHEMA, INVARIANT_NAMES,
+                     LINT_RULE_IDS, METRIC_NAMES, REGISTRY_SCHEMA,
+                     WALLCLOCK_SCHEMA, validate_analysis_report,
                      validate_event, validate_jsonl_trace,
                      validate_registry_dump, validate_wallclock_report)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
@@ -45,7 +47,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "EVENT_KINDS", "EventTrace", "TraceEvent",
     "NULL_TELEMETRY", "NullTelemetry", "Telemetry",
-    "EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
-    "validate_event", "validate_jsonl_trace", "validate_registry_dump",
-    "validate_wallclock_report",
+    "ANALYSIS_SCHEMA", "EVENT_SCHEMA", "REGISTRY_SCHEMA",
+    "WALLCLOCK_SCHEMA", "INVARIANT_NAMES", "LINT_RULE_IDS", "METRIC_NAMES",
+    "validate_analysis_report", "validate_event", "validate_jsonl_trace",
+    "validate_registry_dump", "validate_wallclock_report",
 ]

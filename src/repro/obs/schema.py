@@ -23,8 +23,78 @@ from ..fastpath import ENGINES
 from .trace import EVENT_KINDS
 
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
-           "validate_event", "validate_jsonl_trace",
-           "validate_registry_dump", "validate_wallclock_report"]
+           "ANALYSIS_SCHEMA", "METRIC_NAMES", "INVARIANT_NAMES",
+           "LINT_RULE_IDS", "validate_event", "validate_jsonl_trace",
+           "validate_registry_dump", "validate_wallclock_report",
+           "validate_analysis_report"]
+
+#: The closed vocabulary of metric (counter/gauge/histogram) names the
+#: instrumentation may emit.  `repro.analysis.lint` rule TEL001 checks
+#: every literal name at a telemetry call site against this set, so a
+#: typo in instrumentation fails `repro lint` instead of silently
+#: producing an unknown series in the registry export.
+METRIC_NAMES = frozenset({
+    # network channel
+    "channel.delivered",
+    "channel.dropped",
+    "channel.duplicated",
+    "channel.injected",
+    "channel.pending_events",
+    "channel.sent",
+    # device hardware
+    "cpu.cycles",
+    "device.battery_fraction_remaining",
+    "device.clock_wraps",
+    "device.energy_consumed_mj",
+    "device.flash_bytes",
+    "device.mpu_faults",
+    "device.mpu_rules",
+    "device.ram_bytes",
+    "device.writable_bytes",
+    # prover trust anchor
+    "prover.attestation_cycles",
+    "prover.attestation_cycles_per_request",
+    "prover.freshness_state_bytes",
+    "prover.nonce_count",
+    "prover.requests.accepted",
+    "prover.requests.received",
+    "prover.requests.rejected",
+    "prover.validation_cycles",
+    "prover.validation_cycles_per_request",
+    # verifier-side resilience and operations
+    "monitor.backoff_seconds",
+    "monitor.events",
+    "session.backoff_seconds",
+    "session.retries",
+    "session.timeouts",
+    "swarm.breaker_transitions",
+    "verifier.requests_issued",
+    "verifier.responses_validated",
+    "verifier.timeouts",
+    "verifier.verdicts",
+})
+
+#: The closed set of protection invariants `repro.analysis.invariants`
+#: checks statically against a booted device's EA-MPU rule table
+#: (Sections 5/6 of the paper; see ``docs/static-analysis.md``).
+INVARIANT_NAMES = frozenset({
+    "rule-budget",
+    "secure-boot-coverage",
+    "mpu-lockdown",
+    "no-widening-overlap",
+    "key-confidentiality",
+    "counter-rollback-protection",
+    "clock-integrity",
+})
+
+#: The closed set of lint rule identifiers `repro.analysis.lint` emits.
+LINT_RULE_IDS = frozenset({
+    "DET001",   # host clock use in simulated-path modules
+    "DET002",   # stdlib random in simulated-path modules
+    "FLT001",   # float arithmetic in cycle-accounting functions
+    "TEL001",   # telemetry name not in the schema vocabulary
+    "DEP001",   # deprecated alias use
+})
 
 #: Schema of one trace-event object (one JSON line of the export).
 EVENT_SCHEMA = {
@@ -117,6 +187,71 @@ _EQUIVALENCE_SCHEMA = {
         "rounds": {"type": "integer", "minimum": 1},
         "identical": {"type": "boolean"},
         "engines": {"type": "object"},
+    },
+}
+
+#: Schema of the static-analysis report (``repro verify-profile --json``,
+#: ``repro lint --json`` and ``scripts/analysis_smoke.py`` all emit or
+#: embed this envelope; byte-identical for identical inputs).
+ANALYSIS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "profiles", "lint"],
+    "properties": {
+        "schema": {"type": "string", "enum": ["repro.analysis/v1"]},
+        "profiles": {"type": "array"},
+        "lint": {"type": "object"},
+    },
+}
+
+#: Schema of one per-profile invariant report inside the analysis report.
+_PROFILE_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["profile", "clock_kind", "holds", "verdicts"],
+    "properties": {
+        "profile": {"type": "string"},
+        "clock_kind": {"type": "string",
+                       "enum": ["hw64", "hw32div", "sw", "none"]},
+        "holds": {"type": "boolean"},
+        "verdicts": {"type": "array"},
+    },
+}
+
+#: Schema of one invariant verdict.
+_VERDICT_SCHEMA = {
+    "type": "object",
+    "required": ["invariant", "holds", "detail"],
+    "properties": {
+        "invariant": {"type": "string", "enum": sorted(INVARIANT_NAMES)},
+        "holds": {"type": "boolean"},
+        "detail": {"type": "string"},
+        "attack": {"type": "string"},
+        "counterexample": {"type": "object"},
+    },
+}
+
+#: Schema of the lint section of the analysis report.
+_LINT_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["files_scanned", "clean", "violations", "waived"],
+    "properties": {
+        "files_scanned": {"type": "integer", "minimum": 0},
+        "clean": {"type": "boolean"},
+        "violations": {"type": "array"},
+        "waived": {"type": "array"},
+    },
+}
+
+#: Schema of one lint violation entry (waived or not).
+_LINT_VIOLATION_SCHEMA = {
+    "type": "object",
+    "required": ["rule", "path", "line", "message"],
+    "properties": {
+        "rule": {"type": "string", "enum": sorted(LINT_RULE_IDS)},
+        "path": {"type": "string"},
+        "line": {"type": "integer", "minimum": 0},
+        "col": {"type": "integer", "minimum": 0},
+        "message": {"type": "string"},
+        "waiver_reason": {"type": "string"},
     },
 }
 
@@ -250,4 +385,41 @@ def validate_wallclock_report(report: dict) -> list[str]:
     if "equivalence" in report:
         errors.extend(_check(report["equivalence"], _EQUIVALENCE_SCHEMA,
                              "wallclock.equivalence"))
+    return errors
+
+
+def validate_analysis_report(report: dict) -> list[str]:
+    """Validate a decoded ``repro.analysis/v1`` report object.
+
+    Checks the envelope, every per-profile invariant report and verdict,
+    and the lint section including each (waived) violation entry.  Shape
+    only -- whether the verdicts are the *expected* ones for the shipped
+    profiles is policy, enforced by ``scripts/analysis_smoke.py``.
+    """
+    errors = _check(report, ANALYSIS_SCHEMA, "analysis")
+    if not isinstance(report, dict):
+        return errors
+    profiles = report.get("profiles")
+    for index, profile in enumerate(profiles
+                                    if isinstance(profiles, list) else []):
+        path = f"analysis.profiles[{index}]"
+        errors.extend(_check(profile, _PROFILE_REPORT_SCHEMA, path))
+        if not isinstance(profile, dict):
+            continue
+        verdicts = profile.get("verdicts")
+        for v_index, verdict in enumerate(verdicts
+                                          if isinstance(verdicts, list)
+                                          else []):
+            errors.extend(_check(verdict, _VERDICT_SCHEMA,
+                                 f"{path}.verdicts[{v_index}]"))
+    lint = report.get("lint")
+    if isinstance(lint, dict):
+        errors.extend(_check(lint, _LINT_REPORT_SCHEMA, "analysis.lint"))
+        for key in ("violations", "waived"):
+            entries = lint.get(key)
+            for index, entry in enumerate(entries
+                                          if isinstance(entries, list)
+                                          else []):
+                errors.extend(_check(entry, _LINT_VIOLATION_SCHEMA,
+                                     f"analysis.lint.{key}[{index}]"))
     return errors

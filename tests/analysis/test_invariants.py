@@ -1,0 +1,224 @@
+"""Unit tests for the static protection-invariant verifier.
+
+The interesting cases are the ones no shipped boot path produces: we
+tamper with a booted device's rule table directly (``program_rule``
+bypasses the bus, so lockdown does not stop the test harness) or rewrite
+fields of the extracted :class:`MachineModel`, then check the verifier
+catches exactly the hole we opened and names a concrete counterexample
+inside it.
+"""
+
+import dataclasses
+
+from repro.analysis.invariants import (ATTACK_FOR_INVARIANT,
+                                       EXPECTED_FAILURES, INVARIANT_ORDER,
+                                       MachineModel, analyze_device,
+                                       analyze_model, attacker_reachable,
+                                       expected_failures, verify_profile)
+from repro.mcu.device import Device, DeviceConfig
+from repro.mcu.mpu import ALL_CODE
+from repro.mcu.profiles import (ALL_PROFILES, BASELINE, ROAM_HARDENED,
+                                UNPROTECTED)
+
+
+def hardened_device(**overrides) -> Device:
+    defaults = dict(ram_size=16 * 1024, flash_size=32 * 1024,
+                    app_size=4 * 1024, clock_kind="hw64")
+    defaults.update(overrides)
+    device = Device(DeviceConfig(**defaults))
+    device.provision(b"K" * 16)
+    device.boot(ROAM_HARDENED)
+    return device
+
+
+class TestReachability:
+    def test_uncovered_memory_is_reachable(self):
+        device = hardened_device()
+        model = MachineModel.from_device(device)
+        # Plain RAM far from any protected span: ordinary memory.
+        probe = (device.memory.region("ram").start, device.memory.region(
+            "ram").start + 16)
+        assert attacker_reachable(model, probe, "write") == [probe]
+
+    def test_key_unreachable_on_hardened_device(self):
+        model = MachineModel.from_device(hardened_device())
+        assert attacker_reachable(model, model.key_span, "read") == []
+        assert attacker_reachable(model, model.key_span, "write") == []
+
+    def test_disabled_mpu_reaches_everything(self):
+        model = dataclasses.replace(
+            MachineModel.from_device(hardened_device()), mpu_enabled=False)
+        assert attacker_reachable(model, model.key_span, "read") == [
+            model.key_span]
+
+    def test_empty_span_never_reachable(self):
+        model = MachineModel.from_device(hardened_device())
+        assert attacker_reachable(model, (0x1000, 0x1000), "read") == []
+
+    def test_code_reuse_folds_trusted_code_into_attacker(self):
+        open_device = hardened_device(enforce_entry_points=False)
+        model = MachineModel.from_device(open_device)
+        # Jumping into Code_Attest inherits its key-read grant.
+        assert attacker_reachable(model, model.key_span, "read")
+
+
+class TestInvariantCatalog:
+    def test_verdict_order_is_stable(self):
+        report = analyze_device(hardened_device())
+        assert tuple(v.invariant for v in report.verdicts) == INVARIANT_ORDER
+
+    def test_roam_hardened_holds_everything(self):
+        report = analyze_device(hardened_device())
+        assert report.holds
+        assert report.failed() == frozenset()
+
+    def test_expected_failures_match_all_profiles(self):
+        for profile in ALL_PROFILES:
+            for clock_kind in ("hw64", "hw32div", "sw", "none"):
+                report = verify_profile(profile, clock_kind=clock_kind)
+                assert report.failed() == expected_failures(
+                    profile.name, clock_kind), (profile.name, clock_kind)
+
+    def test_clockless_device_drops_clock_integrity_expectation(self):
+        assert "clock-integrity" in EXPECTED_FAILURES["unprotected"]
+        assert "clock-integrity" not in expected_failures("unprotected",
+                                                          "none")
+
+    def test_attack_mapping_names_roaming_strategies(self):
+        report = analyze_device(hardened_device())
+        mapped = {v.invariant: v.attack for v in report.verdicts
+                  if v.attack is not None}
+        assert mapped == ATTACK_FOR_INVARIANT
+
+    def test_unprotected_counterexamples_are_concrete(self):
+        report = verify_profile(UNPROTECTED)
+        verdict = report.verdict("key-confidentiality")
+        assert not verdict.holds
+        cx = verdict.counterexample
+        assert cx is not None
+        assert cx.access == "read"
+        assert cx.code_address is not None
+        assert "K_Attest" in cx.detail
+
+
+class TestTamperedConfigurations:
+    def test_widening_rule_leaks_the_key(self):
+        device = hardened_device()
+        free_slot = device.mpu.active_rule_count
+        device.mpu.program_rule(free_slot, code=ALL_CODE,
+                                data=device.key_span, read=True,
+                                write=False)
+        report = analyze_device(device)
+        assert not report.verdict("key-confidentiality").holds
+        cx = report.verdict("key-confidentiality").counterexample
+        assert device.key_span[0] <= cx.address < device.key_span[1]
+        assert f"rule[{free_slot}]" in cx.detail
+
+    def test_write_grant_over_read_only_rule_is_widening(self):
+        device = hardened_device()
+        free_slot = device.mpu.active_rule_count
+        # The lockdown rule makes the register file read-only to all
+        # software; an overlapping rule that re-grants write to any code
+        # nullifies it.
+        device.mpu.program_rule(free_slot, code=ALL_CODE,
+                                data=device.mpu_register_span, read=True,
+                                write=True)
+        report = analyze_device(device)
+        verdict = report.verdict("no-widening-overlap")
+        assert not verdict.holds
+        assert f"rule[{free_slot}]" in verdict.detail
+        assert verdict.counterexample.access == "write"
+
+    def test_counter_write_rule_enables_rollback(self):
+        device = hardened_device()
+        free_slot = device.mpu.active_rule_count
+        device.mpu.program_rule(free_slot, code=ALL_CODE,
+                                data=device.counter_span, read=True,
+                                write=True)
+        verdict = analyze_device(device).verdict(
+            "counter-rollback-protection")
+        assert not verdict.holds
+        assert verdict.attack == "counter-rollback"
+
+    def test_unlocked_register_file_fails_lockdown(self):
+        device = hardened_device()
+        model = MachineModel.from_device(device)
+        # Keep the rule table but drop both the sticky lock and the
+        # self-protection rule: malware can then rewrite the rules.
+        stripped = dataclasses.replace(
+            model, mpu_locked=False,
+            rules=tuple(r for r in model.rules
+                        if r.data_overlap(*model.mpu_register_span) is None))
+        verdict = analyze_model(stripped).verdict("mpu-lockdown")
+        assert not verdict.holds
+        cx = verdict.counterexample
+        assert (model.mpu_register_span[0] <= cx.address
+                < model.mpu_register_span[1])
+
+    def test_rule_budget_overflow_detected(self):
+        model = MachineModel.from_device(hardened_device())
+        assert len(model.rules) > 2
+        shrunk = dataclasses.replace(model, max_rules=2)
+        verdict = analyze_model(shrunk).verdict("rule-budget")
+        assert not verdict.holds
+        assert "exceed" in verdict.detail
+
+    def test_unvouched_attestation_code_fails_secure_boot(self):
+        model = MachineModel.from_device(hardened_device())
+        # Pretend Code_Attest lives outside ROM and outside the measured
+        # image: nothing vouches for it at boot.
+        floating = dataclasses.replace(model, rom_span=(0, 0),
+                                       measured_spans=())
+        verdict = analyze_model(floating).verdict("secure-boot-coverage")
+        assert not verdict.holds
+        assert "Code_Attest" in verdict.detail
+
+    def test_over_restriction_is_flagged_not_silently_secure(self):
+        device = hardened_device()
+        model = MachineModel.from_device(device)
+        # Replace the key rule's code selector with an empty range: no
+        # software at all can read the key, including Code_Attest.
+        rules = []
+        for rule in model.rules:
+            if rule.data_overlap(*model.key_span) is not None:
+                rule = dataclasses.replace(rule, code_start=0, code_end=0)
+            rules.append(rule)
+        bricked = dataclasses.replace(model, rules=tuple(rules))
+        verdict = analyze_model(bricked).verdict("key-confidentiality")
+        assert not verdict.holds
+        assert "over-restriction" in verdict.detail
+
+    def test_sw_clock_idt_hole_is_clock_integrity_failure(self):
+        device = Device(DeviceConfig(ram_size=16 * 1024,
+                                     flash_size=32 * 1024,
+                                     app_size=4 * 1024, clock_kind="sw"))
+        device.provision(b"K" * 16)
+        device.boot(ROAM_HARDENED)
+        model = MachineModel.from_device(device)
+        # Drop the IDT rule: redirecting the wrap interrupt silently
+        # stops the software clock.
+        holed = dataclasses.replace(
+            model, rules=tuple(
+                r for r in model.rules
+                if r.data_overlap(*model.idt_span) is None))
+        verdict = analyze_model(holed).verdict("clock-integrity")
+        assert not verdict.holds
+        assert "IDT" in verdict.detail
+
+
+class TestBaselineProfile:
+    def test_baseline_protects_key_but_not_counter(self):
+        report = verify_profile(BASELINE)
+        assert report.verdict("key-confidentiality").holds
+        assert not report.verdict("counter-rollback-protection").holds
+        assert report.failed_attacks() == {"counter-rollback",
+                                           "clock-reset"}
+
+    def test_report_round_trips_to_dict(self):
+        report = verify_profile(BASELINE)
+        entry = report.as_dict()
+        assert entry["profile"] == "baseline"
+        assert entry["holds"] is False
+        assert len(entry["verdicts"]) == len(INVARIANT_ORDER)
+        failing = [v for v in entry["verdicts"] if not v["holds"]]
+        assert all("counterexample" in v for v in failing)

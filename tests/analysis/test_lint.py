@@ -1,0 +1,204 @@
+"""Unit tests for the determinism/consistency linter.
+
+Each rule is exercised against a minimal seeded source string placed on
+the path scope where the rule applies, plus the checked-in tainted
+fixture tree, waiver mechanics, and the schema-validated combined
+report.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (Waiver, lint_source, lint_tree,
+                                 load_waivers)
+from repro.analysis.report import build_report, render_report_json
+from repro.analysis.invariants import verify_shipped_profiles
+from repro.obs.schema import validate_analysis_report
+
+REPO = Path(__file__).resolve().parents[2]
+SIM_PATH = "src/repro/fake_module.py"
+
+
+def rules_in(source: str, path: str = SIM_PATH) -> set[str]:
+    return {v.rule for v in lint_source(source, path)}
+
+
+class TestDeterminismRules:
+    def test_host_clock_flagged_in_simulated_path(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert "DET001" in rules_in(source)
+
+    def test_datetime_now_flagged(self):
+        source = ("from datetime import datetime\n"
+                  "def f():\n    return datetime.now()\n")
+        assert "DET001" in rules_in(source)
+
+    def test_host_clock_allowed_in_perf(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert rules_in(source, "src/repro/perf/wallclock.py") == set()
+
+    def test_host_clock_allowed_outside_src(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert rules_in(source, "tests/test_something.py") == set()
+
+    def test_stdlib_random_import_flagged(self):
+        assert "DET002" in rules_in("import random\n")
+        assert "DET002" in rules_in("from random import Random\n")
+
+    def test_seeded_rng_not_flagged(self):
+        source = "from repro.crypto.rng import DeterministicRng\n"
+        assert rules_in(source) == set()
+
+
+class TestFloatCycleRule:
+    def test_true_division_in_cycle_function(self):
+        source = "def hmac_cycles(n):\n    return n / 64\n"
+        assert "FLT001" in rules_in(source)
+
+    def test_float_literal_in_cycle_function(self):
+        source = "def consume_cycles(n):\n    return n * 1.5\n"
+        assert "FLT001" in rules_in(source)
+
+    def test_float_conversion_in_cycle_function(self):
+        source = "def attest_cycles(n):\n    return float(n)\n"
+        assert "FLT001" in rules_in(source)
+
+    def test_integer_ceil_div_is_clean(self):
+        source = "def hmac_cycles(n):\n    return -(-n // 64)\n"
+        assert rules_in(source) == set()
+
+    def test_wall_unit_conversions_are_the_sanctioned_boundary(self):
+        source = ("def _ms_to_cycles(ms):\n    return int(ms * 24000.0)\n"
+                  "def cycles_to_seconds(c):\n    return c / 24e6\n")
+        assert rules_in(source) == set()
+
+    def test_non_cycle_functions_unscoped(self):
+        source = "def average(n):\n    return n / 2\n"
+        assert rules_in(source) == set()
+
+
+class TestTelemetryNameRule:
+    def test_unknown_metric_name_flagged(self):
+        source = "def f(telemetry):\n    telemetry.count('prover.nope')\n"
+        assert "TEL001" in rules_in(source)
+
+    def test_known_metric_name_clean(self):
+        source = ("def f(telemetry):\n"
+                  "    telemetry.count('prover.requests.received')\n")
+        assert rules_in(source) == set()
+
+    def test_unknown_event_kind_flagged(self):
+        source = ("def f(telemetry):\n"
+                  "    telemetry.event('definitely-not-a-kind', 0)\n")
+        assert "TEL001" in rules_in(source)
+
+    def test_known_event_kind_clean(self):
+        source = ("def f(telemetry):\n"
+                  "    telemetry.event('request-received', 0)\n")
+        assert rules_in(source) == set()
+
+    def test_dynamic_names_out_of_scope(self):
+        source = ("def f(telemetry, prefix):\n"
+                  "    telemetry.count(f'{prefix}.cycles')\n")
+        assert rules_in(source) == set()
+
+    def test_non_telemetry_receivers_ignored(self):
+        source = "def f(bag):\n    bag.count('whatever')\n"
+        assert rules_in(source) == set()
+
+
+class TestDeprecatedAliasRule:
+    def test_retry_delay_seconds_kwarg(self):
+        source = "p = MonitorPolicy(retry_delay_seconds=5.0)\n"
+        assert "DEP001" in rules_in(source, "examples/demo.py")
+
+    def test_monitor_policy_max_retries_kwarg(self):
+        source = "p = MonitorPolicy(max_retries=2)\n"
+        assert "DEP001" in rules_in(source, "examples/demo.py")
+
+    def test_retry_policy_max_retries_is_fine(self):
+        source = "p = RetryPolicy(max_retries=2)\n"
+        assert rules_in(source, "examples/demo.py") == set()
+
+    def test_unresponsive_attribute(self):
+        source = "def f(result):\n    return result.unresponsive\n"
+        assert "DEP001" in rules_in(source, "examples/demo.py")
+
+    def test_applies_everywhere_including_tests(self):
+        source = "p = MonitorPolicy(retry_delay_seconds=5.0)\n"
+        assert "DEP001" in rules_in(source, "tests/test_demo.py")
+
+
+class TestWaivers:
+    def test_waiver_matches_rule_and_path(self):
+        waiver = Waiver(rule="DET002", path=SIM_PATH, reason="test double")
+        violations = lint_source("import random\n", SIM_PATH)
+        assert violations and waiver.matches(violations[0])
+        elsewhere = lint_source("import random\n", "src/repro/other.py")
+        assert not waiver.matches(elsewhere[0])
+
+    def test_load_waivers_requires_reason(self, tmp_path):
+        bad = tmp_path / "waivers.json"
+        bad.write_text('[{"rule": "DEP001", "path": "x.py", "reason": ""}]')
+        with pytest.raises(ValueError, match="justification"):
+            load_waivers(bad)
+
+    def test_load_waivers_rejects_unknown_rule(self, tmp_path):
+        bad = tmp_path / "waivers.json"
+        bad.write_text('[{"rule": "XXX999", "path": "x.py", '
+                       '"reason": "because"}]')
+        with pytest.raises(ValueError, match="unknown rule"):
+            load_waivers(bad)
+
+    def test_missing_waiver_file_means_no_waivers(self, tmp_path):
+        assert load_waivers(tmp_path / "absent.json") == []
+
+    def test_checked_in_waivers_load_and_apply(self):
+        waivers = load_waivers(REPO / "lint-waivers.json")
+        assert waivers
+        report = lint_tree(REPO, waivers=waivers)
+        assert report.clean, [v.as_dict() for v in report.violations]
+        assert report.waived
+        assert all(v.waiver_reason for v in report.waived)
+
+
+class TestTaintedFixtureTree:
+    def test_every_seeded_rule_detected(self):
+        report = lint_tree(REPO / "tests/analysis/fixtures/seeded")
+        assert {v.rule for v in report.violations} == {
+            "DET001", "DET002", "FLT001", "TEL001"}
+        assert not report.clean
+
+    def test_fixture_does_not_taint_repo_root_lint(self):
+        report = lint_tree(
+            REPO, waivers=load_waivers(REPO / "lint-waivers.json"))
+        tainted = [v for v in report.violations
+                   if "fixtures/seeded" in v.path]
+        assert tainted == []
+
+
+class TestCombinedReport:
+    def test_report_validates_and_is_deterministic(self):
+        waivers = load_waivers(REPO / "lint-waivers.json")
+        profiles = verify_shipped_profiles()
+        lint = lint_tree(REPO, waivers=waivers)
+        report = build_report(profiles, lint)
+        assert validate_analysis_report(report) == []
+        assert (render_report_json(report)
+                == render_report_json(build_report(profiles, lint)))
+
+    def test_malformed_report_rejected(self):
+        assert validate_analysis_report({"schema": "repro.analysis/v1"})
+        clean_lint = {"files_scanned": 0, "clean": True,
+                      "violations": [], "waived": []}
+        assert validate_analysis_report({"schema": "nope", "profiles": [],
+                                         "lint": clean_lint})
+        bad_verdict = {"schema": "repro.analysis/v1", "lint": clean_lint,
+                       "profiles": [{"profile": "baseline",
+                                     "clock_kind": "hw64", "holds": True,
+                                     "verdicts": [{"invariant": "bogus",
+                                                   "holds": True,
+                                                   "detail": "x"}]}]}
+        assert any("invariant" in error
+                   for error in validate_analysis_report(bad_verdict))

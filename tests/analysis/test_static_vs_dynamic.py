@@ -1,0 +1,123 @@
+"""Cross-check: static verdicts must agree with simulated ground truth.
+
+The verifier's claim is that interval reasoning over the EA-MPU rule
+table predicts what ``repro.attacks.roaming`` discovers by actually
+running the three-phase attack.  For every shipped profile we compare,
+invariant by attack-mapped invariant:
+
+- ``key-confidentiality``        vs  Phase II key extraction
+- ``counter-rollback-protection`` vs  Phase II counter rollback
+- ``clock-integrity``            vs  Phase II clock sabotage
+
+A static *failure* must coincide with a dynamic *success* of the
+corresponding attack preparation, and vice versa.  Only the
+attack-mapped invariants participate: ``mpu-lockdown`` also fails on the
+unprotected profile, correctly, but has no single attack flag to compare
+against.
+"""
+
+import pytest
+
+from repro.analysis.invariants import ATTACK_FOR_INVARIANT, verify_profile
+from repro.attacks.roaming import RoamingAdversary
+from repro.attacks.scenarios import run_roaming_attack
+from repro.core.protocol import build_session
+from repro.mcu.device import DeviceConfig
+from repro.mcu.profiles import ALL_PROFILES, ROAM_HARDENED
+
+
+def key_compromised(compromise) -> bool:
+    return compromise.key_extracted or compromise.key_extracted_via_code_reuse
+
+
+def clock_compromised(compromise) -> bool:
+    return (compromise.clock_reset or compromise.idt_redirected
+            or compromise.irq_masked)
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES,
+                         ids=[p.name for p in ALL_PROFILES])
+class TestStaticAgreesWithDynamic:
+    def test_key_confidentiality_matches_key_extraction(self, profile):
+        static = verify_profile(profile, clock_kind="hw64")
+        record = run_roaming_attack(
+            strategy="key-forgery", policy="counter", profile=profile,
+            clock_kind="hw64", seed=f"xcheck:{profile.name}:key")
+        statically_leaks = not static.verdict("key-confidentiality").holds
+        assert statically_leaks == key_compromised(
+            record.outcome.compromise)
+
+    def test_counter_rollback_matches_counter_tamper(self, profile):
+        static = verify_profile(profile, clock_kind="hw64")
+        record = run_roaming_attack(
+            strategy="counter-rollback", policy="counter", profile=profile,
+            clock_kind="hw64", seed=f"xcheck:{profile.name}:counter")
+        statically_open = not static.verdict(
+            "counter-rollback-protection").holds
+        assert statically_open == record.outcome.compromise.counter_rolled_back
+
+    @pytest.mark.parametrize("clock_kind", ["hw64", "sw"])
+    def test_clock_integrity_matches_clock_sabotage(self, profile,
+                                                    clock_kind):
+        static = verify_profile(profile, clock_kind=clock_kind)
+        record = run_roaming_attack(
+            strategy="clock-reset", policy="timestamp", profile=profile,
+            clock_kind=clock_kind,
+            seed=f"xcheck:{profile.name}:clock:{clock_kind}")
+        statically_open = not static.verdict("clock-integrity").holds
+        assert statically_open == clock_compromised(
+            record.outcome.compromise)
+
+    def test_failed_attacks_match_any_success(self, profile):
+        """The report's attack summary equals the union of dynamic wins."""
+        static = verify_profile(profile, clock_kind="hw64")
+        dynamic = set()
+        for strategy, policy in (("key-forgery", "counter"),
+                                 ("counter-rollback", "counter"),
+                                 ("clock-reset", "timestamp")):
+            record = run_roaming_attack(
+                strategy=strategy, policy=policy, profile=profile,
+                clock_kind="hw64",
+                seed=f"xcheck:{profile.name}:union:{strategy}")
+            compromise = record.outcome.compromise
+            if strategy == "key-forgery" and key_compromised(compromise):
+                dynamic.add("key-forgery")
+            if (strategy == "counter-rollback"
+                    and compromise.counter_rolled_back):
+                dynamic.add("counter-rollback")
+            if strategy == "clock-reset" and clock_compromised(compromise):
+                dynamic.add("clock-reset")
+        assert static.failed_attacks() == dynamic
+        assert dynamic <= set(ATTACK_FOR_INVARIANT.values())
+
+
+class TestCodeReuseVariant:
+    def test_unenforced_entry_points_leak_statically_and_dynamically(self):
+        """Section 6.2: without entry-point enforcement a code-reuse jump
+        into Code_Attest defeats even the roam-hardened profile -- and
+        the static model, which folds trusted code into the attacker set,
+        must predict exactly that."""
+        config = DeviceConfig(ram_size=16 * 1024, flash_size=32 * 1024,
+                              app_size=4 * 1024, clock_kind="hw64",
+                              enforce_entry_points=False)
+        static = verify_profile(ROAM_HARDENED, config=config)
+        assert not static.verdict("key-confidentiality").holds
+
+        session = build_session(profile=ROAM_HARDENED, policy_name="counter",
+                                device_config=config, seed="xcheck:reuse")
+        session.learn_reference_state()
+        session.sim.run(until=60.0)
+        session.attest_once()
+        adversary = RoamingAdversary(session)
+        adversary.phase1_eavesdrop()
+        compromise = adversary.phase2_compromise("key-extract")
+        assert compromise.key_extracted_via_code_reuse
+
+    def test_enforced_entry_points_hold_statically_and_dynamically(self):
+        static = verify_profile(ROAM_HARDENED, clock_kind="hw64")
+        assert static.verdict("key-confidentiality").holds
+        record = run_roaming_attack(
+            strategy="key-forgery", policy="counter",
+            profile=ROAM_HARDENED, clock_kind="hw64",
+            seed="xcheck:enforced")
+        assert not key_compromised(record.outcome.compromise)

@@ -6,7 +6,7 @@ from repro.attacks.external import (BogusRequestFlooder,
                                     DelayNthRequestAdversary, ReplayAttacker,
                                     request_entries)
 from repro.core.messages import AttestationRequest
-from repro.net.channel import DolevYaoChannel, Verdict
+from repro.net.channel import DolevYaoChannel
 from repro.net.simulator import Simulation
 
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.attacks.forensics import (ChangedExtent, MemorySnapshot,
-                                     diff_snapshots)
+from repro.attacks.forensics import MemorySnapshot, diff_snapshots
 from repro.mcu import BASELINE, Device
 from tests.conftest import tiny_config
 

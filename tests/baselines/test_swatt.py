@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.swatt import (ACCESS_CYCLES, CHEAT_OVERHEAD_CYCLES,
                                    CheatingSwattProver, NetworkTimingModel,
-                                   SwattProver, SwattResponse, SwattVerifier,
+                                   SwattProver, SwattVerifier,
                                    checksum_walk, evaluate_over_network)
 from repro.crypto.rng import DeterministicRng
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """Protocol behaviour under adverse network conditions."""
 
-import pytest
 
 from repro.core import build_session
 from repro.core.messages import AttestationRequest

@@ -6,7 +6,7 @@ from repro.core.authenticator import (HmacAuthenticator, NullAuthenticator,
                                       SpeckCbcMacAuthenticator)
 from repro.core.freshness import CounterPolicy, NoFreshness, make_policy
 from repro.core.messages import AttestationRequest
-from repro.core.prover import DeviceStateView, ProverTrustAnchor
+from repro.core.prover import ProverTrustAnchor
 from repro.errors import ConfigurationError
 from repro.mcu import Device, EXT_HARDENED, ROAM_HARDENED
 from tests.conftest import tiny_config

@@ -2,10 +2,6 @@
 
 import json
 
-import pytest
-
-from tests.conftest import tiny_config
-
 
 class TestSummary:
     def test_structure(self, session_factory):

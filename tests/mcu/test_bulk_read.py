@@ -11,7 +11,7 @@ import pytest
 
 from repro import fastpath
 from repro.errors import ConfigurationError, MemoryAccessViolation
-from repro.mcu import Device, DeviceConfig, ROAM_HARDENED, UNPROTECTED
+from repro.mcu import Device, ROAM_HARDENED, UNPROTECTED
 from repro.mcu.memory import (MemoryBus, MemoryMap, MemoryRegion,
                               MemoryType)
 

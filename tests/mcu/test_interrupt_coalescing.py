@@ -1,8 +1,6 @@
 """Pending-bit coalescing and the SMART-vs-TrustLite clock interaction."""
 
-import pytest
-
-from repro.mcu import Device, DeviceConfig, ROAM_HARDENED
+from repro.mcu import Device, ROAM_HARDENED
 from repro.mcu.cpu import CPU, ExecutionContext
 from repro.mcu.interrupts import InterruptController
 from repro.mcu.memory import MemoryBus, MemoryMap, MemoryRegion, MemoryType

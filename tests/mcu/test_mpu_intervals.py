@@ -1,0 +1,122 @@
+"""Edge cases of the MPU's interval primitives.
+
+``span_unruled`` gates the zero-copy bulk read path and
+``data_overlap`` feeds both ``check_access`` and the static verifier,
+so their half-open boundary behaviour -- adjacent spans, zero-length
+spans, the rule over the MPU's own register file -- must be pinned
+exactly.
+"""
+
+from repro.mcu.device import MMIO_BASE
+from repro.mcu.mpu import (ALL_CODE, ExecutionAwareMPU, MPURule,
+                           intersect_intervals, merge_intervals,
+                           subtract_intervals)
+
+
+def make_mpu(*rule_specs) -> ExecutionAwareMPU:
+    mpu = ExecutionAwareMPU(max_rules=8)
+    for index, (data, read, write) in enumerate(rule_specs):
+        mpu.program_rule(index, code=ALL_CODE, data=data, read=read,
+                         write=write)
+    mpu.set_enabled(True)
+    return mpu
+
+
+class TestDataOverlap:
+    def test_adjacent_ranges_do_not_overlap(self):
+        rule = MPURule(index=0, code_start=0, code_end=0xFFFFFFFF,
+                       data_start=0x1000, data_end=0x2000,
+                       allow_read=True, allow_write=False, hardwired=False)
+        # Touching at the boundary: [0x1000, 0x2000) vs [0x2000, 0x3000).
+        assert rule.data_overlap(0x2000, 0x3000) is None
+        assert rule.data_overlap(0x0000, 0x1000) is None
+
+    def test_one_byte_overlap_at_each_edge(self):
+        rule = MPURule(index=0, code_start=0, code_end=0xFFFFFFFF,
+                       data_start=0x1000, data_end=0x2000,
+                       allow_read=True, allow_write=False, hardwired=False)
+        assert rule.data_overlap(0x1FFF, 0x3000) == (0x1FFF, 0x2000)
+        assert rule.data_overlap(0x0000, 0x1001) == (0x1000, 0x1001)
+
+    def test_zero_length_query_never_overlaps(self):
+        rule = MPURule(index=0, code_start=0, code_end=0xFFFFFFFF,
+                       data_start=0x1000, data_end=0x2000,
+                       allow_read=True, allow_write=False, hardwired=False)
+        assert rule.data_overlap(0x1800, 0x1800) is None
+
+    def test_contained_and_containing_spans(self):
+        rule = MPURule(index=0, code_start=0, code_end=0xFFFFFFFF,
+                       data_start=0x1000, data_end=0x2000,
+                       allow_read=True, allow_write=False, hardwired=False)
+        assert rule.data_overlap(0x1400, 0x1800) == (0x1400, 0x1800)
+        assert rule.data_overlap(0x0000, 0xF000) == (0x1000, 0x2000)
+
+    def test_covers_is_half_open(self):
+        rule = MPURule(index=0, code_start=0, code_end=0xFFFFFFFF,
+                       data_start=0x1000, data_end=0x2000,
+                       allow_read=True, allow_write=False, hardwired=False)
+        assert rule.covers(0x1000)
+        assert rule.covers(0x1FFF)
+        assert not rule.covers(0x2000)
+        assert not rule.covers(0x0FFF)
+
+
+class TestSpanUnruled:
+    def test_disabled_mpu_everything_unruled(self):
+        mpu = ExecutionAwareMPU()
+        assert mpu.span_unruled(0, 1 << 32)
+
+    def test_span_adjacent_to_rule_is_unruled(self):
+        mpu = make_mpu(((0x1000, 0x2000), True, False))
+        assert mpu.span_unruled(0x2000, 0x3000)
+        assert mpu.span_unruled(0x0800, 0x1000)
+
+    def test_one_byte_into_rule_is_ruled(self):
+        mpu = make_mpu(((0x1000, 0x2000), True, False))
+        assert not mpu.span_unruled(0x1FFF, 0x2000)
+        assert not mpu.span_unruled(0x0FFF, 0x1001)
+
+    def test_zero_length_span_is_unruled(self):
+        mpu = make_mpu(((0x1000, 0x2000), True, False))
+        assert mpu.span_unruled(0x1800, 0x1800)
+
+    def test_full_register_file_rule(self):
+        # The lockdown idiom: one rule covering the MPU's entire
+        # register file.  Every sub-span of the file is ruled; the byte
+        # past the end is not.
+        mpu = ExecutionAwareMPU(max_rules=8)
+        span = (MMIO_BASE, MMIO_BASE + mpu.register_file_size)
+        mpu.program_rule(0, code=ALL_CODE, data=span, read=True,
+                         write=False)
+        mpu.set_enabled(True)
+        assert not mpu.span_unruled(*span)
+        assert not mpu.span_unruled(span[0], span[0] + 1)
+        assert not mpu.span_unruled(span[1] - 1, span[1])
+        assert mpu.span_unruled(span[1], span[1] + 4)
+
+
+class TestIntervalHelpers:
+    def test_merge_adjacent_intervals_coalesce(self):
+        assert merge_intervals([(0, 4), (4, 8)]) == [(0, 8)]
+
+    def test_merge_drops_empty_intervals(self):
+        assert merge_intervals([(4, 4), (1, 2)]) == [(1, 2)]
+
+    def test_subtract_splits_interval(self):
+        assert subtract_intervals([(0, 10)], [(4, 6)]) == [(0, 4), (6, 10)]
+
+    def test_subtract_touching_edge_removes_nothing(self):
+        assert subtract_intervals([(0, 4)], [(4, 8)]) == [(0, 4)]
+
+    def test_intersect_touching_is_empty(self):
+        assert intersect_intervals([(0, 4)], [(4, 8)]) == []
+
+    def test_intersect_merges_result(self):
+        assert intersect_intervals([(0, 10)], [(2, 4), (4, 6)]) == [(2, 6)]
+
+    def test_private_aliases_still_importable(self):
+        # tests/test_properties.py and downstream users import the old
+        # underscore names; keep them aliased to the public functions.
+        from repro.mcu.mpu import _merge_intervals, _subtract_intervals
+        assert _merge_intervals is merge_intervals
+        assert _subtract_intervals is subtract_intervals

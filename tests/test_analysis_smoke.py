@@ -1,0 +1,36 @@
+"""Tier-1 wiring for ``scripts/analysis_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a regression in the static verifier, the linter,
+the report schema, or the shipped protection profiles fails the suite,
+not just the nightly job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "analysis_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestAnalysisSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "analysis-smoke: OK" in proc.stderr
+        assert "lint clean" in proc.stderr
+
+    def test_untainted_fixture_fails_the_failure_mode_gate(self):
+        """Sanity-check the gate actually gates: pointing the tainted-tree
+        gate at a clean directory must exit 1 with a diagnostic."""
+        proc = run_smoke("--lint-root", "scripts")
+        assert proc.returncode == 1
+        assert "FAIL: failure mode" in proc.stderr
