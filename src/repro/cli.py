@@ -12,6 +12,7 @@ Usage::
     python -m repro metrics [--rounds N] [--trace-out F] [--registry-out F]
     python -m repro verify-profile [--profile P] [--clock C] [--json]
     python -m repro lint [paths ...] [--json] [--waivers F]
+    python -m repro fleet-bench [--size N] [--workers W] [--json]
 
 Each subcommand prints the same tables the benchmark harness writes to
 ``benchmarks/results/``; the CLI exists so a downstream user can poke at
@@ -396,6 +397,49 @@ def _cmd_lint(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_fleet_bench(args) -> int:
+    """Sharded parallel fleet sweep vs the sequential seed path."""
+    import json
+
+    from .obs.schema import validate_fleet_report
+    from .perf import fleet
+
+    report = fleet.build_report(fleet_size=args.size, ram_kb=args.ram_kb,
+                                sweeps=args.sweeps, workers=args.workers)
+    errors = validate_fleet_report(report)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    if args.out:
+        fleet.write_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    equivalence = report["equivalence"]
+    rows = [["quantity", "sequential", "parallel"],
+            ["spin-up (s)",
+             f"{report['spinup']['sequential_seconds']:.3f}",
+             f"{report['spinup']['parallel_seconds']:.3f}"],
+            ["sweep wall-clock (s)",
+             f"{report['sequential']['sweep_seconds']:.3f}",
+             f"{report['parallel']['sweep_seconds']:.3f}"],
+            ["devices / second",
+             f"{report['sequential']['devices_per_second']:.0f}",
+             f"{report['parallel']['devices_per_second']:.0f}"]]
+    print(render_table(
+        rows, title=f"Fleet bench: {report['fleet_size']} members, "
+                    f"{report['workers']} workers, "
+                    f"{report['sweeps']} sweep(s)"))
+    cache = report["cache"]
+    print(f"\nsweep speedup: {report['speedup']:.2f}x   "
+          f"digest cache: {cache['hits']} hits / {cache['misses']} misses")
+    print(f"reports identical: {report['reports_identical']}   "
+          f"equivalence clean: {equivalence['identical']}")
+    return 0 if equivalence["identical"] else 1
+
+
 def _cmd_report(args) -> int:
     """Aggregate benchmarks/results/*.txt into one markdown report."""
     import pathlib
@@ -534,6 +578,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable lint report")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("fleet-bench",
+                       help="sharded parallel fleet sweep vs sequential")
+    p.add_argument("--size", type=int, default=24,
+                   help="fleet size (default 24; the CI gate runs 256)")
+    p.add_argument("--ram-kb", type=int, default=256,
+                   help="per-member RAM in KB")
+    p.add_argument("--sweeps", type=int, default=2,
+                   help="timed sweeps per path")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard workers (default: REPRO_FLEET_WORKERS "
+                        "or the CPU count)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable fleet report")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to a file")
+    p.set_defaults(fn=_cmd_fleet_bench)
 
     p = sub.add_parser("report",
                        help="aggregate benchmark results into markdown")

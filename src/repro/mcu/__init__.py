@@ -21,6 +21,7 @@ from .profiles import (ALL_PROFILES, BASELINE, EXT_HARDENED, ProtectionProfile,
                        ROAM_HARDENED, UNPROTECTED)
 from .scheduler import (CooperativeScheduler, JobRecord, PeriodicTask,
                         ScheduleReport)
+from .statecache import StateDigestCache
 from .timer import HardwareCounter
 
 __all__ = [
@@ -32,5 +33,5 @@ __all__ = [
     "MaskRegister", "MemoryBus", "MemoryMap", "MemoryRegion", "MemoryType",
     "NO_CODE", "PeriodicTask", "ProtectionProfile", "RAM_BASE",
     "ROAM_HARDENED", "ROM_BASE", "ScheduleReport", "SoftwareClock",
-    "UNPROTECTED", "WideHardwareClock",
+    "StateDigestCache", "UNPROTECTED", "WideHardwareClock",
 ]

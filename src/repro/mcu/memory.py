@@ -22,6 +22,7 @@ byte array; reads and writes are delegated per-offset.
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Callable, Iterator, Protocol
 
 from ..errors import ConfigurationError, MemoryAccessViolation
@@ -92,6 +93,17 @@ class MemoryRegion:
         self.peripheral = peripheral
         self.executable = executable
         self._data = bytearray(size) if mem_type is not MemoryType.MMIO else None
+        #: Mutations at offsets below this bound are invisible to the
+        #: content fingerprint.  The device sets it to the RAM reserved
+        #: prefix (IDT / ``counter_R`` / ``Clock_MSB``), which the
+        #: attestation digest never covers -- so honest freshness-state
+        #: updates do not invalidate cached state digests.
+        self.fingerprint_exclude_below = 0
+        if self._data is not None:
+            self._fingerprint = hashlib.sha1(
+                f"region:{name}:{start:#x}:{size:#x}".encode()).digest()
+        else:
+            self._fingerprint = None
 
     @property
     def end(self) -> int:
@@ -109,6 +121,36 @@ class MemoryRegion:
         """Whether the memory technology itself permits writes."""
         return self.mem_type is not MemoryType.ROM
 
+    @property
+    def content_fingerprint(self) -> bytes | None:
+        """Write-chain fingerprint of the region contents (non-MMIO).
+
+        A chain hash advanced by every mutation with the mutated
+        ``(offset, length, data)`` triple: two regions with the same
+        geometry and the same mutation history have equal fingerprints
+        and therefore byte-identical contents (regions start zeroed and
+        :meth:`store` is the only mutation path).  Mutations entirely
+        below :attr:`fingerprint_exclude_below` are skipped -- see the
+        attribute docstring.  Used as a content-addressed cache key by
+        :class:`repro.mcu.statecache.StateDigestCache`; never feeds back
+        into simulated behaviour.
+        """
+        return self._fingerprint
+
+    def store(self, offset: int, data: bytes) -> None:
+        """The one mutation path for non-MMIO backing bytes.
+
+        Both :meth:`load` (factory/harness writes) and
+        :meth:`MemoryBus.write` (arbitrated software stores) land here,
+        so the content fingerprint can never miss a mutation.
+        """
+        self._data[offset:offset + len(data)] = data
+        if offset + len(data) <= self.fingerprint_exclude_below:
+            return
+        self._fingerprint = hashlib.sha1(
+            self._fingerprint + offset.to_bytes(8, "little")
+            + len(data).to_bytes(8, "little") + bytes(data)).digest()
+
     # -- raw (MPU-bypassing) access: used by hardware and by the simulator
     #    harness to set up initial contents -------------------------------
 
@@ -124,7 +166,7 @@ class MemoryRegion:
             raise ConfigurationError(
                 f"load of {len(data)} bytes at offset {offset:#x} exceeds "
                 f"region {self.name!r} (size {self.size:#x})")
-        self._data[offset:offset + len(data)] = data
+        self.store(offset, data)
 
     def raw_read(self, offset: int, length: int) -> bytes:
         """Read bytes bypassing protection (hardware-internal view)."""
@@ -267,7 +309,7 @@ class MemoryBus:
             for i, byte in enumerate(data):
                 region.peripheral.mmio_write(offset + i, byte, context)
             return
-        region._data[address - region.start:address - region.start + len(data)] = data
+        region.store(address - region.start, data)
 
     # -- bulk access path ----------------------------------------------------
     #

@@ -192,3 +192,73 @@ class MetricsRegistry:
         metrics = [self._instruments[key].snapshot()
                    for key in sorted(self._instruments)]
         return {"schema": "repro.obs.registry/v1", "metrics": metrics}
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry.
+
+        Counters and histograms add; gauges take ``other``'s value
+        (last-write-wins, matching what a single registry would hold
+        after the same reports).  ``other``'s instruments are visited in
+        sorted (name, labels) order so repeated merges are
+        deterministic.  Merging histograms with different bucket bounds
+        is a configuration error -- the series would not be comparable.
+        Returns ``self`` so shard registries chain.
+        """
+        for key in sorted(other._instruments):
+            instrument = other._instruments[key]
+            if isinstance(instrument, Counter):
+                self.counter(instrument.name,
+                             **instrument.labels).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(instrument.name,
+                           **instrument.labels).set(instrument.value)
+            else:
+                mine = self.histogram(instrument.name,
+                                      buckets=instrument.buckets,
+                                      **instrument.labels)
+                if mine.buckets != instrument.buckets:
+                    raise ConfigurationError(
+                        f"histogram {instrument.name!r} bucket bounds "
+                        "differ between merged registries")
+                for i, count in enumerate(instrument.bucket_counts):
+                    mine.bucket_counts[i] += count
+                mine.overflow += instrument.overflow
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+        return self
+
+    @classmethod
+    def from_dump(cls, dump: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`dump` snapshot.
+
+        This is how per-shard registries cross process boundaries: the
+        worker ships the JSON-ready dump, the parent reconstructs and
+        merges.  Round-trips exactly: ``MetricsRegistry.from_dump(
+        registry.dump()).dump() == registry.dump()``.
+        """
+        if dump.get("schema") != "repro.obs.registry/v1":
+            raise ConfigurationError(
+                f"not a registry dump: schema={dump.get('schema')!r}")
+        registry = cls()
+        for metric in dump["metrics"]:
+            kind = metric["kind"]
+            labels = metric["labels"]
+            if kind == "counter":
+                registry.counter(metric["name"],
+                                 **labels).inc(metric["value"])
+            elif kind == "gauge":
+                registry.gauge(metric["name"], **labels).set(metric["value"])
+            elif kind == "histogram":
+                histogram = registry.histogram(
+                    metric["name"], buckets=tuple(metric["buckets"]),
+                    **labels)
+                histogram.bucket_counts = list(metric["bucket_counts"])
+                histogram.overflow = metric["overflow"]
+                histogram.count = metric["count"]
+                histogram.sum = metric["sum"]
+            else:
+                raise ConfigurationError(
+                    f"unknown instrument kind in dump: {kind!r}")
+        return registry

@@ -23,10 +23,11 @@ from ..fastpath import ENGINES
 from .trace import EVENT_KINDS
 
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
-           "ANALYSIS_SCHEMA", "METRIC_NAMES", "INVARIANT_NAMES",
-           "LINT_RULE_IDS", "validate_event", "validate_jsonl_trace",
-           "validate_registry_dump", "validate_wallclock_report",
-           "validate_analysis_report"]
+           "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "METRIC_NAMES",
+           "INVARIANT_NAMES", "LINT_RULE_IDS", "validate_event",
+           "validate_jsonl_trace", "validate_registry_dump",
+           "validate_wallclock_report", "validate_analysis_report",
+           "validate_fleet_report"]
 
 #: The closed vocabulary of metric (counter/gauge/histogram) names the
 #: instrumentation may emit.  `repro.analysis.lint` rule TEL001 checks
@@ -187,6 +188,80 @@ _EQUIVALENCE_SCHEMA = {
         "rounds": {"type": "integer", "minimum": 1},
         "identical": {"type": "boolean"},
         "engines": {"type": "object"},
+    },
+}
+
+#: Schema of the fleet throughput benchmark report
+#: (``BENCH_fleet.json`` at the repository root, written by
+#: ``benchmarks/bench_fleet_operations.py``; see ``docs/fleet-scale.md``).
+FLEET_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "fleet_size", "workers", "sweeps", "sequential",
+                 "parallel", "speedup", "spinup", "cache", "equivalence"],
+    "properties": {
+        "schema": {"type": "string", "enum": ["repro.perf.fleet/v1"]},
+        "fleet_size": {"type": "integer", "minimum": 1},
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+        "sweeps": {"type": "integer", "minimum": 1},
+        "host": {"type": "object"},
+        "sequential": {"type": "object"},
+        "parallel": {"type": "object"},
+        "speedup": {"type": "number", "minimum": 0},
+        "spinup": {"type": "object"},
+        "cache": {"type": "object"},
+        "reports_identical": {"type": "boolean"},
+        "equivalence": {"type": "object"},
+    },
+}
+
+#: Schema of one timing block (sequential or parallel) in the fleet
+#: report.
+_FLEET_TIMING_SCHEMA = {
+    "type": "object",
+    "required": ["spinup_seconds", "sweep_seconds", "devices_per_second",
+                 "attempted", "trusted"],
+    "properties": {
+        "spinup_seconds": {"type": "number", "minimum": 0},
+        "sweep_seconds": {"type": "number", "minimum": 0},
+        "devices_per_second": {"type": "number", "minimum": 0},
+        "attempted": {"type": "integer", "minimum": 0},
+        "trusted": {"type": "integer", "minimum": 0},
+    },
+}
+
+_FLEET_SPINUP_SCHEMA = {
+    "type": "object",
+    "required": ["sequential_seconds", "parallel_seconds", "factor"],
+    "properties": {
+        "sequential_seconds": {"type": "number", "minimum": 0},
+        "parallel_seconds": {"type": "number", "minimum": 0},
+        "factor": {"type": "number", "minimum": 0},
+        "cached_inprocess_seconds": {"type": "number", "minimum": 0},
+        "cached_factor": {"type": "number", "minimum": 0},
+    },
+}
+
+_FLEET_CACHE_SCHEMA = {
+    "type": "object",
+    "required": ["hits", "misses", "entries"],
+    "properties": {
+        "hits": {"type": "integer", "minimum": 0},
+        "misses": {"type": "integer", "minimum": 0},
+        "entries": {"type": "integer", "minimum": 0},
+    },
+}
+
+_FLEET_EQUIVALENCE_SCHEMA = {
+    "type": "object",
+    "required": ["fleet_size", "workers", "sweeps", "identical",
+                 "mismatched_fields"],
+    "properties": {
+        "fleet_size": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 2},
+        "sweeps": {"type": "integer", "minimum": 1},
+        "identical": {"type": "boolean"},
+        "mismatched_fields": {"type": "array"},
     },
 }
 
@@ -385,6 +460,35 @@ def validate_wallclock_report(report: dict) -> list[str]:
     if "equivalence" in report:
         errors.extend(_check(report["equivalence"], _EQUIVALENCE_SCHEMA,
                              "wallclock.equivalence"))
+    return errors
+
+
+def validate_fleet_report(report: dict) -> list[str]:
+    """Validate a decoded ``BENCH_fleet.json`` report object.
+
+    Checks the envelope, both timing blocks, the spin-up and cache
+    blocks and the parallel-vs-sequential equivalence block.  Shape
+    only -- whether the equivalence block is *clean* and the speedup
+    meets the >=2x gate is policy, enforced by the benchmark itself and
+    ``scripts/fleet_smoke.py``.
+    """
+    errors = _check(report, FLEET_SCHEMA, "fleet")
+    if not isinstance(report, dict):
+        return errors
+    for key in ("sequential", "parallel"):
+        if isinstance(report.get(key), dict):
+            errors.extend(_check(report[key], _FLEET_TIMING_SCHEMA,
+                                 f"fleet.{key}"))
+    if isinstance(report.get("spinup"), dict):
+        errors.extend(_check(report["spinup"], _FLEET_SPINUP_SCHEMA,
+                             "fleet.spinup"))
+    if isinstance(report.get("cache"), dict):
+        errors.extend(_check(report["cache"], _FLEET_CACHE_SCHEMA,
+                             "fleet.cache"))
+    if isinstance(report.get("equivalence"), dict):
+        errors.extend(_check(report["equivalence"],
+                             _FLEET_EQUIVALENCE_SCHEMA,
+                             "fleet.equivalence"))
     return errors
 
 

@@ -100,10 +100,31 @@ class EventTrace:
             self.dropped_events += overflow
         return event
 
+    def extend_records(self, records) -> int:
+        """Re-record exported event dicts (see :meth:`as_records`).
+
+        This is the trace-merge primitive for sharded fleets: workers
+        ship ``as_records()`` lists, the parent replays them here.  Each
+        record is re-validated and re-sequenced through :meth:`record`,
+        so a merged trace is a valid single trace with one monotonic
+        ``seq``.  Returns the number of events appended.
+        """
+        appended = 0
+        for record in records:
+            fields = {key: value for key, value in record.items()
+                      if key not in ("seq", "time", "kind")}
+            self.record(record["kind"], record["time"], **fields)
+            appended += 1
+        return appended
+
     # -- reading ---------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def as_records(self) -> list[dict]:
+        """Every event as a JSON-ready dict (picklable shard export)."""
+        return [event.as_dict() for event in self.events]
 
     def __iter__(self):
         return iter(self.events)

@@ -9,10 +9,13 @@ digests, MACs, consumed cycles and telemetry are byte-identical across
 engines.  See ``docs/performance.md``.
 """
 
+from . import fleet
+from .fleet import FleetEngine, FleetSpec
 from .wallclock import (REPORT_SCHEMA_ID, build_report, equivalence_check,
                         hmac_cache_timing, time_measurement, write_report)
 
 __all__ = [
     "REPORT_SCHEMA_ID", "build_report", "equivalence_check",
     "hmac_cache_timing", "time_measurement", "write_report",
+    "fleet", "FleetEngine", "FleetSpec",
 ]

@@ -19,33 +19,108 @@ What the swarm view adds over single-device sessions:
 * staggered timing so the Section 3.1 cost asymmetry becomes visible at
   scale: a verifier can trivially saturate a whole fleet of 24 MHz
   provers from one machine.
+
+Sweeps are factored into per-member :class:`MemberSweepOutcome` values
+folded by :func:`fold_outcomes` so that :mod:`repro.perf.fleet` can run
+disjoint shards of a fleet in separate worker processes and merge their
+outcomes into a :class:`SweepReport` byte-identical to a sequential
+sweep: every per-member quantity (jitter substream, stagger offset,
+device id, key) depends only on the swarm seed and the member's global
+index, never on which shard computed it or in what order.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from ..core.protocol import Session, build_session
 from ..core.resilience import CircuitBreaker, RetryPolicy
+from ..crypto.kdf import derive_device_key
 from ..crypto.rng import DeterministicRng
 from ..errors import ConfigurationError
 from ..mcu.device import DeviceConfig
 from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
+from ..mcu.statecache import StateDigestCache
+from ..net.channel import ChannelAdversary
+from ..obs.registry import MetricsRegistry
+from ..obs.telemetry import Telemetry
 
-__all__ = ["SwarmMember", "SweepReport", "Swarm"]
+__all__ = ["SwarmMember", "MemberSweepOutcome", "SweepReport",
+           "fold_outcomes", "Swarm"]
+
+#: Outcome categories a member can report from one sweep.
+OUTCOME_CATEGORIES = ("trusted", "untrusted", "no_response", "refused",
+                      "skipped")
 
 
 @dataclass
 class SwarmMember:
-    """One device in the fleet."""
+    """One device in the fleet.
+
+    ``index`` is the member's *global* fleet index: it determines the
+    device id, key-derivation label, seed and stagger slot, so a shard
+    holding members 96..127 of a 256-member fleet behaves identically to
+    the same members inside one big in-process swarm.
+    """
 
     device_id: str
     session: Session
+    index: int = 0
 
     @property
     def battery_fraction(self) -> float:
         self.session.device.sync_energy()
         return self.session.device.battery.fraction_remaining
+
+
+@dataclass(frozen=True)
+class MemberSweepOutcome:
+    """One member's contribution to a sweep, in picklable form.
+
+    This is the unit that crosses process boundaries in sharded sweeps:
+    plain strings and numbers, no simulator references.  ``category`` is
+    one of ``trusted`` / ``untrusted`` / ``no_response`` / ``refused`` /
+    ``skipped`` (circuit breaker held the member out of the sweep).
+    """
+
+    device_id: str
+    category: str
+    retries: int = 0
+    energy_delta_mj: float = 0.0
+    duration_seconds: float = 0.0
+
+
+def fold_outcomes(outcomes: Iterable[MemberSweepOutcome]) -> SweepReport:
+    """Fold per-member outcomes into a fleet :class:`SweepReport`.
+
+    Both the sequential :meth:`Swarm.sweep` and the sharded parallel
+    engine reduce through this one function, in member order -- so the
+    float-accumulation order of ``fleet_energy_mj`` (and every list
+    field's order) is identical no matter how the fleet was partitioned.
+    """
+    report = SweepReport()
+    for outcome in outcomes:
+        if outcome.category == "skipped":
+            report.skipped_quarantined.append(outcome.device_id)
+            continue
+        report.attempted += 1
+        report.retries += outcome.retries
+        report.sweep_seconds = max(report.sweep_seconds,
+                                   outcome.duration_seconds)
+        report.fleet_energy_mj += outcome.energy_delta_mj
+        if outcome.category == "trusted":
+            report.trusted += 1
+        elif outcome.category == "untrusted":
+            report.untrusted.append(outcome.device_id)
+        elif outcome.category == "no_response":
+            report.no_response.append(outcome.device_id)
+        elif outcome.category == "refused":
+            report.refused.append(outcome.device_id)
+        else:
+            raise ConfigurationError(
+                f"unknown sweep outcome category: {outcome.category!r}")
+    return report
 
 
 @dataclass
@@ -98,6 +173,26 @@ class Swarm:
     member's attestation is retried under it); ``degrade_after`` /
     ``quarantine_after`` / ``probe_every_sweeps`` tune the per-device
     circuit breakers.
+
+    Fleet-scale hooks (all default-off so the plain constructor stays
+    the sequential seed path):
+
+    ``member_indices``
+        Build only the members with these *global* indices -- the shard
+        primitive.  ``Swarm(4)`` equals the union of
+        ``member_indices=(0, 1)`` and ``member_indices=(2, 3)`` swarms
+        with the same seed, member for member.
+    ``adversary_factory``
+        ``(index, device_id) -> ChannelAdversary`` called per member, so
+        fleets can mix fault pipelines deterministically by identity.
+    ``observe``
+        Attach a private :class:`~repro.obs.telemetry.Telemetry` sink to
+        every member (required for :meth:`merged_registry` /
+        :meth:`merged_trace_records`).
+    ``state_cache``
+        Share a :class:`~repro.mcu.statecache.StateDigestCache` across
+        members, collapsing spin-up's O(N * measure) host hashing to one
+        measurement per unique configuration.
     """
 
     def __init__(self, size: int, *, profile: ProtectionProfile = ROAM_HARDENED,
@@ -109,19 +204,35 @@ class Swarm:
                  retry: RetryPolicy | None = None,
                  degrade_after: int = 1, quarantine_after: int = 3,
                  probe_every_sweeps: int = 4,
+                 member_indices: Sequence[int] | None = None,
+                 adversary_factory: Callable[[int, str],
+                                             ChannelAdversary] | None = None,
+                 observe: bool = False,
+                 state_cache: StateDigestCache | None = None,
                  seed: str = "swarm"):
         if size < 1:
             raise ConfigurationError("swarm needs at least one member")
         if probe_every_sweeps < 1:
             raise ConfigurationError("probe_every_sweeps must be >= 1")
+        if member_indices is None:
+            indices: Sequence[int] = range(size)
+        else:
+            indices = tuple(member_indices)
+            if len(indices) != size:
+                raise ConfigurationError(
+                    "member_indices must supply exactly one global index "
+                    f"per member (got {len(indices)} for size {size})")
         overrides = member_configs if member_configs is not None else {}
         self.master_key = master_key
         self.retry = retry
         self.probe_every_sweeps = probe_every_sweeps
+        self.observe = observe
+        self.state_cache = state_cache
         self.members: list[SwarmMember] = []
         self.breakers: dict[str, CircuitBreaker] = {}
+        self._members_by_id: dict[str, SwarmMember] = {}
         self._retry_rng = DeterministicRng(seed).substream("sweep-jitter")
-        for index in range(size):
+        for index in indices:
             config = overrides.get(index, device_config)
             if config is None:
                 config = DeviceConfig(ram_size=16 * 1024,
@@ -130,14 +241,22 @@ class Swarm:
             device_id = f"device-{index:03d}"
             key = None
             if master_key is not None:
-                from ..crypto.kdf import derive_device_key
                 key = derive_device_key(master_key, device_id)
+            adversary = None
+            if adversary_factory is not None:
+                adversary = adversary_factory(index, device_id)
+            telemetry = Telemetry() if observe else None
             session = build_session(
                 profile=profile, auth_scheme=auth_scheme,
                 policy_name=policy_name, device_config=config,
-                key=key, seed=f"{seed}:{index}")
+                adversary=adversary, key=key, telemetry=telemetry,
+                seed=f"{seed}:{index}")
+            if state_cache is not None:
+                session.device.attach_state_cache(state_cache)
             session.learn_reference_state()
-            self.members.append(SwarmMember(device_id, session))
+            member = SwarmMember(device_id, session, index)
+            self.members.append(member)
+            self._members_by_id[device_id] = member
             self.breakers[device_id] = CircuitBreaker(
                 degrade_after=degrade_after,
                 quarantine_after=quarantine_after)
@@ -147,10 +266,7 @@ class Swarm:
         return len(self.members)
 
     def member(self, device_id: str) -> SwarmMember:
-        for candidate in self.members:
-            if candidate.device_id == device_id:
-                return candidate
-        raise KeyError(device_id)
+        return self._members_by_id[device_id]
 
     # ------------------------------------------------------------------
 
@@ -168,6 +284,69 @@ class Swarm:
                             device=member.device_id, previous=previous,
                             state=breaker.state)
 
+    def _sweep_member(self, member: SwarmMember, retry: RetryPolicy | None,
+                      stagger_seconds: float) -> MemberSweepOutcome:
+        """Attest one member; every input is derived from the member's
+        global identity so shards reproduce the sequential transcript."""
+        breaker = self.breakers[member.device_id]
+        if not breaker.should_attempt(self.probe_every_sweeps):
+            return MemberSweepOutcome(member.device_id, "skipped")
+        session = member.session
+        if stagger_seconds:
+            session.sim.run(until=session.sim.now
+                            + member.index * stagger_seconds)
+        before_energy = session.device.battery.consumed_mj
+        rejected_before = session.anchor.stats.rejected_total
+        start = session.sim.now
+        retries = 0
+        if retry is not None:
+            jitter_rng = self._retry_rng.substream(
+                f"{member.device_id}:{self.sweeps_run}")
+            outcome = session.attest_resilient(retry, rng=jitter_rng)
+            result = outcome.result
+            retries = outcome.retries
+        else:
+            result = session.attest_once()
+        duration = session.sim.now - start
+        session.device.sync_energy()
+        energy = session.device.battery.consumed_mj - before_energy
+        if result.trusted:
+            self._record_breaker(member, True)
+            category = "trusted"
+        else:
+            self._record_breaker(member, False)
+            if result.detail == "no-response":
+                # Silence has two causes the transcript distinguishes:
+                # the prover rejecting the request (it saw it and said
+                # no) vs the channel never delivering anything.
+                if session.anchor.stats.rejected_total > rejected_before:
+                    category = "refused"
+                else:
+                    category = "no_response"
+            elif not result.authentic:
+                category = "refused"
+            else:
+                category = "untrusted"
+        return MemberSweepOutcome(member.device_id, category,
+                                  retries=retries, energy_delta_mj=energy,
+                                  duration_seconds=duration)
+
+    def sweep_outcomes(self, *, stagger_seconds: float = 0.0,
+                       retry: RetryPolicy | None = None,
+                       ) -> list[MemberSweepOutcome]:
+        """Attest every member once, returning per-member outcomes.
+
+        This is :meth:`sweep` minus the fold: the sharded parallel
+        engine calls it on each shard and folds the concatenation.
+        Advances ``sweeps_run`` (which seeds the per-sweep retry-jitter
+        substreams).
+        """
+        retry = retry if retry is not None else self.retry
+        outcomes = [self._sweep_member(member, retry, stagger_seconds)
+                    for member in self.members]
+        self.sweeps_run += 1
+        return outcomes
+
     def sweep(self, *, stagger_seconds: float = 0.0,
               retry: RetryPolicy | None = None) -> SweepReport:
         """Attest every member once; returns the fleet health report.
@@ -178,53 +357,8 @@ class Swarm:
         fleet-wide retry policy for this sweep.  Quarantined members are
         skipped except for their periodic probe.
         """
-        retry = retry if retry is not None else self.retry
-        report = SweepReport()
-        for index, member in enumerate(self.members):
-            breaker = self.breakers[member.device_id]
-            if not breaker.should_attempt(self.probe_every_sweeps):
-                report.skipped_quarantined.append(member.device_id)
-                continue
-            session = member.session
-            if stagger_seconds:
-                session.sim.run(until=session.sim.now
-                                + index * stagger_seconds)
-            before_energy = session.device.battery.consumed_mj
-            rejected_before = session.anchor.stats.rejected_total
-            start = session.sim.now
-            if retry is not None:
-                jitter_rng = self._retry_rng.substream(
-                    f"{member.device_id}:{self.sweeps_run}")
-                outcome = session.attest_resilient(retry, rng=jitter_rng)
-                result = outcome.result
-                report.retries += outcome.retries
-            else:
-                result = session.attest_once()
-            report.attempted += 1
-            report.sweep_seconds = max(report.sweep_seconds,
-                                       session.sim.now - start)
-            session.device.sync_energy()
-            report.fleet_energy_mj += (session.device.battery.consumed_mj
-                                       - before_energy)
-            if result.trusted:
-                report.trusted += 1
-                self._record_breaker(member, True)
-                continue
-            self._record_breaker(member, False)
-            if result.detail == "no-response":
-                # Silence has two causes the transcript distinguishes:
-                # the prover rejecting the request (it saw it and said
-                # no) vs the channel never delivering anything.
-                if session.anchor.stats.rejected_total > rejected_before:
-                    report.refused.append(member.device_id)
-                else:
-                    report.no_response.append(member.device_id)
-            elif not result.authentic:
-                report.refused.append(member.device_id)
-            else:
-                report.untrusted.append(member.device_id)
-        self.sweeps_run += 1
-        return report
+        return fold_outcomes(self.sweep_outcomes(
+            stagger_seconds=stagger_seconds, retry=retry))
 
     # ------------------------------------------------------------------
 
@@ -241,3 +375,52 @@ class Swarm:
     def total_attestations(self) -> int:
         return sum(member.session.anchor.stats.accepted
                    for member in self.members)
+
+    # ------------------------------------------------------------------
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Fold every member's metrics into one fleet registry.
+
+        Members are merged in fleet order, so the result is independent
+        of how the fleet was sharded.  Requires ``observe=True``.
+        """
+        if not self.observe:
+            raise ConfigurationError(
+                "merged_registry needs a swarm built with observe=True")
+        merged = MetricsRegistry()
+        for member in self.members:
+            merged.merge(member.session.telemetry.registry)
+        return merged
+
+    def member_registry_dumps(self) -> list[dict]:
+        """Each member's registry snapshot, in fleet order.
+
+        This -- not a shard-merged registry -- is what crosses the
+        process boundary in sharded fleets: float-valued counters make
+        merging non-associative in the last bit, so the parent must
+        replay the member-order fold exactly, one member at a time.
+        Requires ``observe=True``.
+        """
+        if not self.observe:
+            raise ConfigurationError(
+                "member_registry_dumps needs a swarm built with "
+                "observe=True")
+        return [member.session.telemetry.registry.dump()
+                for member in self.members]
+
+    def merged_trace_records(self) -> list[dict]:
+        """Concatenate member event traces in fleet order, re-sequenced.
+
+        Per-member ``seq`` counters are replaced by one fleet-wide
+        running sequence so the merged trace is a valid single trace.
+        Requires ``observe=True``.
+        """
+        if not self.observe:
+            raise ConfigurationError(
+                "merged_trace_records needs a swarm built with observe=True")
+        records: list[dict] = []
+        for member in self.members:
+            for record in member.session.telemetry.trace.as_records():
+                record["seq"] = len(records)
+                records.append(record)
+        return records

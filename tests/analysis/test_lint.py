@@ -38,6 +38,29 @@ class TestDeterminismRules:
         source = "import time\n\ndef f():\n    return time.time()\n"
         assert rules_in(source, "src/repro/perf/wallclock.py") == set()
 
+    def test_host_clock_allowed_in_fleet_boundary(self):
+        """repro.perf.fleet owns the host-parallel boundary and carries
+        its own allowlist entry."""
+        source = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert rules_in(source, "src/repro/perf/fleet.py") == set()
+
+    def test_perf_directory_is_not_a_blanket_waiver(self):
+        """A NEW module under src/repro/perf/ is flagged until it earns
+        a justified HOST_BOUNDARY_MODULES entry -- the allowlist is
+        per-module, not per-directory."""
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert "DET001" in rules_in(source, "src/repro/perf/newmodule.py")
+        assert "DET002" in rules_in("import random\n",
+                                    "src/repro/perf/newmodule.py")
+
+    def test_host_boundary_entries_are_justified(self):
+        from repro.analysis.lint import HOST_BOUNDARY_MODULES
+        assert "src/repro/perf/fleet.py" in HOST_BOUNDARY_MODULES
+        for path, reason in HOST_BOUNDARY_MODULES.items():
+            assert path.startswith("src/repro/"), path
+            assert reason and len(reason) > 10, (
+                f"{path} needs a real justification")
+
     def test_host_clock_allowed_outside_src(self):
         source = "import time\n\ndef f():\n    return time.time()\n"
         assert rules_in(source, "tests/test_something.py") == set()

@@ -1,0 +1,161 @@
+"""State-digest cache: equivalence contract and content addressing.
+
+A cache hit must be observationally identical to a recompute -- same
+digest, same consumed cycles, same energy -- and any mutation of
+attested memory (a planted compromise included) must miss the cache and
+produce the post-mutation digest.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.errors import ConfigurationError
+from repro.mcu.device import Device, DeviceConfig, _DATA_OFF
+from repro.mcu.statecache import StateDigestCache
+from tests.conftest import tiny_config
+
+
+def booted_device(cache=None, config=None):
+    device = Device(config if config is not None else tiny_config())
+    device.install_app()
+    device.provision(b"statecache-key16")
+    device.boot()
+    if cache is not None:
+        device.attach_state_cache(cache)
+    return device
+
+
+class TestCacheStructure:
+    def test_needs_room_for_one_entry(self):
+        with pytest.raises(ConfigurationError):
+            StateDigestCache(max_entries=0)
+
+    def test_hit_miss_counting_and_eviction(self):
+        cache = StateDigestCache(max_entries=2)
+        assert cache.lookup(("a",)) is None
+        cache.store(("a",), b"A")
+        cache.store(("b",), b"B")
+        assert cache.lookup(("a",)) == b"A"
+        cache.store(("c",), b"C")          # evicts oldest: ("a",)
+        assert cache.lookup(("a",)) is None
+        assert cache.lookup(("c",)) == b"C"
+        assert cache.stats() == {"hits": 2, "misses": 2, "entries": 2,
+                                 "max_entries": 2}
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDigestEquivalence:
+    def test_hit_returns_same_digest_cycles_and_energy(self):
+        plain = booted_device()
+        cached = booted_device(StateDigestCache())
+        context = "Code_Attest"
+
+        digests_plain, digests_cached = [], []
+        for _ in range(3):
+            digests_plain.append(
+                plain.digest_writable_memory(plain.context(context)))
+            digests_cached.append(
+                cached.digest_writable_memory(cached.context(context)))
+        assert digests_plain == digests_cached
+        assert plain.cpu.cycle_count == cached.cpu.cycle_count
+        plain.sync_energy()
+        cached.sync_energy()
+        assert (plain.battery.consumed_mj == cached.battery.consumed_mj)
+        assert cached._state_cache.hits == 2
+        assert cached._state_cache.misses == 1
+
+    def test_shared_cache_across_identical_devices(self):
+        cache = StateDigestCache()
+        first = booted_device(cache)
+        second = booted_device(cache)
+        context = "Code_Attest"
+        a = first.digest_writable_memory(first.context(context))
+        b = second.digest_writable_memory(second.context(context))
+        assert a == b
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_compromise_invalidates_the_cache(self):
+        cache = StateDigestCache()
+        device = booted_device(cache)
+        context = device.context("Code_Attest")
+        clean = device.digest_writable_memory(context)
+        assert device.digest_writable_memory(context) == clean
+        device.flash.load(200, b"\xEB\xFE\x90")     # planted compromise
+        dirty = device.digest_writable_memory(context)
+        assert dirty != clean
+        # clean key, dirty key: two distinct entries, no false hit.
+        assert cache.stats()["misses"] == 2
+        assert device.digest_writable_memory(context) == dirty
+
+    def test_freshness_prefix_writes_do_not_invalidate(self):
+        """counter_R / Clock_MSB / IDT live below _DATA_OFF, outside the
+        attested spans -- honest protocol rounds must keep hitting."""
+        cache = StateDigestCache()
+        device = booted_device(cache)
+        context = device.context("Code_Attest")
+        clean = device.digest_writable_memory(context)
+        device.ram.store(0x40, (123).to_bytes(8, "little"))
+        assert device.ram.fingerprint_exclude_below == _DATA_OFF
+        assert device.digest_writable_memory(context) == clean
+        assert cache.stats()["hits"] == 1
+
+    def test_attested_ram_write_invalidates(self):
+        cache = StateDigestCache()
+        device = booted_device(cache)
+        context = device.context("Code_Attest")
+        clean = device.digest_writable_memory(context)
+        device.ram.store(_DATA_OFF + 8, b"\xff")
+        assert device.digest_writable_memory(context) != clean
+        assert cache.stats()["misses"] == 2
+
+
+class TestEligibilityGating:
+    def test_naive_engine_bypasses_the_cache(self):
+        cache = StateDigestCache()
+        device = booted_device(cache)
+        context = device.context("Code_Attest")
+        with fastpath.forced("naive"):
+            device.digest_writable_memory(context)
+            device.digest_writable_memory(context)
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
+                                 "max_entries": 256}
+
+    def test_bus_tracers_bypass_the_cache(self):
+        cache = StateDigestCache()
+        device = booted_device(cache)
+        seen = []
+        device.bus.add_tracer(
+            lambda context, access, address, length: seen.append(access))
+        context = device.context("Code_Attest")
+        device.digest_writable_memory(context)
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_detached_device_never_consults_a_cache(self):
+        device = booted_device()
+        context = device.context("Code_Attest")
+        assert device._state_cache is None
+        assert not device._state_cache_eligible(
+            context, device.attested_spans())
+
+
+class TestFingerprint:
+    def test_store_advances_fingerprint(self):
+        device = booted_device()
+        before = device.ram.content_fingerprint
+        device.ram.store(_DATA_OFF + 1, b"\x01")
+        assert device.ram.content_fingerprint != before
+
+    def test_excluded_prefix_store_keeps_fingerprint(self):
+        device = booted_device()
+        before = device.ram.content_fingerprint
+        device.ram.store(0, b"\x01")
+        assert device.ram.content_fingerprint == before
+
+    def test_straddling_store_is_conservatively_included(self):
+        device = booted_device()
+        before = device.ram.content_fingerprint
+        device.ram.store(_DATA_OFF - 1, b"\x00\x00")
+        assert device.ram.content_fingerprint != before

@@ -98,3 +98,85 @@ class TestMetricsRegistry:
                  for m in dump["metrics"]]
         assert names == sorted(names)
         assert dump == reg.dump()
+
+
+class TestRegistryMerge:
+    """Shard-merge semantics: counters add, gauges take the incoming
+    value, histograms add bucket-wise -- and the merged dump must not
+    depend on which shard an instrument first appeared in."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("reqs", scheme="speck").inc(2)
+        b.counter("reqs", scheme="speck").inc(3)
+        b.counter("reqs", scheme="hmac").inc(1)
+        assert a.merge(b) is a
+        assert a.value("reqs", scheme="speck") == 5
+        assert a.value("reqs", scheme="hmac") == 1
+
+    def test_gauges_take_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(7)
+        b.gauge("depth").set(2)
+        a.merge(b)
+        assert a.value("depth") == 2
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(10, 100)).observe(5)
+        h = b.histogram("lat", buckets=(10, 100))
+        h.observe(50)
+        h.observe(1000)
+        a.merge(b)
+        merged = a.histogram("lat", buckets=(10, 100))
+        assert merged.count == 3
+        assert merged.sum == 1055
+        assert merged.bucket_counts == [1, 1]
+        assert merged.overflow == 1
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(10,)).observe(1)
+        b.histogram("lat", buckets=(10, 100)).observe(1)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_order_does_not_change_the_dump(self):
+        def shard(counter_value, gauge_value):
+            reg = MetricsRegistry()
+            reg.counter("reqs").inc(counter_value)
+            reg.gauge("depth").set(gauge_value)
+            reg.histogram("lat", buckets=(10,)).observe(counter_value)
+            return reg
+
+        left = MetricsRegistry()
+        left.merge(shard(1, 5))
+        left.merge(shard(2, 9))
+        fresh = MetricsRegistry()
+        fresh.counter("reqs").inc(3)
+        fresh.gauge("depth").set(9)
+        h = fresh.histogram("lat", buckets=(10,))
+        h.observe(1)
+        h.observe(2)
+        assert left.dump() == fresh.dump()
+
+    def test_from_dump_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", scheme="speck").inc(4)
+        reg.gauge("depth").set(-2)
+        h = reg.histogram("lat", buckets=(10, 100))
+        h.observe(7)
+        h.observe(5000)
+        rebuilt = MetricsRegistry.from_dump(reg.dump())
+        assert rebuilt.dump() == reg.dump()
+
+    def test_from_dump_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry.from_dump({"schema": "nope", "metrics": []})
+
+    def test_from_dump_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry.from_dump(
+                {"schema": "repro.obs.registry/v1",
+                 "metrics": [{"kind": "summary", "name": "x",
+                              "labels": {}, "value": 1}]})

@@ -59,6 +59,42 @@ class TestEventTrace:
         assert path.read_text() == ""
 
 
+class TestTraceMerge:
+    """Shard-merge primitives: ``as_records`` round-trips through
+    ``extend_records`` and the concatenation re-numbers ``seq`` so the
+    merged trace still validates."""
+
+    def test_as_records_matches_event_dicts(self):
+        trace = EventTrace()
+        trace.record("request-received", 0.5, scheme="speck")
+        trace.record("request-accepted", 1.0)
+        records = trace.as_records()
+        assert [r["kind"] for r in records] == ["request-received",
+                                                "request-accepted"]
+        assert records == [e.as_dict() for e in trace]
+
+    def test_extend_records_renumbers_and_validates(self):
+        shard_a, shard_b = EventTrace(), EventTrace()
+        shard_a.record("channel-send", 0.1, bytes=64)
+        shard_a.record("channel-deliver", 0.2)
+        shard_b.record("request-received", 0.05)
+        merged = EventTrace()
+        assert merged.extend_records(shard_a.as_records()) == 2
+        assert merged.extend_records(shard_b.as_records()) == 1
+        assert [e.seq for e in merged] == [0, 1, 2]
+        assert [e.kind for e in merged] == ["channel-send",
+                                            "channel-deliver",
+                                            "request-received"]
+        assert next(iter(merged)).fields == {"bytes": 64}
+        assert validate_jsonl_trace(merged.to_jsonl()) == []
+
+    def test_extend_records_rejects_unknown_kind(self):
+        merged = EventTrace()
+        with pytest.raises(ConfigurationError):
+            merged.extend_records(
+                [{"seq": 0, "time": 0.0, "kind": "not-a-kind"}])
+
+
 class TestSchemaValidation:
     def test_valid_event_passes(self):
         assert validate_event({"seq": 0, "time": 0.0,

@@ -16,7 +16,9 @@ class TestParser:
                      ["table3"], ["overhead"], ["roam", "--clock", "hw64"],
                      ["flood", "--rate", "1.0"],
                      ["attest", "--scheme", "hmac-sha1"],
-                     ["metrics", "--rounds", "3"]):
+                     ["metrics", "--rounds", "3"],
+                     ["fleet-bench", "--size", "12", "--workers", "2",
+                      "--json"]):
             args = parser.parse_args(argv)
             assert callable(args.fn)
 
@@ -123,6 +125,18 @@ class TestCommands:
         dump_start = captured.out.index('{\n  "metrics"')
         dump = json.loads(captured.out[dump_start:])
         assert dump["schema"] == "repro.obs.registry/v1"
+
+    def test_fleet_bench_json(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "BENCH_fleet.json"
+        assert main(["fleet-bench", "--size", "8", "--ram-kb", "64",
+                     "--sweeps", "1", "--workers", "2", "--json",
+                     "--out", str(out)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.perf.fleet/v1"
+        assert report["reports_identical"] is True
+        assert report["equivalence"]["identical"] is True
+        assert json.loads(out.read_text()) == report
 
     def test_metrics_to_files(self, tmp_path):
         import json
