@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Smoke-test checkpoint/restore and deterministic replay end to end.
+
+Four independent gates, any of which fails CI:
+
+1. **Round trip** -- run a fault-injected, retrying, observed fleet for
+   a few sweeps, checkpoint it, restore the document into a fresh
+   build, then drive both the original and the restored fleet onward:
+   every sweep report, circuit-breaker state, battery reading, merged
+   metrics dump and merged event trace must be byte-identical.  An
+   interrupted run must be indistinguishable from one that never
+   stopped.
+2. **Sharded engine** -- the same contract through
+   :class:`repro.perf.fleet.FleetEngine` with multiple worker
+   processes, including the per-shard state-digest cache counters, plus
+   the fleet document restoring into a sequential swarm.
+3. **Replay** -- ``replay_to_seq`` must reproduce the uninterrupted
+   run's merged trace prefix exactly, record for record, ending on the
+   requested sequence number.
+4. **Dedup** -- a size-N honest fleet snapshot must contain exactly
+   N + 2 memory images (per-member ROM keys; one shared flash, one
+   shared RAM), and the document must survive a JSON round trip
+   unchanged.
+
+Exit status: 0 on success, 1 with diagnostics on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/snapshot_smoke.py [--size N]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fleet_view(swarm) -> dict:
+    swarm_view = {
+        "states": swarm.device_states(),
+        "total": swarm.total_attestations(),
+        "battery": {m.device_id: m.battery_fraction
+                    for m in swarm.members},
+        "registry": json.dumps(swarm.merged_registry().dump(),
+                               sort_keys=True),
+        "trace": swarm.merged_trace_records(),
+    }
+    return swarm_view
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=5,
+                        help="fleet size for the round-trip gates")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard workers for the engine gate")
+    parser.add_argument("--sweeps", type=int, default=2,
+                        help="sweeps before the checkpoint")
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.perf.fleet import FleetEngine, FleetSpec, lossy_link
+        from repro.core.resilience import RetryPolicy
+        from repro.services.swarm import Swarm
+        from repro.snapshot import load_document, save_document
+    except Exception as exc:  # pragma: no cover - import-time breakage
+        print(f"snapshot-smoke: FAIL: cannot import repro: {exc}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+
+    def build():
+        return Swarm(args.size, retry=RetryPolicy(
+                         attempt_timeout_seconds=5.0, max_retries=2,
+                         base_backoff_seconds=1.0, jitter_fraction=0.5),
+                     adversary_factory=lossy_link, observe=True,
+                     seed="snapshot-smoke")
+
+    # Gate 1: restore + continue == never interrupted.
+    uninterrupted = build()
+    for _ in range(args.sweeps):
+        uninterrupted.sweep()
+    document = uninterrupted.snapshot()
+    restored = build()
+    restored.restore(document)
+    reports_match = all(uninterrupted.sweep() == restored.sweep()
+                        for _ in range(2))
+    if not reports_match:
+        failures.append("round trip: sweep reports diverge after restore")
+    before, after = fleet_view(uninterrupted), fleet_view(restored)
+    for key in before:
+        if before[key] != after[key]:
+            failures.append(f"round trip: {key} diverges after restore")
+
+    # Gate 4 (uses gate 1's document): dedup arithmetic + JSON purity.
+    expected_blobs = args.size + 2
+    if len(document["blobs"]) != expected_blobs:
+        failures.append(
+            f"dedup: size-{args.size} fleet snapshot holds "
+            f"{len(document['blobs'])} memory images, expected "
+            f"{expected_blobs} (N member ROMs + shared flash + ram)")
+    if document != json.loads(json.dumps(document)):
+        failures.append("dedup: document does not survive a JSON round "
+                        "trip unchanged")
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "checkpoint.json"
+        save_document(document, path)
+        if load_document(path) != document:
+            failures.append("dedup: document does not survive a disk "
+                            "round trip unchanged")
+
+    # Gate 2: the sharded engine honours the same contract.
+    spec = FleetSpec(size=args.size, observe=True, seed="snapshot-smoke")
+    with FleetEngine(spec, workers=args.workers) as live:
+        live.sweep()
+        fleet_document = live.snapshot()
+        live.sweep()
+        expected = {"states": live.device_states(),
+                    "registry": live.merged_registry().dump(),
+                    "trace": live.merged_trace_records(),
+                    "cache": live.cache_stats()}
+    with FleetEngine(spec, workers=args.workers) as resumed:
+        resumed.restore(fleet_document)
+        resumed.sweep()
+        got = {"states": resumed.device_states(),
+               "registry": resumed.merged_registry().dump(),
+               "trace": resumed.merged_trace_records(),
+               "cache": resumed.cache_stats()}
+    for key in expected:
+        if expected[key] != got[key]:
+            failures.append(f"fleet engine: {key} diverges after "
+                            f"sharded restore")
+    flat = spec.build()
+    flat.restore(fleet_document)
+    flat.sweep()
+    if flat.device_states() != expected["states"]:
+        failures.append("fleet engine: fleet document does not restore "
+                        "into a sequential swarm")
+
+    # Gate 3: replay reproduces an exact trace prefix.
+    full = before["trace"]
+    target = max(0, len(full) - len(full) // 4 - 1)
+    replayer = build()
+    try:
+        records = replayer.replay_to_seq(document, target)
+    except Exception as exc:
+        failures.append(f"replay: raised {exc}")
+    else:
+        if records != full[:target + 1]:
+            failures.append("replay: records differ from the "
+                            "uninterrupted trace prefix")
+        elif records and records[-1]["seq"] != target:
+            failures.append(
+                f"replay: last record has seq {records[-1]['seq']}, "
+                f"expected {target}")
+
+    if failures:
+        for failure in failures:
+            print(f"snapshot-smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"snapshot-smoke: OK (restore == uninterrupted at size "
+          f"{args.size}, sharded x {args.workers} workers incl. caches, "
+          f"replay exact to seq {target}, {expected_blobs} deduped "
+          f"images)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,12 @@ Rules
     No stdlib ``random`` in the same scope: simulated randomness must
     come from a seeded generator passed in explicitly.
 ``FLT001``
-    No float arithmetic inside cycle-accounting functions (name ends in
-    ``_cycles`` or is ``consume_cycles``): float literals, true
-    division, and ``float()`` all risk drift; ``//`` and integer ceil
-    division are exact.  Functions converting to/from wall units
-    (``ms``/``seconds`` in the name) are the sanctioned boundary.
+    No float arithmetic inside cycle- or tick-accounting functions
+    (name ends in ``_cycles`` or ``_ticks``, or is ``consume_cycles``):
+    float literals, true division, and ``float()`` all risk drift;
+    ``//`` and integer ceil division are exact.  Functions converting
+    to/from wall units (``ms``/``seconds`` in the name) are the
+    sanctioned boundary.
 ``TEL001``
     Literal metric names passed to ``.count``/``.set_gauge``/
     ``.observe`` on a telemetry-ish receiver must exist in
@@ -218,7 +219,8 @@ def _check_host_random(tree: ast.AST, path: str):
 def _is_cycle_function(name: str) -> bool:
     if "ms" in name or "seconds" in name:
         return False   # sanctioned wall-unit conversion boundary
-    return name.endswith("_cycles") or name == "consume_cycles"
+    return (name.endswith("_cycles") or name.endswith("_ticks")
+            or name == "consume_cycles")
 
 
 def _check_float_cycles(tree: ast.AST, path: str):

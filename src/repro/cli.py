@@ -13,6 +13,9 @@ Usage::
     python -m repro verify-profile [--profile P] [--clock C] [--json]
     python -m repro lint [paths ...] [--json] [--waivers F]
     python -m repro fleet-bench [--size N] [--workers W] [--json]
+    python -m repro snapshot save --out F [--size N] [--sweeps K]
+    python -m repro snapshot restore F [--sweeps K] [--json]
+    python -m repro snapshot replay F --seq N
 
 Each subcommand prints the same tables the benchmark harness writes to
 ``benchmarks/results/``; the CLI exists so a downstream user can poke at
@@ -440,6 +443,116 @@ def _cmd_fleet_bench(args) -> int:
     return 0 if equivalence["identical"] else 1
 
 
+def _report_rows(report) -> list:
+    return [["quantity", "value"],
+            ["attempted", str(report.attempted)],
+            ["trusted", str(report.trusted)],
+            ["untrusted", str(len(report.untrusted))],
+            ["no response", str(len(report.no_response))],
+            ["refused", str(len(report.refused))],
+            ["skipped (quarantined)", str(len(report.skipped_quarantined))],
+            ["retries", str(report.retries)],
+            ["fleet energy (mJ)", f"{report.fleet_energy_mj:.4f}"],
+            ["sweep seconds (simulated)", f"{report.sweep_seconds:.3f}"]]
+
+
+def _cmd_snapshot_save(args) -> int:
+    """Run a fleet for a few sweeps, then checkpoint it to a file."""
+    from .snapshot import build_swarm_from_spec, save_document, swarm_spec
+
+    spec = swarm_spec(size=args.size, profile=args.profile,
+                      auth_scheme=args.scheme, policy=args.policy,
+                      ram_kb=args.ram_kb, retry=args.retry,
+                      faults=args.faults,
+                      stagger_seconds=args.stagger, seed=args.seed)
+    swarm = build_swarm_from_spec(spec)
+    for _ in range(args.sweeps):
+        report = swarm.sweep(stagger_seconds=args.stagger)
+    document = swarm.snapshot()
+    document["meta"] = {"spec": spec}
+    save_document(document, args.out)
+    blobs = document["blobs"]
+    print(f"wrote {args.out}: {len(swarm)} member(s), "
+          f"{swarm.sweeps_run} sweep(s), {len(blobs)} unique memory "
+          f"image(s)", file=sys.stderr)
+    if args.sweeps:
+        print(render_table(_report_rows(report),
+                           title=f"Sweep {swarm.sweeps_run} at checkpoint"))
+    return 0
+
+
+def _load_snapshot_swarm(path: str):
+    """Rebuild the checkpointed fleet from the spec embedded in a file."""
+    from .errors import SnapshotError
+    from .snapshot import build_swarm_from_spec, load_document
+
+    document = load_document(path)
+    meta = document.get("meta", {})
+    if "spec" not in meta:
+        raise SnapshotError(
+            f"{path} has no embedded rebuild spec; it was not written by "
+            f"'repro snapshot save'")
+    return document, meta["spec"], build_swarm_from_spec(meta["spec"])
+
+
+def _cmd_snapshot_restore(args) -> int:
+    """Resume a checkpointed fleet and run more sweeps."""
+    import json
+
+    from .errors import SnapshotError
+
+    try:
+        document, spec, swarm = _load_snapshot_swarm(args.file)
+        swarm.restore(document)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    resumed_at = swarm.sweeps_run
+    report = None
+    for _ in range(args.sweeps):
+        report = swarm.sweep(stagger_seconds=spec["stagger_seconds"])
+    if args.json:
+        payload = {"resumed_at_sweep": resumed_at,
+                   "sweeps_run": swarm.sweeps_run,
+                   "device_states": swarm.device_states(),
+                   "total_attestations": swarm.total_attestations(),
+                   "registry": swarm.merged_registry().dump()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"restored {args.file}: {len(swarm)} member(s) at sweep "
+          f"{resumed_at}, ran {args.sweeps} more", file=sys.stderr)
+    if report is not None:
+        print(render_table(_report_rows(report),
+                           title=f"Sweep {swarm.sweeps_run} after restore"))
+    states = swarm.device_states()
+    healthy = sum(1 for state in states.values() if state == "healthy")
+    print(f"\ndevices: {healthy}/{len(states)} healthy, "
+          f"{swarm.total_attestations()} total attestations")
+    return 0
+
+
+def _cmd_snapshot_replay(args) -> int:
+    """Restore a checkpoint and re-drive it to an exact trace event."""
+    import json
+
+    from .errors import SnapshotError
+
+    try:
+        document, spec, swarm = _load_snapshot_swarm(args.file)
+        records = swarm.replay_to_seq(
+            document, args.seq, stagger_seconds=spec["stagger_seconds"],
+            max_sweeps=args.max_sweeps)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    tail = records if args.tail is None else records[-args.tail:]
+    for record in tail:
+        print(json.dumps(record, sort_keys=True))
+    print(f"# replayed to seq {args.seq}: {len(records)} event(s), "
+          f"showing {len(tail)}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Aggregate benchmarks/results/*.txt into one markdown report."""
     import pathlib
@@ -602,6 +715,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write to a file instead of stdout")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("snapshot",
+                       help="checkpoint, restore, and replay fleets")
+    snap = p.add_subparsers(dest="action", required=True)
+
+    p = snap.add_parser("save", help="run a fleet, checkpoint it to a file")
+    p.add_argument("--out", required=True, help="checkpoint file to write")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--sweeps", type=int, default=2,
+                   help="sweeps to run before checkpointing")
+    p.add_argument("--profile", default="roam-hardened")
+    p.add_argument("--scheme", default="speck-64/128-cbc-mac")
+    p.add_argument("--policy", default="counter",
+                   choices=["counter", "nonce", "timestamp"])
+    p.add_argument("--ram-kb", type=int, default=16)
+    p.add_argument("--retry", action="store_true",
+                   help="enable the fleet-wide retry policy")
+    p.add_argument("--faults", action="store_true",
+                   help="attach the lossy-link fault pipeline")
+    p.add_argument("--stagger", type=float, default=0.0)
+    p.add_argument("--seed", default="cli-snapshot")
+    p.set_defaults(fn=_cmd_snapshot_save)
+
+    p = snap.add_parser("restore",
+                        help="resume a checkpoint, run more sweeps")
+    p.add_argument("file", help="checkpoint file from 'snapshot save'")
+    p.add_argument("--sweeps", type=int, default=1,
+                   help="sweeps to run after restoring")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable state instead of tables")
+    p.set_defaults(fn=_cmd_snapshot_restore)
+
+    p = snap.add_parser("replay",
+                        help="re-drive a checkpoint to an exact event")
+    p.add_argument("file", help="checkpoint file from 'snapshot save'")
+    p.add_argument("--seq", type=int, required=True,
+                   help="trace sequence number to replay through")
+    p.add_argument("--max-sweeps", type=int, default=64)
+    p.add_argument("--tail", type=int, default=None,
+                   help="print only the last N replayed events")
+    p.set_defaults(fn=_cmd_snapshot_replay)
     return parser
 
 

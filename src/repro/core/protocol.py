@@ -223,6 +223,29 @@ class Session:
                                 elapsed_seconds=self.sim.now - round_start,
                                 gave_up=gave_up)
 
+    def snapshot(self) -> dict:
+        """Capture the full session state as a snapshot document.
+
+        The session must be quiescent (no scheduled simulation events,
+        no context on the CPU stack) -- see :mod:`repro.snapshot`.
+        """
+        from ..snapshot import (BlobStore, make_document, snapshot_session)
+        blobs = BlobStore()
+        state = snapshot_session(self, blobs)
+        return make_document("session", state, blobs)
+
+    def restore(self, document: dict) -> None:
+        """Overwrite this (freshly rebuilt) session from a document.
+
+        The session must have been built with the same
+        :func:`build_session` parameters as the captured one; after the
+        restore, continuing the run is byte-identical to a run that was
+        never interrupted.
+        """
+        from ..snapshot import restore_session, unwrap_document
+        state, blobs = unwrap_document(document, "session")
+        restore_session(self, state, blobs)
+
     def summary(self) -> dict:
         """Machine-readable snapshot of the deployment and its history.
 

@@ -127,6 +127,22 @@ class VerificationFailed(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Checkpoint / restore
+# ---------------------------------------------------------------------------
+
+class SnapshotError(ReproError):
+    """A simulation snapshot could not be taken or restored.
+
+    Raised when the simulation is not quiescent (pending events, a
+    non-empty execution-context stack), when a snapshot document does
+    not match the object it is being restored into (wrong kind, wrong
+    member set, wrong boot profile), or when a document references
+    state the codec does not know how to rebuild (e.g. an unknown
+    adversary type).
+    """
+
+
+# ---------------------------------------------------------------------------
 # Network simulation
 # ---------------------------------------------------------------------------
 

@@ -84,7 +84,20 @@ class StateDigestCache:
         self._entries[key] = digest
 
     def clear(self) -> None:
+        """Drop all entries *and* the hit/miss counters.
+
+        A clear starts a new measurement epoch; keeping the old counters
+        would skew :meth:`stats` and break any exact hit/miss arithmetic
+        gate that spans the clear.  Use :meth:`reset_stats` to zero the
+        counters without touching the entries.
+        """
         self._entries.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping cached entries."""
+        self.hits = 0
+        self.misses = 0
 
     def stats(self) -> dict:
         """JSON-ready effectiveness counters."""

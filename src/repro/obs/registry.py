@@ -18,6 +18,8 @@ Conventions used by the built-in instrumentation:
 
 from __future__ import annotations
 
+import math
+
 from ..errors import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -34,27 +36,126 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
-class Counter:
-    """A monotonically increasing count."""
+# ---------------------------------------------------------------------------
+# Order-independent float accumulation.
+#
+# Plain ``value += amount`` makes float counters depend on addition
+# *order* in the last bit, which forced sharded fleets to ship
+# per-member dumps and replay the member-order fold.  The fix is
+# compensated summation taken to its error-free limit: every float
+# increment is folded into an expansion of non-overlapping partials via
+# the TwoSum primitive (the same error term Neumaier's compensated sum
+# tracks, kept in full rather than collapsed into one compensation
+# word).  The partials then represent the true real-number sum
+# *exactly*, so any grouping of increments or merges -- per member, per
+# shard, or resumed from a snapshot -- yields the same reading: the
+# correctly rounded true sum.
+# ---------------------------------------------------------------------------
 
-    __slots__ = ("name", "labels", "value")
+def _grow_expansion(partials: list[float], x: float) -> None:
+    """Add ``x`` into the error-free expansion ``partials`` in place.
+
+    Shewchuk's grow-expansion: after the call ``sum(partials)`` equals
+    the exact (real-number) value of ``old_sum + x``; each TwoSum step's
+    rounding error is retained as its own partial instead of discarded.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def _fsum_cascade(terms: list) -> list[float]:
+    """Canonical expansion of ``sum(terms)``: correctly rounded sum,
+    then the correctly rounded remainder, and so on until exact.
+
+    Each element is a pure function of the exact total, so two
+    expansions built from different addition orders export identically.
+    """
+    out: list[float] = []
+    acc = list(terms)
+    while len(out) < 64:   # ~40 terms spans the double exponent range
+        s = math.fsum(acc)
+        if s == 0.0:
+            break
+        out.append(s)
+        acc.append(-s)
+    return out
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Integer increments accumulate exactly in an int; float increments
+    accumulate in an error-free expansion (see :func:`_grow_expansion`),
+    so :attr:`value` is the correctly rounded true sum of everything
+    ever added -- independent of increment order and of how partial
+    registries were merged.
+    """
+
+    __slots__ = ("name", "labels", "_int_total", "_partials")
 
     kind = "counter"
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = dict(labels)
-        self.value = 0
+        self._int_total = 0
+        self._partials: list[float] = []
+
+    @property
+    def value(self) -> int | float:
+        if not self._partials:
+            return self._int_total
+        return math.fsum(self._float_terms())
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc({amount}))")
-        self.value += amount
+        if isinstance(amount, float):
+            _grow_expansion(self._partials, amount)
+        else:
+            self._int_total += amount
+
+    def _float_terms(self) -> list:
+        terms: list = list(self._partials)
+        if self._int_total:
+            terms.append(self._int_total)
+        return terms
+
+    def _add_state(self, value, residual=()) -> None:
+        """Fold another counter's exact reading (``value`` plus residual
+        terms) into this one.  Residual terms may be negative even
+        though the total never decreases, so this bypasses the
+        :meth:`inc` sign check."""
+        if isinstance(value, float):
+            _grow_expansion(self._partials, value)
+        else:
+            self._int_total += value
+        for term in residual:
+            _grow_expansion(self._partials, float(term))
+
+    def _merge_from(self, other: "Counter") -> None:
+        self._int_total += other._int_total
+        for term in other._partials:
+            _grow_expansion(self._partials, term)
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "name": self.name,
-                "labels": dict(self.labels), "value": self.value}
+        entry = {"kind": self.kind, "name": self.name,
+                 "labels": dict(self.labels), "value": self.value}
+        residual = (_fsum_cascade(self._float_terms())[1:]
+                    if self._partials else [])
+        if residual:
+            entry["residual"] = residual
+        return entry
 
 
 class Gauge:
@@ -85,11 +186,13 @@ class Histogram:
 
     ``buckets`` are inclusive upper bounds; an implicit overflow bucket
     catches everything above the last bound.  The running sum and count
-    are exact, so means survive the bucketing.
+    are exact (float observations use the same error-free expansion as
+    :class:`Counter`), so means survive the bucketing and sums are
+    independent of observation and merge order.
     """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts",
-                 "overflow", "count", "sum")
+                 "overflow", "count", "_sum_int", "_sum_partials")
 
     kind = "histogram"
 
@@ -104,28 +207,64 @@ class Histogram:
         self.bucket_counts = [0] * len(self.buckets)
         self.overflow = 0
         self.count = 0
-        self.sum = 0
+        self._sum_int = 0
+        self._sum_partials: list[float] = []
+
+    @property
+    def sum(self) -> int | float:
+        if not self._sum_partials:
+            return self._sum_int
+        return math.fsum(self._sum_terms())
 
     def observe(self, value: int | float) -> None:
         self.count += 1
-        self.sum += value
+        if isinstance(value, float):
+            _grow_expansion(self._sum_partials, value)
+        else:
+            self._sum_int += value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
                 return
         self.overflow += 1
 
+    def _sum_terms(self) -> list:
+        terms: list = list(self._sum_partials)
+        if self._sum_int:
+            terms.append(self._sum_int)
+        return terms
+
+    def _add_sum_state(self, value, residual=()) -> None:
+        """Fold another histogram's exact sum (``value`` plus residual
+        terms) into this one's."""
+        if isinstance(value, float):
+            _grow_expansion(self._sum_partials, value)
+        else:
+            self._sum_int += value
+        for term in residual:
+            _grow_expansion(self._sum_partials, float(term))
+
+    def _merge_sum_from(self, other: "Histogram") -> None:
+        self._sum_int += other._sum_int
+        for term in other._sum_partials:
+            _grow_expansion(self._sum_partials, term)
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "name": self.name,
-                "labels": dict(self.labels),
-                "buckets": list(self.buckets),
-                "bucket_counts": list(self.bucket_counts),
-                "overflow": self.overflow,
-                "count": self.count, "sum": self.sum}
+        entry = {"kind": self.kind, "name": self.name,
+                 "labels": dict(self.labels),
+                 "buckets": list(self.buckets),
+                 "bucket_counts": list(self.bucket_counts),
+                 "overflow": self.overflow,
+                 "count": self.count, "sum": self.sum}
+        residual = (_fsum_cascade(self._sum_terms())[1:]
+                    if self._sum_partials else [])
+        if residual:
+            entry["sum_residual"] = residual
+        return entry
 
 
 class MetricsRegistry:
@@ -202,15 +341,19 @@ class MetricsRegistry:
         (last-write-wins, matching what a single registry would hold
         after the same reports).  ``other``'s instruments are visited in
         sorted (name, labels) order so repeated merges are
-        deterministic.  Merging histograms with different bucket bounds
-        is a configuration error -- the series would not be comparable.
-        Returns ``self`` so shard registries chain.
+        deterministic.  Counter and histogram-sum folding transfers the
+        exact expansion state, so any merge tree over the same
+        increments -- member by member, shard pre-merged, or restored
+        from dumps -- produces identical readings.  Merging histograms
+        with different bucket bounds is a configuration error -- the
+        series would not be comparable.  Returns ``self`` so shard
+        registries chain.
         """
         for key in sorted(other._instruments):
             instrument = other._instruments[key]
             if isinstance(instrument, Counter):
                 self.counter(instrument.name,
-                             **instrument.labels).inc(instrument.value)
+                             **instrument.labels)._merge_from(instrument)
             elif isinstance(instrument, Gauge):
                 self.gauge(instrument.name,
                            **instrument.labels).set(instrument.value)
@@ -226,7 +369,7 @@ class MetricsRegistry:
                     mine.bucket_counts[i] += count
                 mine.overflow += instrument.overflow
                 mine.count += instrument.count
-                mine.sum += instrument.sum
+                mine._merge_sum_from(instrument)
         return self
 
     @classmethod
@@ -236,7 +379,11 @@ class MetricsRegistry:
         This is how per-shard registries cross process boundaries: the
         worker ships the JSON-ready dump, the parent reconstructs and
         merges.  Round-trips exactly: ``MetricsRegistry.from_dump(
-        registry.dump()).dump() == registry.dump()``.
+        registry.dump()).dump() == registry.dump()``.  Float counter and
+        histogram sums carry their sub-ulp remainder in the dump's
+        ``residual`` / ``sum_residual`` terms, so the reconstruction is
+        exact and merging reconstructed shard dumps equals merging the
+        live shard registries.
         """
         if dump.get("schema") != "repro.obs.registry/v1":
             raise ConfigurationError(
@@ -246,8 +393,8 @@ class MetricsRegistry:
             kind = metric["kind"]
             labels = metric["labels"]
             if kind == "counter":
-                registry.counter(metric["name"],
-                                 **labels).inc(metric["value"])
+                registry.counter(metric["name"], **labels)._add_state(
+                    metric["value"], metric.get("residual", ()))
             elif kind == "gauge":
                 registry.gauge(metric["name"], **labels).set(metric["value"])
             elif kind == "histogram":
@@ -257,7 +404,8 @@ class MetricsRegistry:
                 histogram.bucket_counts = list(metric["bucket_counts"])
                 histogram.overflow = metric["overflow"]
                 histogram.count = metric["count"]
-                histogram.sum = metric["sum"]
+                histogram._add_sum_state(metric["sum"],
+                                         metric.get("sum_residual", ()))
             else:
                 raise ConfigurationError(
                     f"unknown instrument kind in dump: {kind!r}")

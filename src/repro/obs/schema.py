@@ -23,11 +23,12 @@ from ..fastpath import ENGINES
 from .trace import EVENT_KINDS
 
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
-           "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "METRIC_NAMES",
-           "INVARIANT_NAMES", "LINT_RULE_IDS", "validate_event",
-           "validate_jsonl_trace", "validate_registry_dump",
-           "validate_wallclock_report", "validate_analysis_report",
-           "validate_fleet_report"]
+           "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "SNAPSHOT_SCHEMA",
+           "SNAPSHOT_SCHEMA_ID", "METRIC_NAMES", "INVARIANT_NAMES",
+           "LINT_RULE_IDS", "validate_event", "validate_jsonl_trace",
+           "validate_registry_dump", "validate_wallclock_report",
+           "validate_analysis_report", "validate_fleet_report",
+           "validate_snapshot"]
 
 #: The closed vocabulary of metric (counter/gauge/histogram) names the
 #: instrumentation may emit.  `repro.analysis.lint` rule TEL001 checks
@@ -265,6 +266,36 @@ _FLEET_EQUIVALENCE_SCHEMA = {
     },
 }
 
+#: Version identifier of checkpoint/restore snapshot documents
+#: (see ``repro.snapshot`` and ``docs/checkpoint.md``).
+SNAPSHOT_SCHEMA_ID = "repro.snapshot/v1"
+
+#: Schema of a checkpoint/restore snapshot envelope.  The ``state``
+#: payload is kind-specific (session/swarm/fleet) and is checked
+#: structurally by the restore path itself, which refuses any document
+#: that does not match the rebuilt object; the envelope schema pins the
+#: version, the kind vocabulary and the content-addressed blob map.
+SNAPSHOT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "kind", "blobs", "state"],
+    "properties": {
+        "schema": {"type": "string", "enum": [SNAPSHOT_SCHEMA_ID]},
+        "kind": {"type": "string", "enum": ["session", "swarm", "fleet"]},
+        "blobs": {"type": "object"},
+        "state": {"type": "object"},
+        "meta": {"type": "object"},
+    },
+}
+
+#: Schema of the per-kind required keys inside a snapshot's ``state``.
+_SNAPSHOT_STATE_REQUIRED = {
+    "session": ("sim", "device", "channel", "verifier", "verifier_node",
+                "anchor"),
+    "swarm": ("sweeps_run", "members", "breakers"),
+    "fleet": ("workers", "sweeps_run", "shards"),
+}
+
+
 #: Schema of the static-analysis report (``repro verify-profile --json``,
 #: ``repro lint --json`` and ``scripts/analysis_smoke.py`` all emit or
 #: embed this envelope; byte-identical for identical inputs).
@@ -489,6 +520,37 @@ def validate_fleet_report(report: dict) -> list[str]:
         errors.extend(_check(report["equivalence"],
                              _FLEET_EQUIVALENCE_SCHEMA,
                              "fleet.equivalence"))
+    return errors
+
+
+def validate_snapshot(document: dict) -> list[str]:
+    """Validate a decoded ``repro.snapshot/v1`` envelope.
+
+    Checks the envelope shape, that every blob key looks like a hex
+    fingerprint with a string payload, and that the ``state`` payload
+    carries the top-level keys its ``kind`` requires.  Field-by-field
+    consistency with a rebuilt object is the restore path's job.
+    """
+    errors = _check(document, SNAPSHOT_SCHEMA, "snapshot")
+    if not isinstance(document, dict):
+        return errors
+    blobs = document.get("blobs")
+    if isinstance(blobs, dict):
+        for key, value in blobs.items():
+            if not (isinstance(key, str)
+                    and all(c in "0123456789abcdef" for c in key)):
+                errors.append(f"snapshot.blobs: key {key!r} is not a hex "
+                              f"fingerprint")
+            if not isinstance(value, str):
+                errors.append(f"snapshot.blobs[{key!r}]: image must be a "
+                              f"base64 string")
+    state = document.get("state")
+    required = _SNAPSHOT_STATE_REQUIRED.get(document.get("kind"))
+    if isinstance(state, dict) and required is not None:
+        for key in required:
+            if key not in state:
+                errors.append(f"snapshot.state: missing required key "
+                              f"{key!r} for kind {document['kind']!r}")
     return errors
 
 

@@ -122,6 +122,16 @@ class EventTrace:
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def emitted(self) -> int:
+        """Total events ever recorded, including any later discarded.
+
+        Equals the ``seq`` the next event will get, so it doubles as a
+        watermark: an event belongs to the history before some point in
+        time iff its ``seq`` is below the ``emitted`` value read then.
+        """
+        return self._seq
+
     def as_records(self) -> list[dict]:
         """Every event as a JSON-ready dict (picklable shard export)."""
         return [event.as_dict() for event in self.events]

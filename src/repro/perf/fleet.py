@@ -50,9 +50,10 @@ import platform
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import zip_longest
 
 from ..core.resilience import RetryPolicy
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotError
 from ..mcu.device import DeviceConfig
 from ..mcu.profiles import ProtectionProfile, ROAM_HARDENED
 from ..mcu.statecache import StateDigestCache
@@ -213,16 +214,33 @@ def _shard_total_attestations() -> int:
     return _SHARD.total_attestations()
 
 
-def _shard_member_registry_dumps() -> list:
-    return _SHARD.member_registry_dumps()
+def _shard_merged_registry_dump() -> dict:
+    return _SHARD.merged_registry().dump()
 
 
-def _shard_trace_records() -> list:
-    return _SHARD.merged_trace_records()
+def _shard_trace_segments() -> list:
+    return _SHARD.trace_segments()
 
 
 def _shard_cache_stats() -> dict:
     return _SHARD.state_cache.stats()
+
+
+def _shard_snapshot() -> dict:
+    """Capture the resident shard: its swarm payload plus its own
+    deduplicated blob map (merged collision-checked by the parent)."""
+    from ..snapshot import BlobStore, snapshot_swarm
+    blobs = BlobStore()
+    return {"swarm": snapshot_swarm(_SHARD, blobs),
+            "blobs": blobs.encode()}
+
+
+def _shard_restore(state: dict, blobs_encoded: dict) -> None:
+    """Overwrite the resident shard (built at executor init) with
+    captured state, including its state-digest cache and hit/miss
+    counters -- spin-up accounting is replaced, not added to."""
+    from ..snapshot import BlobStore, restore_swarm
+    restore_swarm(_SHARD, state, BlobStore.decode(blobs_encoded))
 
 
 class FleetEngine:
@@ -342,33 +360,40 @@ class FleetEngine:
         return sum(self._gather(_shard_total_attestations))
 
     def merged_registry(self) -> MetricsRegistry:
-        """One fleet registry, folded member by member in fleet order.
+        """One fleet registry, folded from shard pre-merged dumps.
 
-        Shards ship *per-member* registry dumps, not a pre-merged shard
-        registry: float-valued counters make merging non-associative in
-        the last bit, so byte-identity with the sequential fold requires
-        replaying the same member-order addition sequence here.
+        Each shard merges its own members in-process and ships a single
+        dump; registry folding is exactly order-independent (error-free
+        compensated float summation, with the sub-ulp remainder carried
+        in the dump's residual terms), so the shard-tree fold is
+        byte-identical to the sequential member-order fold.
         """
         self.start()
         if self._swarm is not None:
             return self._swarm.merged_registry()
         merged = MetricsRegistry()
-        for shard in self._gather(_shard_member_registry_dumps):
-            for dump in shard:
-                merged.merge(MetricsRegistry.from_dump(dump))
+        for dump in self._gather(_shard_merged_registry_dump):
+            merged.merge(MetricsRegistry.from_dump(dump))
         return merged
 
     def merged_trace_records(self) -> list:
-        """Shard traces concatenated in shard order, re-sequenced into
-        one fleet-wide monotonic ``seq``."""
+        """One fleet-wide trace with a monotonic ``seq``.
+
+        Shards report sweep-major segments (see
+        :meth:`~repro.services.swarm.Swarm.trace_segments`); the parent
+        interleaves them sweep by sweep in shard order, which is exactly
+        the order a single in-process build of the whole fleet produces.
+        """
         self.start()
         if self._swarm is not None:
             return self._swarm.merged_trace_records()
         records: list = []
-        for shard in self._gather(_shard_trace_records):
-            for record in shard:
-                record["seq"] = len(records)
-                records.append(record)
+        shard_segments = self._gather(_shard_trace_segments)
+        for row in zip_longest(*shard_segments, fillvalue=[]):
+            for segment in row:
+                for record in segment:
+                    record["seq"] = len(records)
+                    records.append(record)
         return records
 
     def cache_stats(self) -> dict:
@@ -382,6 +407,66 @@ class FleetEngine:
             for key in totals:
                 totals[key] += stats[key]
         return totals
+
+    # -- checkpoint / restore -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the whole engine as one ``fleet`` document.
+
+        Per-shard swarm payloads (each with its own digest cache) under
+        one merged content-addressed blob map; restoring into an engine
+        with the same spec and worker count resumes every shard
+        exactly, and :meth:`Swarm.restore <repro.services.swarm.Swarm.\
+restore>` accepts the same document for sequential resume.
+        """
+        from ..snapshot import BlobStore, make_document, snapshot_swarm
+        self.start()
+        blobs = BlobStore()
+        blocks = partition(self.spec.size, self.workers)
+        if self._swarm is not None:
+            shards = [{"indices": [index for block in blocks
+                                   for index in block],
+                       "swarm": snapshot_swarm(self._swarm, blobs)}]
+        else:
+            shards = []
+            for block, shard in zip(blocks, self._gather(_shard_snapshot)):
+                blobs.merge(BlobStore.decode(shard["blobs"]))
+                shards.append({"indices": list(block),
+                               "swarm": shard["swarm"]})
+        state = {"workers": self.workers, "sweeps_run": self.sweeps_run,
+                 "shards": shards}
+        return make_document("fleet", state, blobs)
+
+    def restore(self, document: dict) -> None:
+        """Overwrite this engine's shards from a ``fleet`` document.
+
+        The engine must have been created with the same spec and
+        resolve to the same worker count as the captured one (shard
+        boundaries and digest caches are per-worker state); to resume a
+        fleet document on different hardware, restore it into a
+        sequential :class:`~repro.services.swarm.Swarm` instead.
+        """
+        from ..snapshot import unwrap_document
+        state, blobs = unwrap_document(document, "fleet")
+        self.start()
+        if state["workers"] != self.workers:
+            raise SnapshotError(
+                f"worker-count mismatch: snapshot has {state['workers']} "
+                f"shard(s), engine resolved {self.workers}; restore into "
+                f"a sequential Swarm to repartition")
+        blocks = partition(self.spec.size, self.workers)
+        captured = [shard["indices"] for shard in state["shards"]]
+        if captured != [list(block) for block in blocks]:
+            raise SnapshotError("shard partition mismatch between "
+                                "snapshot and engine")
+        if self._swarm is not None:
+            from ..snapshot import restore_swarm
+            restore_swarm(self._swarm, state["shards"][0]["swarm"], blobs)
+        else:
+            encoded = blobs.encode()
+            for pool, shard in zip(self._executors, state["shards"]):
+                pool.submit(_shard_restore, shard["swarm"], encoded).result()
+        self.sweeps_run = state["sweeps_run"]
 
 
 # ---------------------------------------------------------------------------

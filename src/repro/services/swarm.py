@@ -231,6 +231,10 @@ class Swarm:
         self.members: list[SwarmMember] = []
         self.breakers: dict[str, CircuitBreaker] = {}
         self._members_by_id: dict[str, SwarmMember] = {}
+        #: Per-sweep trace watermarks (one ``EventTrace.emitted`` value
+        #: per member), recorded at each sweep boundary so the merged
+        #: trace can be ordered sweep-major.  See ``trace_segments``.
+        self._trace_marks: list[list[int]] = []
         self._retry_rng = DeterministicRng(seed).substream("sweep-jitter")
         for index in indices:
             config = overrides.get(index, device_config)
@@ -345,6 +349,10 @@ class Swarm:
         outcomes = [self._sweep_member(member, retry, stagger_seconds)
                     for member in self.members]
         self.sweeps_run += 1
+        if self.observe:
+            self._trace_marks.append(
+                [member.session.telemetry.trace.emitted
+                 for member in self.members])
         return outcomes
 
     def sweep(self, *, stagger_seconds: float = 0.0,
@@ -361,6 +369,51 @@ class Swarm:
             stagger_seconds=stagger_seconds, retry=retry))
 
     # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the whole fleet between sweeps as one document.
+
+        Member region images are content-addressed and deduplicated, so
+        the document costs O(unique memory histories), not
+        O(members * writable bytes).  See :mod:`repro.snapshot`.
+        """
+        from ..snapshot import BlobStore, make_document, snapshot_swarm
+        blobs = BlobStore()
+        state = snapshot_swarm(self, blobs)
+        return make_document("swarm", state, blobs)
+
+    def restore(self, document: dict) -> None:
+        """Overwrite this (freshly rebuilt) swarm from a document.
+
+        Accepts swarm documents and fleet documents (whose shards are
+        flattened into fleet order); the rebuilt swarm must have the
+        same constructor parameters as the captured one.
+        """
+        from ..snapshot import (BlobStore, flatten_fleet_state,
+                                restore_swarm, unwrap_document)
+        if document.get("kind") == "fleet":
+            state, blobs = unwrap_document(document, "fleet")
+            state = flatten_fleet_state(state)
+        else:
+            state, blobs = unwrap_document(document, "swarm")
+        restore_swarm(self, state, blobs)
+
+    def replay_to_seq(self, document: dict, target_seq: int, *,
+                      stagger_seconds: float = 0.0,
+                      max_sweeps: int = 64) -> list:
+        """Restore from ``document`` and deterministically re-drive the
+        fleet until the merged event trace reaches ``target_seq``;
+        returns the exact record prefix ``0..target_seq``."""
+        from ..snapshot import (flatten_fleet_state, replay_to_seq,
+                                unwrap_document)
+        if document.get("kind") == "fleet":
+            state, blobs = unwrap_document(document, "fleet")
+            state = flatten_fleet_state(state)
+        else:
+            state, blobs = unwrap_document(document, "swarm")
+        return replay_to_seq(self, state, blobs, target_seq,
+                             stagger_seconds=stagger_seconds,
+                             max_sweeps=max_sweeps)
 
     def device_states(self) -> dict[str, str]:
         """Circuit-breaker state per device (graceful-degradation view)."""
@@ -381,8 +434,10 @@ class Swarm:
     def merged_registry(self) -> MetricsRegistry:
         """Fold every member's metrics into one fleet registry.
 
-        Members are merged in fleet order, so the result is independent
-        of how the fleet was sharded.  Requires ``observe=True``.
+        Registry folding is order-independent (exact compensated float
+        summation in :class:`~repro.obs.registry.Counter`), so the
+        result is identical however the fleet was sharded or the merge
+        tree shaped.  Requires ``observe=True``.
         """
         if not self.observe:
             raise ConfigurationError(
@@ -392,35 +447,48 @@ class Swarm:
             merged.merge(member.session.telemetry.registry)
         return merged
 
-    def member_registry_dumps(self) -> list[dict]:
-        """Each member's registry snapshot, in fleet order.
+    def trace_segments(self) -> list[list[dict]]:
+        """Member trace records grouped sweep-major, one segment per
+        recorded sweep (plus a tail for events after the last sweep).
 
-        This -- not a shard-merged registry -- is what crosses the
-        process boundary in sharded fleets: float-valued counters make
-        merging non-associative in the last bit, so the parent must
-        replay the member-order fold exactly, one member at a time.
+        Within a segment members appear in fleet order.  This grouping
+        is *append-stable*: running more sweeps appends segments without
+        reordering earlier ones, which is what makes a fleet-wide
+        ``seq`` a durable event address (a member-major concatenation
+        would renumber every later member's history on each new sweep).
         Requires ``observe=True``.
         """
         if not self.observe:
             raise ConfigurationError(
-                "member_registry_dumps needs a swarm built with "
-                "observe=True")
-        return [member.session.telemetry.registry.dump()
-                for member in self.members]
+                "trace_segments needs a swarm built with observe=True")
+        member_records = [member.session.telemetry.trace.as_records()
+                          for member in self.members]
+        cursors = [0] * len(self.members)
+        segments: list[list[dict]] = []
+        for marks in self._trace_marks:
+            segment: list[dict] = []
+            for i, records in enumerate(member_records):
+                while (cursors[i] < len(records)
+                       and records[cursors[i]]["seq"] < marks[i]):
+                    segment.append(records[cursors[i]])
+                    cursors[i] += 1
+            segments.append(segment)
+        tail = [record for i, records in enumerate(member_records)
+                for record in records[cursors[i]:]]
+        if tail:
+            segments.append(tail)
+        return segments
 
     def merged_trace_records(self) -> list[dict]:
-        """Concatenate member event traces in fleet order, re-sequenced.
+        """One fleet-wide trace: sweep-major segments, re-sequenced.
 
         Per-member ``seq`` counters are replaced by one fleet-wide
         running sequence so the merged trace is a valid single trace.
         Requires ``observe=True``.
         """
-        if not self.observe:
-            raise ConfigurationError(
-                "merged_trace_records needs a swarm built with observe=True")
         records: list[dict] = []
-        for member in self.members:
-            for record in member.session.telemetry.trace.as_records():
+        for segment in self.trace_segments():
+            for record in segment:
                 record["seq"] = len(records)
                 records.append(record)
         return records

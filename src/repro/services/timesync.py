@@ -68,17 +68,24 @@ class DriftingClock:
     Positive ``drift_ppm`` makes the prover clock run fast.  Wraps the
     tick-reading path so all policy code sees drifted time, exactly as
     firmware would.
+
+    ``drift_ppm`` is stored as an integer: the skew is applied in a
+    simulated tick path, and ``int(raw * ppm / 1e6)`` loses low bits
+    once ``raw * ppm`` exceeds 2**53 (a 64-bit clock at 24 MHz gets
+    there in hours at realistic drift rates), making drifted time
+    depend on float rounding instead of the tick count.  Exact integer
+    floor division has no such horizon.
     """
 
     def __init__(self, device: Device, drift_ppm: float):
         if device.clock is None:
             raise ConfigurationError("device has no clock to drift")
         self.device = device
-        self.drift_ppm = drift_ppm
+        self.drift_ppm = int(drift_ppm)
 
     def read_ticks(self, context) -> int:
         raw = self.device.read_clock_ticks(context)
-        return raw + int(raw * self.drift_ppm / 1e6)
+        return raw + raw * self.drift_ppm // 1_000_000
 
     @property
     def resolution_seconds(self) -> float:

@@ -1,0 +1,46 @@
+"""Checkpoint/restore with deterministic replay (``repro.snapshot``).
+
+Serializable, versioned snapshots of the *entire* simulation state --
+device memory (content-addressed and deduplicated across a fleet),
+EA-MPU registers, clocks and interrupt state, freshness state, RNG
+stream positions, circuit breakers, telemetry -- at session, swarm and
+fleet granularity.
+
+The core contract is **byte-identity**: restoring a snapshot into a
+freshly rebuilt object and continuing the run produces digests, cycle
+counts, energy, registry dumps and event traces identical to a run
+that never stopped.  Restore is therefore deterministic rebuild plus
+field overwrite, never deserialization of live objects; snapshots are
+plain JSON and refuse (``SnapshotError``) anything they cannot
+reproduce exactly -- pending simulator events, mismatched rebuilds,
+unknown adversary types.
+
+Entry points:
+
+* ``Session.snapshot()`` / ``Swarm.snapshot()`` /
+  ``FleetEngine.snapshot()`` -- capture to an envelope dict;
+* the matching ``.restore(document)`` methods -- overwrite a rebuilt
+  object;
+* :func:`replay_to_seq` -- restore and re-drive a swarm until its
+  merged event trace reaches a target sequence number;
+* ``python -m repro snapshot save|restore|replay`` -- the same flow
+  from the command line, with the rebuild spec embedded in the file.
+"""
+
+from .blobs import BlobStore
+from .codec import (decode_message, encode_adversary, encode_message,
+                    restore_adversary, restore_rng, rng_state)
+from .device import restore_device, snapshot_device
+from .document import (build_swarm_from_spec, flatten_fleet_state,
+                       load_document, make_document, save_document,
+                       swarm_spec, unwrap_document)
+from .session import restore_session, snapshot_session
+from .swarm import replay_to_seq, restore_swarm, snapshot_swarm
+
+__all__ = ["BlobStore", "snapshot_device", "restore_device",
+           "snapshot_session", "restore_session", "snapshot_swarm",
+           "restore_swarm", "replay_to_seq", "make_document",
+           "unwrap_document", "save_document", "load_document",
+           "flatten_fleet_state", "swarm_spec", "build_swarm_from_spec",
+           "rng_state", "restore_rng", "encode_message", "decode_message",
+           "encode_adversary", "restore_adversary"]

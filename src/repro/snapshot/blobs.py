@@ -1,0 +1,78 @@
+"""Content-addressed memory-image store for snapshot documents.
+
+A fleet snapshot would naively cost O(N * writable_bytes): every member
+carries a full RAM + flash + ROM image.  But fleet members are built
+from one :class:`~repro.mcu.device.DeviceConfig` and mostly share byte
+ranges -- the firmware image in flash is identical across the fleet and
+honest RAM above the reserved words never diverges.  The repo already
+has an exact sharing witness: each region's write-chain
+:attr:`~repro.mcu.memory.MemoryRegion.content_fingerprint`, whose seed
+binds the region name/geometry and which advances with every mutation
+at or above ``fingerprint_exclude_below``.  Equal fingerprints therefore
+imply byte-identical contents at and above that bound.
+
+:class:`BlobStore` keys each region image (the bytes at/above the
+exclude bound) by its fingerprint, so a 256-member fleet snapshot
+stores O(unique region histories) images instead of 256 of each.  The
+per-member excluded prefix (IDT / ``counter_R`` / ``Clock_MSB``) is
+tiny and genuinely per-device, so it travels with the member record,
+not the store.
+"""
+
+from __future__ import annotations
+
+from ..errors import SnapshotError
+from .codec import b64, unb64
+
+__all__ = ["BlobStore"]
+
+
+class BlobStore:
+    """Deduplicated ``fingerprint-hex -> bytes`` map for region images."""
+
+    def __init__(self):
+        self._blobs: dict[str, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Stored payload size after deduplication."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def put(self, fingerprint_hex: str, data: bytes) -> None:
+        """Store ``data`` under its fingerprint; idempotent for equal
+        content, loud for a collision (which would mean the write-chain
+        sharing argument is broken)."""
+        existing = self._blobs.get(fingerprint_hex)
+        if existing is None:
+            self._blobs[fingerprint_hex] = bytes(data)
+        elif existing != data:
+            raise SnapshotError(
+                f"blob collision on fingerprint {fingerprint_hex}: two "
+                f"different images claim the same write chain")
+
+    def get(self, fingerprint_hex: str) -> bytes:
+        try:
+            return self._blobs[fingerprint_hex]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot references missing blob {fingerprint_hex}") \
+                from None
+
+    def merge(self, other: "BlobStore") -> None:
+        """Union another store in (collision-checked)."""
+        for fingerprint_hex, data in other._blobs.items():
+            self.put(fingerprint_hex, data)
+
+    def encode(self) -> dict:
+        """JSON form: base64 images keyed by fingerprint hex."""
+        return {fp: b64(data) for fp, data in sorted(self._blobs.items())}
+
+    @classmethod
+    def decode(cls, encoded: dict) -> "BlobStore":
+        store = cls()
+        for fingerprint_hex, text in encoded.items():
+            store.put(fingerprint_hex, unb64(text))
+        return store

@@ -1,0 +1,144 @@
+"""Low-level value codecs shared by every snapshot layer.
+
+Snapshots are dependency-free JSON documents, so every non-JSON value
+gets an explicit, reversible encoding here:
+
+* raw bytes -- base64 (``b64``/``unb64``) for bulk payloads, hex for
+  20-byte fingerprints and nonces (readable in diffs);
+* :class:`~repro.crypto.rng.DeterministicRng` -- its four 20-byte HMAC
+  chain values, so a restored stream continues *exactly* where the
+  captured one stopped (and its ``substream`` children stay anchored to
+  the same root);
+* wire messages -- their canonical ``to_bytes`` encodings, which
+  round-trip exactly (``ATRQ``/``ATRP`` magics);
+* channel adversaries -- a type-tagged record of only the *mutable*
+  state (RNG positions, Gilbert-Elliott burst flag); the configuration
+  itself is rebuilt by the caller, and restore refuses a type mismatch.
+
+Every ``restore_*`` function overwrites state on an already-rebuilt
+object instead of constructing one: restore is deterministic rebuild
+plus overwrite, never deserialization of arbitrary types.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from ..core.messages import AttestationRequest, AttestationResponse
+from ..errors import SnapshotError
+
+__all__ = ["b64", "unb64", "rng_state", "restore_rng", "encode_message",
+           "decode_message", "encode_adversary", "restore_adversary"]
+
+
+def b64(data: bytes) -> str:
+    return base64.b64encode(bytes(data)).decode("ascii")
+
+
+def unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+# ---------------------------------------------------------------------------
+# Deterministic RNG streams
+# ---------------------------------------------------------------------------
+
+def rng_state(rng) -> dict:
+    """Capture a :class:`DeterministicRng`'s full HMAC-chain state."""
+    return {"key": rng._key.hex(), "value": rng._value.hex(),
+            "root_key": rng._root_key.hex(),
+            "root_value": rng._root_value.hex()}
+
+
+def restore_rng(rng, state: dict) -> None:
+    """Overwrite ``rng`` with a captured chain state."""
+    rng._key = bytes.fromhex(state["key"])
+    rng._value = bytes.fromhex(state["value"])
+    rng._root_key = bytes.fromhex(state["root_key"])
+    rng._root_value = bytes.fromhex(state["root_value"])
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+def encode_message(message) -> dict:
+    """Encode a request/response via its exact wire representation."""
+    if isinstance(message, AttestationRequest):
+        return {"kind": "req", "data": b64(message.to_bytes())}
+    if isinstance(message, AttestationResponse):
+        return {"kind": "rsp", "data": b64(message.to_bytes())}
+    raise SnapshotError(
+        f"cannot snapshot message of type {type(message).__name__}")
+
+
+def decode_message(record: dict):
+    data = unb64(record["data"])
+    if record["kind"] == "req":
+        return AttestationRequest.from_bytes(data)
+    if record["kind"] == "rsp":
+        return AttestationResponse.from_bytes(data)
+    raise SnapshotError(f"unknown message kind {record['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# Channel adversaries / fault models
+# ---------------------------------------------------------------------------
+
+def encode_adversary(adversary) -> dict | None:
+    """Capture the mutable state of a channel adversary.
+
+    Only state that evolves at runtime is recorded; static parameters
+    (loss rates, delays) are reproduced by rebuilding the session with
+    the same factory.  ``None`` and stateless pass-through adversaries
+    encode as type tags with no payload.
+    """
+    from ..net.faults import FaultModel, FaultPipeline, GilbertElliottLoss
+    if adversary is None:
+        return None
+    name = type(adversary).__name__
+    if isinstance(adversary, FaultPipeline):
+        return {"type": name,
+                "models": [encode_adversary(m) for m in adversary.models]}
+    if isinstance(adversary, GilbertElliottLoss):
+        return {"type": name, "rng": rng_state(adversary._rng),
+                "in_burst": adversary.in_burst}
+    if isinstance(adversary, FaultModel):
+        return {"type": name, "rng": rng_state(adversary._rng)}
+    if name == "PassthroughAdversary":
+        return {"type": name}
+    raise SnapshotError(f"cannot snapshot adversary type {name}")
+
+
+def restore_adversary(adversary, state: dict | None) -> None:
+    """Overwrite the mutable state of a rebuilt adversary."""
+    from ..net.faults import FaultModel, FaultPipeline, GilbertElliottLoss
+    if state is None:
+        if adversary is not None and not _is_passthrough(adversary):
+            raise SnapshotError(
+                "snapshot has no adversary state but the rebuilt session "
+                f"has a {type(adversary).__name__}")
+        return
+    name = type(adversary).__name__
+    if name != state["type"]:
+        raise SnapshotError(
+            f"adversary type mismatch: snapshot has {state['type']}, "
+            f"rebuilt session has {name}")
+    if isinstance(adversary, FaultPipeline):
+        if len(adversary.models) != len(state["models"]):
+            raise SnapshotError("fault pipeline length mismatch")
+        for model, model_state in zip(adversary.models, state["models"]):
+            restore_adversary(model, model_state)
+        return
+    if isinstance(adversary, GilbertElliottLoss):
+        restore_rng(adversary._rng, state["rng"])
+        adversary.in_burst = state["in_burst"]
+        return
+    if isinstance(adversary, FaultModel):
+        restore_rng(adversary._rng, state["rng"])
+        return
+    # Stateless pass-through: nothing to overwrite.
+
+
+def _is_passthrough(adversary) -> bool:
+    return type(adversary).__name__ == "PassthroughAdversary"

@@ -1,0 +1,193 @@
+"""Device-level snapshot: every mutable hardware block of the prover.
+
+The capture/restore contract mirrors Simics-style checkpointing:
+*restore never constructs a device*.  The caller rebuilds a device from
+the same :class:`~repro.mcu.device.DeviceConfig` (construction,
+provisioning and boot are deterministic), and :func:`restore_device`
+then overwrites exactly the state that evolves at runtime:
+
+* memory region contents and their write-chain fingerprints (images
+  deduplicated through a :class:`~repro.snapshot.blobs.BlobStore`);
+* the EA-MPU register file (written behind the lockdown check -- this
+  is the checkpoint mechanism restoring hardware flops, not software
+  reconfiguring a locked MPU) and its decoded-rule cache;
+* CPU cycle count, battery/energy accounting, boot log;
+* clock and timer state (counter offsets, software-clock wrap counts);
+* interrupt-controller queues, logs and the mask register;
+* execution contexts created after boot (e.g. malware contexts).
+
+Deliberately **not** captured: ``mpu._violations`` -- a host-side
+diagnostic list of raised exceptions, never read back by simulated
+code; restored runs start with an empty list.
+"""
+
+from __future__ import annotations
+
+from ..errors import SnapshotError
+from ..mcu.cpu import ExecutionContext
+from .blobs import BlobStore
+from .codec import b64, unb64
+
+__all__ = ["snapshot_device", "restore_device"]
+
+#: Contexts recreated by deterministic construction + boot; anything
+#: else in ``device._contexts`` was made at runtime and must travel.
+_BUILTIN_CONTEXTS = frozenset({"boot", "Code_Attest", "Code_Clock", "app"})
+
+
+def snapshot_device(device, blobs: BlobStore) -> dict:
+    """Capture ``device``'s mutable state; region images go to ``blobs``."""
+    regions = []
+    for region in device.memory:
+        if region._data is None:
+            continue  # MMIO: peripheral state is captured below
+        exclude = region.fingerprint_exclude_below
+        fingerprint = region._fingerprint.hex()
+        blobs.put(fingerprint, bytes(region._data[exclude:]))
+        regions.append({"name": region.name, "size": region.size,
+                        "exclude": exclude, "fingerprint": fingerprint,
+                        "prefix": b64(bytes(region._data[:exclude]))})
+    snap = {
+        "boot_profile": (device.boot_profile.name
+                         if device.boot_profile is not None else None),
+        "boot_log": list(device.boot_log),
+        "cpu_cycles": device.cpu.cycle_count,
+        "energy_last_cycle": device._energy_last_cycle,
+        "battery": {"consumed_mj": device.battery.consumed_mj,
+                    "active_cycles": device.battery.active_cycles,
+                    "sleep_seconds": device.battery.sleep_seconds},
+        "regions": regions,
+        "mpu": b64(bytes(device.mpu._registers)),
+        "contexts": [_encode_context(ctx)
+                     for name, ctx in sorted(device._contexts.items())
+                     if name not in _BUILTIN_CONTEXTS],
+        "clock": _snapshot_clock(device.clock),
+        "interrupts": _snapshot_interrupts(device.interrupts),
+    }
+    return snap
+
+
+def restore_device(device, snap: dict, blobs: BlobStore) -> None:
+    """Overwrite a freshly rebuilt ``device`` with captured state."""
+    profile = (device.boot_profile.name
+               if device.boot_profile is not None else None)
+    if profile != snap["boot_profile"]:
+        raise SnapshotError(
+            f"boot profile mismatch: snapshot has {snap['boot_profile']!r},"
+            f" rebuilt device booted {profile!r}")
+
+    for record in snap["regions"]:
+        try:
+            region = device.memory.region(record["name"])
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot region {record['name']!r} does not exist on "
+                f"the rebuilt device") from None
+        if (region.size != record["size"]
+                or region.fingerprint_exclude_below != record["exclude"]):
+            raise SnapshotError(
+                f"region {record['name']!r} geometry mismatch")
+        exclude = record["exclude"]
+        image = blobs.get(record["fingerprint"])
+        if len(image) != region.size - exclude:
+            raise SnapshotError(
+                f"region {record['name']!r} image length mismatch")
+        # Direct overwrite, *not* store(): the write chain is not
+        # recomputable from content, so the captured fingerprint is
+        # reinstated verbatim alongside the bytes it witnesses.
+        region._data[:exclude] = unb64(record["prefix"])
+        region._data[exclude:] = image
+        region._fingerprint = bytes.fromhex(record["fingerprint"])
+
+    registers = unb64(snap["mpu"])
+    if len(registers) != len(device.mpu._registers):
+        raise SnapshotError("MPU register file size mismatch")
+    device.mpu._registers[:] = registers
+    device.mpu._decoded = None
+
+    device.boot_log = list(snap["boot_log"])
+    device.cpu.cycle_count = snap["cpu_cycles"]
+    device._energy_last_cycle = snap["energy_last_cycle"]
+    battery = snap["battery"]
+    device.battery.consumed_mj = battery["consumed_mj"]
+    device.battery.active_cycles = battery["active_cycles"]
+    device.battery.sleep_seconds = battery["sleep_seconds"]
+
+    for name in [n for n in device._contexts if n not in _BUILTIN_CONTEXTS]:
+        del device._contexts[name]
+    for record in snap["contexts"]:
+        device._contexts[record["name"]] = _decode_context(record)
+
+    _restore_clock(device.clock, snap["clock"])
+    _restore_interrupts(device.interrupts, snap["interrupts"])
+
+
+# ---------------------------------------------------------------------------
+# Pieces
+# ---------------------------------------------------------------------------
+
+def _encode_context(ctx: ExecutionContext) -> dict:
+    return {"name": ctx.name, "start": ctx.code_start, "end": ctx.code_end,
+            "uninterruptible": ctx.uninterruptible,
+            "entry_points": (list(ctx.entry_points)
+                             if ctx.entry_points is not None else None)}
+
+
+def _decode_context(record: dict) -> ExecutionContext:
+    entry_points = record["entry_points"]
+    return ExecutionContext(
+        record["name"], record["start"], record["end"],
+        uninterruptible=record["uninterruptible"],
+        entry_points=(tuple(entry_points) if entry_points is not None
+                      else None))
+
+
+def _snapshot_counter(counter) -> dict:
+    return {"base": counter._base,
+            "last_unwrapped": counter._last_unwrapped}
+
+
+def _restore_counter(counter, state: dict) -> None:
+    counter._base = state["base"]
+    counter._last_unwrapped = state["last_unwrapped"]
+
+
+def _snapshot_clock(clock) -> dict | None:
+    if clock is None:
+        return None
+    state = {"kind": clock.kind, "counter": _snapshot_counter(clock.counter)}
+    if clock.kind == "software":
+        state["wraps_signalled"] = clock.wraps_signalled
+        state["wraps_serviced"] = clock.wraps_serviced
+    return state
+
+
+def _restore_clock(clock, state: dict | None) -> None:
+    if state is None:
+        if clock is not None:
+            raise SnapshotError("snapshot has no clock state but the "
+                                "rebuilt device has a clock")
+        return
+    if clock is None or clock.kind != state["kind"]:
+        raise SnapshotError("clock kind mismatch between snapshot and "
+                            "rebuilt device")
+    _restore_counter(clock.counter, state["counter"])
+    if clock.kind == "software":
+        clock.wraps_signalled = state["wraps_signalled"]
+        clock.wraps_serviced = state["wraps_serviced"]
+
+
+def _snapshot_interrupts(interrupts) -> dict:
+    return {"pending": list(interrupts._pending),
+            "mask_bits": interrupts.mask._bits,
+            "coalesced": [list(entry) for entry in interrupts.coalesced_log],
+            "dispatched": [list(entry) for entry in interrupts.dispatch_log],
+            "dropped": [list(entry) for entry in interrupts.dropped_log]}
+
+
+def _restore_interrupts(interrupts, state: dict) -> None:
+    interrupts._pending = list(state["pending"])
+    interrupts.mask._bits = state["mask_bits"]
+    interrupts.coalesced_log = [tuple(entry) for entry in state["coalesced"]]
+    interrupts.dispatch_log = [tuple(entry) for entry in state["dispatched"]]
+    interrupts.dropped_log = [tuple(entry) for entry in state["dropped"]]

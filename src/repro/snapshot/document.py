@@ -1,0 +1,154 @@
+"""Snapshot documents: versioned JSON envelopes, file I/O, fleet merge.
+
+Every snapshot -- session, swarm or fleet -- ships in one envelope::
+
+    {"schema": "repro.snapshot/v1",
+     "kind": "session" | "swarm" | "fleet",
+     "blobs": {fingerprint-hex: base64-image, ...},
+     "state": {...kind-specific payload...},
+     "meta": {...optional caller extras, e.g. the CLI rebuild spec...}}
+
+The envelope is plain JSON (no pickling, no arbitrary types), so
+snapshots are diffable, greppable, and safe to load from untrusted
+disks: restore rebuilds objects deterministically and only *overwrites*
+fields, it never instantiates types named by the document.
+
+A fleet document records per-shard swarm payloads (each with its own
+state-digest cache), so restoring into a :class:`FleetEngine` with the
+same shard partition resumes every worker exactly -- including cache
+hit/miss accounting.  :func:`flatten_fleet_state` merges the shards
+into a single swarm payload for sequential restore on any machine,
+dropping only the per-shard caches (host-side accounting; the restored
+sequential swarm runs uncached like the seed path).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SnapshotError
+from ..obs.schema import SNAPSHOT_SCHEMA_ID, validate_snapshot
+from .blobs import BlobStore
+
+__all__ = ["make_document", "unwrap_document", "save_document",
+           "load_document", "flatten_fleet_state", "swarm_spec",
+           "build_swarm_from_spec"]
+
+
+def make_document(kind: str, state: dict, blobs: BlobStore,
+                  meta: dict | None = None) -> dict:
+    document = {"schema": SNAPSHOT_SCHEMA_ID, "kind": kind,
+                "blobs": blobs.encode(), "state": state}
+    if meta is not None:
+        document["meta"] = meta
+    return document
+
+
+def unwrap_document(document: dict, kind: str) -> tuple[dict, BlobStore]:
+    """Validate an envelope and return ``(state, blobs)``."""
+    errors = validate_snapshot(document)
+    if errors:
+        raise SnapshotError("invalid snapshot document: "
+                            + "; ".join(errors))
+    if document["kind"] != kind:
+        raise SnapshotError(
+            f"snapshot kind mismatch: document is {document['kind']!r}, "
+            f"expected {kind!r}")
+    return document["state"], BlobStore.decode(document["blobs"])
+
+
+def save_document(document: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def load_document(path: str) -> dict:
+    with open(path) as handle:
+        document = json.load(handle)
+    errors = validate_snapshot(document)
+    if errors:
+        raise SnapshotError(f"invalid snapshot document {path}: "
+                            + "; ".join(errors))
+    return document
+
+
+def flatten_fleet_state(state: dict) -> dict:
+    """Merge a fleet document's shard payloads into one swarm payload.
+
+    Members concatenate in shard order (shards are contiguous index
+    blocks, so this is global member order), breakers union, and the
+    per-shard digest caches are dropped -- the flattened payload
+    restores into an *uncached* sequential swarm.
+    """
+    members = []
+    breakers = {}
+    for shard in state["shards"]:
+        members.extend(shard["swarm"]["members"])
+        breakers.update(shard["swarm"]["breakers"])
+    shard_marks = [shard["swarm"].get("trace_marks")
+                   for shard in state["shards"]]
+    if any(marks is not None for marks in shard_marks):
+        # Sweep s of the flattened fleet = the shards' sweep-s
+        # watermarks concatenated in shard (== member) order.
+        trace_marks = [[mark for marks in shard_marks
+                        for mark in marks[sweep]]
+                       for sweep in range(len(shard_marks[0]))]
+    else:
+        trace_marks = None
+    return {"sweeps_run": state["sweeps_run"], "members": members,
+            "breakers": breakers, "state_cache": None,
+            "trace_marks": trace_marks}
+
+
+# ---------------------------------------------------------------------------
+# CLI rebuild specs: enough plain JSON to rebuild the swarm a snapshot
+# was taken from, so ``repro snapshot restore`` needs no re-typed flags.
+# ---------------------------------------------------------------------------
+
+def swarm_spec(*, size: int, profile: str = "roam-hardened",
+               auth_scheme: str = "speck-64/128-cbc-mac",
+               policy: str = "counter", ram_kb: int = 16,
+               flash_kb: int = 32, app_kb: int = 4, retry: bool = False,
+               faults: bool = False, stagger_seconds: float = 0.0,
+               seed: str = "cli-snapshot") -> dict:
+    """A JSON-ready description of a CLI-built fleet."""
+    return {"size": size, "profile": profile, "auth_scheme": auth_scheme,
+            "policy": policy, "ram_kb": ram_kb, "flash_kb": flash_kb,
+            "app_kb": app_kb, "retry": retry, "faults": faults,
+            "stagger_seconds": stagger_seconds, "seed": seed}
+
+
+def build_swarm_from_spec(spec: dict):
+    """Deterministically rebuild the swarm a spec describes.
+
+    Same spec, same swarm: the builder funnels every parameter through
+    the deterministic constructors, so a snapshot taken from one build
+    restores cleanly into another.
+    """
+    from ..core.resilience import RetryPolicy
+    from ..mcu.device import DeviceConfig
+    from ..mcu.profiles import ALL_PROFILES
+    from ..perf.fleet import lossy_link
+    from ..services.swarm import Swarm
+
+    profiles = {p.name: p for p in ALL_PROFILES}
+    try:
+        profile = profiles[spec["profile"]]
+    except KeyError:
+        raise SnapshotError(
+            f"unknown protection profile {spec['profile']!r}") from None
+    retry = None
+    if spec["retry"]:
+        retry = RetryPolicy(attempt_timeout_seconds=5.0, max_retries=2,
+                            base_backoff_seconds=1.0, jitter_fraction=0.5)
+    return Swarm(spec["size"], profile=profile,
+                 auth_scheme=spec["auth_scheme"],
+                 policy_name=spec["policy"],
+                 device_config=DeviceConfig(
+                     ram_size=spec["ram_kb"] * 1024,
+                     flash_size=spec["flash_kb"] * 1024,
+                     app_size=spec["app_kb"] * 1024),
+                 retry=retry,
+                 adversary_factory=lossy_link if spec["faults"] else None,
+                 observe=True, seed=spec["seed"])

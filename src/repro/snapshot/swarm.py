@@ -1,0 +1,147 @@
+"""Swarm-level snapshot: N member sessions plus fleet bookkeeping.
+
+A swarm snapshot is the member sessions (all sharing one deduplicating
+:class:`~repro.snapshot.blobs.BlobStore` -- the fleet-scale win), the
+per-device circuit breakers, the sweep counter, and the shared
+state-digest cache.  The swarm's retry-jitter root RNG is deliberately
+*not* captured: the swarm only ever branches per-sweep substreams off
+it (``substream(f"{device_id}:{sweeps_run}")``), never consumes it
+directly, so rebuilding it from the seed reproduces every future
+substream exactly.
+
+Restore order matters for the digest cache: member restore re-installs
+region fingerprints, and the cache payload is applied *after* the
+rebuilt swarm's spin-up so the spin-up's own hit/miss accounting is
+overwritten -- a restored-and-continued fleet reports the same cache
+stats as one that never stopped.
+
+:func:`replay_to_seq` implements deterministic replay: restore, then
+re-drive sweeps until the merged event trace reaches a target sequence
+number, returning the exact record prefix.  Replay is re-execution, so
+it works from any snapshot and any reachable target.
+"""
+
+from __future__ import annotations
+
+from ..errors import SnapshotError
+from .blobs import BlobStore
+from .session import restore_session, snapshot_session
+
+__all__ = ["snapshot_swarm", "restore_swarm", "replay_to_seq"]
+
+
+def snapshot_swarm(swarm, blobs: BlobStore) -> dict:
+    """Capture a swarm between sweeps; region images go to ``blobs``."""
+    return {
+        "sweeps_run": swarm.sweeps_run,
+        "members": [{"device_id": member.device_id, "index": member.index,
+                     "session": snapshot_session(member.session, blobs)}
+                    for member in swarm.members],
+        "breakers": {device_id: _snapshot_breaker(breaker)
+                     for device_id, breaker in swarm.breakers.items()},
+        "state_cache": (_snapshot_cache(swarm.state_cache)
+                        if swarm.state_cache is not None else None),
+        "trace_marks": ([list(marks) for marks in swarm._trace_marks]
+                        if swarm.observe else None),
+    }
+
+
+def restore_swarm(swarm, snap: dict, blobs: BlobStore) -> None:
+    """Overwrite a freshly rebuilt ``swarm`` with captured state."""
+    captured = [(m["device_id"], m["index"]) for m in snap["members"]]
+    rebuilt = [(m.device_id, m.index) for m in swarm.members]
+    if captured != rebuilt:
+        raise SnapshotError(
+            f"member set mismatch: snapshot has {captured}, rebuilt "
+            f"swarm has {rebuilt}")
+    for member, record in zip(swarm.members, snap["members"]):
+        restore_session(member.session, record["session"], blobs)
+    if set(snap["breakers"]) != set(swarm.breakers):
+        raise SnapshotError("circuit-breaker set mismatch")
+    for device_id, state in snap["breakers"].items():
+        _restore_breaker(swarm.breakers[device_id], state)
+    swarm.sweeps_run = snap["sweeps_run"]
+    marks = snap.get("trace_marks")
+    swarm._trace_marks = ([list(row) for row in marks]
+                          if marks is not None else [])
+    if snap["state_cache"] is not None:
+        if swarm.state_cache is None:
+            raise SnapshotError(
+                "snapshot carries a state-digest cache but the rebuilt "
+                "swarm has none attached")
+        _restore_cache(swarm.state_cache, snap["state_cache"])
+    elif swarm.state_cache is not None:
+        # Captured swarm ran uncached: continuing must too, or hit/miss
+        # accounting diverges from the uninterrupted run.
+        raise SnapshotError(
+            "rebuilt swarm has a state-digest cache but the snapshot "
+            "was taken without one")
+
+
+def replay_to_seq(swarm, snap: dict, blobs: BlobStore, target_seq: int, *,
+                  stagger_seconds: float = 0.0, max_sweeps: int = 64) -> list:
+    """Restore ``swarm`` from ``snap`` and re-drive it until the merged
+    trace covers ``target_seq``; return records ``0..target_seq``.
+
+    The restored fleet is swept deterministically until its merged
+    event trace contains the target sequence number, so any event of
+    the original timeline at or after the checkpoint can be
+    reproduced exactly.  Raises :class:`SnapshotError` if the target is
+    not reached within ``max_sweeps`` (e.g. a quarantined-out fleet
+    that no longer emits events).
+    """
+    if target_seq < 0:
+        raise SnapshotError("replay target seq cannot be negative")
+    restore_swarm(swarm, snap, blobs)
+    records = swarm.merged_trace_records()
+    for _ in range(max_sweeps):
+        if len(records) > target_seq:
+            break
+        swarm.sweep(stagger_seconds=stagger_seconds)
+        records = swarm.merged_trace_records()
+    if len(records) <= target_seq:
+        raise SnapshotError(
+            f"replay reached only {len(records)} events after "
+            f"{max_sweeps} sweeps; target seq {target_seq} unreachable")
+    return records[:target_seq + 1]
+
+
+# ---------------------------------------------------------------------------
+# Pieces
+# ---------------------------------------------------------------------------
+
+def _snapshot_breaker(breaker) -> dict:
+    return {"state": breaker.state,
+            "consecutive_failures": breaker.consecutive_failures,
+            "probes_skipped": breaker.probes_skipped,
+            "transitions": [list(t) for t in breaker.transitions]}
+
+
+def _restore_breaker(breaker, state: dict) -> None:
+    breaker.state = state["state"]
+    breaker.consecutive_failures = state["consecutive_failures"]
+    breaker.probes_skipped = state["probes_skipped"]
+    breaker.transitions = [tuple(t) for t in state["transitions"]]
+
+
+def _snapshot_cache(cache) -> dict:
+    # Keys are tuples of (start, end, fingerprint) span triples;
+    # insertion order carries the FIFO-eviction semantics.
+    return {"hits": cache.hits, "misses": cache.misses,
+            "max_entries": cache.max_entries,
+            "entries": [[[[start, end, fingerprint.hex()]
+                          for start, end, fingerprint in key],
+                         digest.hex()]
+                        for key, digest in cache._entries.items()]}
+
+
+def _restore_cache(cache, state: dict) -> None:
+    if cache.max_entries != state["max_entries"]:
+        raise SnapshotError("state-digest cache capacity mismatch")
+    cache._entries.clear()
+    for spans, digest in state["entries"]:
+        key = tuple((start, end, bytes.fromhex(fingerprint))
+                    for start, end, fingerprint in spans)
+        cache._entries[key] = bytes.fromhex(digest)
+    cache.hits = state["hits"]
+    cache.misses = state["misses"]

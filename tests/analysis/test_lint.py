@@ -91,6 +91,15 @@ class TestFloatCycleRule:
         source = "def hmac_cycles(n):\n    return -(-n // 64)\n"
         assert rules_in(source) == set()
 
+    def test_tick_functions_are_covered_too(self):
+        source = "def read_ticks(raw):\n    return int(raw * 1.001)\n"
+        assert "FLT001" in rules_in(source)
+
+    def test_integer_tick_function_is_clean(self):
+        source = ("def read_ticks(raw):\n"
+                  "    return raw + raw * 1000 // 1_000_000\n")
+        assert rules_in(source) == set()
+
     def test_wall_unit_conversions_are_the_sanctioned_boundary(self):
         source = ("def _ms_to_cycles(ms):\n    return int(ms * 24000.0)\n"
                   "def cycles_to_seconds(c):\n    return c / 24e6\n")

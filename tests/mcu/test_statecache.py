@@ -44,6 +44,36 @@ class TestCacheStructure:
         cache.clear()
         assert len(cache) == 0
 
+    def test_clear_starts_a_fresh_measurement_epoch(self):
+        cache = StateDigestCache(max_entries=2)
+        cache.store(("a",), b"A")
+        cache.lookup(("a",))
+        cache.lookup(("missing",))
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
+                                 "max_entries": 2}
+
+    def test_reset_stats_keeps_entries(self):
+        cache = StateDigestCache(max_entries=2)
+        cache.store(("a",), b"A")
+        cache.lookup(("a",))
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+        assert cache.lookup(("a",)) == b"A"
+
+    def test_restore_of_existing_key_keeps_fifo_position(self):
+        # Re-storing a resident key must neither evict anything nor
+        # refresh the key's age: this is FIFO, not LRU.
+        cache = StateDigestCache(max_entries=2)
+        cache.store(("a",), b"A")
+        cache.store(("b",), b"B")
+        cache.store(("a",), b"A2")          # update in place, no eviction
+        assert cache.lookup(("b",)) == b"B"
+        assert cache.lookup(("a",)) == b"A2"
+        cache.store(("c",), b"C")           # ("a",) is still the oldest
+        assert cache.lookup(("a",)) is None
+        assert cache.lookup(("b",)) == b"B"
+
 
 class TestDigestEquivalence:
     def test_hit_returns_same_digest_cycles_and_energy(self):

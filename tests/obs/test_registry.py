@@ -1,6 +1,10 @@
 """Unit tests for the metrics registry primitives."""
 
+import json
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry
@@ -180,3 +184,57 @@ class TestRegistryMerge:
                 {"schema": "repro.obs.registry/v1",
                  "metrics": [{"kind": "summary", "name": "x",
                               "labels": {}, "value": 1}]})
+
+
+class TestErrorFreeFolding:
+    """The expansion-based accumulators make float folding *exact*.
+
+    A fleet folds per-shard registries in whatever order the process
+    pool finishes, and a checkpoint round-trips every accumulator
+    through JSON.  Both only stay deterministic if the fold is exactly
+    associative/commutative and the dump loses no bits -- which plain
+    left-to-right float addition is not.
+    """
+
+    _values = st.lists(
+        st.floats(min_value=-1e12, max_value=1e12,
+                  allow_nan=False, allow_infinity=False,
+                  width=64),
+        min_size=1, max_size=24)
+
+    @given(values=_values, order=st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_exactly_order_independent(self, values, order):
+        shards = []
+        for value in values:
+            reg = MetricsRegistry()
+            reg.counter("energy_mj").inc(abs(value))
+            reg.histogram("lat", buckets=(1.0, 1e6)).observe(value)
+            shards.append(reg)
+        shuffled = list(shards)
+        order.shuffle(shuffled)
+
+        sequential = MetricsRegistry()
+        for reg in shards:
+            sequential.merge(reg)
+        permuted = MetricsRegistry()
+        for reg in shuffled:
+            permuted.merge(reg)
+        assert sequential.dump() == permuted.dump()
+
+    @given(values=_values)
+    @settings(max_examples=200, deadline=None)
+    def test_dump_roundtrip_is_exact_for_adversarial_floats(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        for value in values:
+            reg.counter("energy_mj").inc(abs(value))
+            h.observe(value)
+        wire = json.loads(json.dumps(reg.dump()))
+        rebuilt = MetricsRegistry.from_dump(wire)
+        assert rebuilt.dump() == reg.dump()
+        follow = MetricsRegistry()
+        follow.counter("energy_mj").inc(1.0 / 3.0)
+        rebuilt.merge(follow)
+        reg.merge(follow)
+        assert rebuilt.dump() == reg.dump()

@@ -15,6 +15,7 @@ the process-pool path itself is covered by the
 """
 
 import json
+from itertools import zip_longest
 
 from hypothesis import given, settings, strategies as st
 
@@ -63,18 +64,22 @@ def sharded_sweep(size, shards, *, retry, faults, sweeps, stagger):
     states = {}
     for swarm in swarms:
         states.update(swarm.device_states())
-    registry = None
+    # Shard pre-merge: each shard folds its own members and ships one
+    # dump, exactly like _shard_merged_registry_dump does in-process.
+    from repro.obs.registry import MetricsRegistry
+    registry = MetricsRegistry()
     for swarm in swarms:
-        for dump in swarm.member_registry_dumps():
-            from repro.obs.registry import MetricsRegistry
-            if registry is None:
-                registry = MetricsRegistry()
-            registry.merge(MetricsRegistry.from_dump(dump))
+        registry.merge(MetricsRegistry.from_dump(
+            swarm.merged_registry().dump()))
+    # Shards ship sweep-major segments; the host interleaves them sweep
+    # by sweep, exactly like FleetEngine.merged_trace_records.
     records = []
-    for swarm in swarms:
-        for record in swarm.merged_trace_records():
-            record["seq"] = len(records)
-            records.append(record)
+    for row in zip_longest(*[swarm.trace_segments() for swarm in swarms],
+                           fillvalue=[]):
+        for segment in row:
+            for record in segment:
+                record["seq"] = len(records)
+                records.append(record)
     total = sum(swarm.total_attestations() for swarm in swarms)
     return reports, states, registry.dump(), records, total
 

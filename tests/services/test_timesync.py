@@ -50,6 +50,24 @@ class TestDriftingClock:
         with pytest.raises(ConfigurationError):
             DriftingClock(dev, 1.0)
 
+    def test_large_tick_counts_stay_exact(self, device):
+        # Once raw * ppm exceeds 2**53 a float skew computation starts
+        # rounding, so drifted time would depend on magnitude instead of
+        # the tick count.  The integer path must match exact floor
+        # division at any size.
+        clock = DriftingClock(device, drift_ppm=1000.0)
+        device.idle_seconds(500_000.0)          # days of uptime at 24 MHz
+        context = device.context("Code_Attest")
+        raw = device.read_clock_ticks(context)
+        assert raw * clock.drift_ppm > 2**53    # in float-rounding territory
+        assert clock.read_ticks(context) == raw + raw * 1000 // 1_000_000
+
+    def test_drift_is_deterministic_across_reads(self, device):
+        clock = DriftingClock(device, drift_ppm=250.0)
+        device.idle_seconds(123_456.0)
+        context = device.context("Code_Attest")
+        assert clock.read_ticks(context) == clock.read_ticks(context)
+
 
 class TestProtocol:
     def test_sync_reduces_error(self, device):

@@ -1,0 +1,153 @@
+"""Fleet checkpoints: interrupted runs must be indistinguishable.
+
+The property under test is the contract from ``repro.snapshot``: for
+any fleet shape, run K sweeps, checkpoint, keep one copy running and
+restore the checkpoint into a fresh build, then drive both to the same
+sweep count -- every report, device state, metric dump, trace record
+and battery reading must match exactly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SnapshotError
+from repro.perf.fleet import FleetEngine, FleetSpec
+from repro.snapshot import build_swarm_from_spec, swarm_spec
+
+
+def fingerprint(swarm):
+    """Everything observable about a fleet, in comparable form."""
+    state = {
+        "sweeps_run": swarm.sweeps_run,
+        "device_states": swarm.device_states(),
+        "total": swarm.total_attestations(),
+        "battery": {m.device_id: m.battery_fraction
+                    for m in swarm.members},
+    }
+    if swarm.observe:
+        state["registry"] = json.dumps(swarm.merged_registry().dump(),
+                                       sort_keys=True)
+        state["trace"] = swarm.merged_trace_records()
+    return state
+
+
+class TestSwarmRoundTrip:
+    @given(size=st.integers(min_value=2, max_value=5),
+           faults=st.booleans(), retry=st.booleans(),
+           sweeps_before=st.integers(min_value=1, max_value=3),
+           sweeps_after=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=12, deadline=None)
+    def test_restore_plus_continue_equals_uninterrupted(
+            self, size, faults, retry, sweeps_before, sweeps_after):
+        spec = swarm_spec(size=size, faults=faults, retry=retry,
+                          seed=f"hyp-{size}-{faults}-{retry}")
+        uninterrupted = build_swarm_from_spec(spec)
+        restored = build_swarm_from_spec(spec)
+
+        for _ in range(sweeps_before):
+            uninterrupted.sweep()
+        document = uninterrupted.snapshot()
+        restored.restore(document)
+        for _ in range(sweeps_after):
+            uninterrupted.sweep()
+            restored.sweep()
+        assert fingerprint(uninterrupted) == fingerprint(restored)
+
+    def test_reports_match_sweep_for_sweep(self):
+        spec = swarm_spec(size=3, faults=True, retry=True, seed="reports")
+        a = build_swarm_from_spec(spec)
+        b = build_swarm_from_spec(spec)
+        a.sweep()
+        b.restore(a.snapshot())
+        for _ in range(3):
+            assert a.sweep() == b.sweep()
+
+    def test_member_set_mismatch_refuses(self):
+        a = build_swarm_from_spec(swarm_spec(size=3, seed="m"))
+        b = build_swarm_from_spec(swarm_spec(size=4, seed="m"))
+        a.sweep()
+        with pytest.raises(SnapshotError, match="member"):
+            b.restore(a.snapshot())
+
+
+class TestReplay:
+    def test_replay_reproduces_an_exact_trace_prefix(self):
+        spec = swarm_spec(size=3, faults=True, seed="replay")
+        live = build_swarm_from_spec(spec)
+        live.sweep()
+        document = live.snapshot()
+        live.sweep()
+        live.sweep()
+        full = live.merged_trace_records()
+
+        for target in (len(full) // 2, len(full) - 1):
+            fresh = build_swarm_from_spec(spec)
+            records = fresh.replay_to_seq(document, target)
+            assert records == full[:target + 1]
+            assert records[-1]["seq"] == target
+
+    def test_unreachable_seq_refuses(self):
+        spec = swarm_spec(size=2, seed="replay-far")
+        live = build_swarm_from_spec(spec)
+        live.sweep()
+        document = live.snapshot()
+        fresh = build_swarm_from_spec(spec)
+        with pytest.raises(SnapshotError, match="seq"):
+            fresh.replay_to_seq(document, 10_000_000, max_sweeps=2)
+
+    def test_negative_seq_refuses(self):
+        spec = swarm_spec(size=2, seed="replay-neg")
+        live = build_swarm_from_spec(spec)
+        live.sweep()
+        document = live.snapshot()
+        with pytest.raises(SnapshotError):
+            build_swarm_from_spec(spec).replay_to_seq(document, -1)
+
+
+class TestFleetEngine:
+    def test_sharded_round_trip_with_caches(self):
+        spec = FleetSpec(size=6, observe=True, seed="fleet-rt")
+        with FleetEngine(spec, workers=2) as live:
+            live.sweep()
+            document = live.snapshot()
+            assert document["kind"] == "fleet"
+            assert len(document["state"]["shards"]) == 2
+            live.sweep()
+            expected_states = live.device_states()
+            expected_registry = live.merged_registry().dump()
+            expected_cache = live.cache_stats()
+
+        with FleetEngine(spec, workers=2) as resumed:
+            resumed.restore(document)
+            resumed.sweep()
+            assert resumed.sweeps_run == 2
+            assert resumed.device_states() == expected_states
+            assert resumed.merged_registry().dump() == expected_registry
+            assert resumed.cache_stats() == expected_cache
+
+    def test_fleet_document_restores_into_sequential_swarm(self):
+        spec = FleetSpec(size=4, observe=True, seed="fleet-flat")
+        with FleetEngine(spec, workers=2) as live:
+            live.sweep()
+            document = live.snapshot()
+            live.sweep()
+            expected_states = live.device_states()
+            expected_registry = live.merged_registry().dump()
+
+        swarm = spec.build()
+        swarm.restore(document)
+        swarm.sweep()
+        assert swarm.device_states() == expected_states
+        assert swarm.merged_registry().dump() == expected_registry
+
+    def test_worker_count_mismatch_refuses(self):
+        spec = FleetSpec(size=4, seed="fleet-wc")
+        with FleetEngine(spec, workers=2) as live:
+            live.sweep()
+            document = live.snapshot()
+        with FleetEngine(spec, workers=1) as other:
+            with pytest.raises(SnapshotError, match="worker"):
+                other.restore(document)

@@ -1,0 +1,30 @@
+"""Tier-1 wiring for ``scripts/snapshot_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a broken checkpoint path -- a restore that
+drifts from the uninterrupted run, a replay that loses prefix
+exactness, or a snapshot that stops deduplicating -- fails the suite,
+not just a manual run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "snapshot_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestSnapshotSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "snapshot-smoke: OK" in proc.stderr
+        assert "restore == uninterrupted" in proc.stderr
