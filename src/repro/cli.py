@@ -13,6 +13,7 @@ Usage::
     python -m repro verify-profile [--profile P] [--clock C] [--json]
     python -m repro lint [paths ...] [--json] [--waivers F]
     python -m repro fleet-bench [--size N] [--workers W] [--json]
+    python -m repro incremental-bench [--size N] [--dirty F ...] [--json]
     python -m repro snapshot save --out F [--size N] [--sweeps K]
     python -m repro snapshot restore F [--sweeps K] [--json]
     python -m repro snapshot replay F --seq N
@@ -443,6 +444,53 @@ def _cmd_fleet_bench(args) -> int:
     return 0 if equivalence["identical"] else 1
 
 
+def _cmd_incremental_bench(args) -> int:
+    """Dirty-region incremental sweeps vs full walks on an OTA fleet."""
+    import json
+
+    from .obs.schema import validate_incremental_report
+    from .perf import incremental
+
+    kwargs = {}
+    if args.dirty:
+        kwargs["dirty_fractions"] = tuple(args.dirty)
+    report = incremental.build_report(fleet_size=args.size,
+                                      ram_kb=args.ram_kb,
+                                      sweeps=args.sweeps,
+                                      chunk_size=args.chunk_size,
+                                      **kwargs)
+    errors = validate_incremental_report(report)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    if args.out:
+        incremental.write_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    rows = [["dirty", "dirty KB", "full (s)", "incremental (s)", "speedup"]]
+    for point in report["points"]:
+        rows.append([f"{point['dirty_fraction']:.0%}",
+                     str(point["dirty_kb"]),
+                     f"{point['full_seconds']:.3f}",
+                     f"{point['incremental_seconds']:.3f}",
+                     f"{point['speedup']:.2f}x"])
+    print(render_table(
+        rows, title=f"Incremental bench: {report['fleet_size']} members, "
+                    f"{report['writable_kb']} KB writable, "
+                    f"{report['sweeps']} timed sweep(s)"))
+    gate = report["gate"]
+    equivalence = report["equivalence"]
+    print(f"\ngate: {gate['speedup']:.2f}x at "
+          f"{gate['dirty_fraction']:.0%} dirty "
+          f"(threshold {gate['threshold']:.1f}x) -> "
+          f"{'pass' if gate['passed'] else 'FAIL'}")
+    print(f"equivalence clean: {equivalence['identical']}")
+    return 0 if gate["passed"] and equivalence["identical"] else 1
+
+
 def _report_rows(report) -> list:
     return [["quantity", "value"],
             ["attempted", str(report.attempted)],
@@ -708,6 +756,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="also write the JSON report to a file")
     p.set_defaults(fn=_cmd_fleet_bench)
+
+    p = sub.add_parser("incremental-bench",
+                       help="dirty-region incremental sweeps vs full walks")
+    p.add_argument("--size", type=int, default=24,
+                   help="fleet size (default 24; the CI gate runs 256)")
+    p.add_argument("--ram-kb", type=int, default=256,
+                   help="per-member RAM in KB (flash sized to match)")
+    p.add_argument("--sweeps", type=int, default=2,
+                   help="timed update+sweep rounds per path")
+    p.add_argument("--dirty", type=float, action="append", default=None,
+                   metavar="FRACTION",
+                   help="dirty fraction to measure (repeatable; default "
+                        "0.02 0.05 0.10 0.25 0.50)")
+    p.add_argument("--chunk-size", type=int, default=4096,
+                   help="digest-tree leaf chunk size in bytes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable incremental report")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to a file")
+    p.set_defaults(fn=_cmd_incremental_bench)
 
     p = sub.add_parser("report",
                        help="aggregate benchmark results into markdown")

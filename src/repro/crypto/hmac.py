@@ -34,7 +34,8 @@ from .. import fastpath
 from .sha1 import BLOCK_SIZE, DIGEST_SIZE, SHA1
 
 __all__ = ["HmacSha1", "hmac_sha1", "constant_time_compare",
-           "clear_hmac_midstate_cache", "hmac_midstate_cache_info"]
+           "clear_hmac_midstate_cache", "hmac_midstate_cache_info",
+           "pin_hmac_midstates", "unpin_hmac_midstates"]
 
 _IPAD = 0x36
 _OPAD = 0x5C
@@ -47,6 +48,14 @@ HMAC_MIDSTATE_CACHE_MAX = 128
 #: cloned (never mutated) on every hit.
 _midstate_cache: "OrderedDict[tuple[str, bytes], tuple[SHA1, SHA1]]" = \
     OrderedDict()
+#: Pinned midstates, exempt from the LRU bound.  A fleet of N devices
+#: holds N *distinct* keys; with N > HMAC_MIDSTATE_CACHE_MAX a sweep in
+#: member order visits keys cyclically -- the worst case for an LRU,
+#: which then evicts every entry just before it is needed again.
+#: ``pin_hmac_midstates`` batch-primes all fleet keys in one pass and
+#: parks them here, so per-member HMAC finalization never recomputes a
+#: pad block.  Same host-only caveats as the LRU cache.
+_pinned: dict[tuple[str, bytes], tuple[SHA1, SHA1]] = {}
 _cache_hits = 0
 _cache_misses = 0
 
@@ -58,29 +67,67 @@ def _prepare_key(key: bytes) -> bytes:
     return key.ljust(BLOCK_SIZE, b"\x00")
 
 
+def _make_midstates(padded: bytes) -> tuple[SHA1, SHA1]:
+    return (SHA1(bytes(b ^ _IPAD for b in padded)),
+            SHA1(bytes(b ^ _OPAD for b in padded)))
+
+
 def _pad_midstates(padded: bytes) -> tuple[SHA1, SHA1]:
-    """Inner/outer SHA-1 prototypes for ``padded`` (64-byte key block),
-    cached per (engine, key) with LRU eviction."""
+    """Inner/outer SHA-1 prototypes for ``padded`` (64-byte key block):
+    pinned entries first, then the per-(engine, key) LRU cache."""
     global _cache_hits, _cache_misses
     cache_key = (fastpath.engine(), padded)
+    entry = _pinned.get(cache_key)
+    if entry is not None:
+        _cache_hits += 1
+        return entry
     entry = _midstate_cache.get(cache_key)
     if entry is not None:
         _cache_hits += 1
         _midstate_cache.move_to_end(cache_key)
         return entry
     _cache_misses += 1
-    entry = (SHA1(bytes(b ^ _IPAD for b in padded)),
-             SHA1(bytes(b ^ _OPAD for b in padded)))
+    entry = _make_midstates(padded)
     _midstate_cache[cache_key] = entry
     while len(_midstate_cache) > HMAC_MIDSTATE_CACHE_MAX:
         _midstate_cache.popitem(last=False)
     return entry
 
 
+def pin_hmac_midstates(keys) -> int:
+    """Batch-prime and pin the pad midstates for ``keys`` (an iterable
+    of raw HMAC keys) under the current engine, in one pass.
+
+    Pinned entries are exempt from the LRU bound, so a fleet sweep over
+    more distinct keys than ``HMAC_MIDSTATE_CACHE_MAX`` finalizes every
+    member's HMAC from a cloned midstate instead of thrashing the LRU.
+    Idempotent -- already-pinned keys are skipped.  Returns the number
+    of newly pinned keys.  Host-side only: simulated HMAC cycle charges
+    are unchanged.
+    """
+    engine = fastpath.engine()
+    pinned = 0
+    for key in keys:
+        cache_key = (engine, _prepare_key(bytes(key)))
+        if cache_key in _pinned:
+            continue
+        _pinned[cache_key] = _make_midstates(cache_key[1])
+        pinned += 1
+    return pinned
+
+
+def unpin_hmac_midstates() -> None:
+    """Release all pinned midstates (the LRU cache is untouched)."""
+    _pinned.clear()
+
+
 def clear_hmac_midstate_cache() -> None:
-    """Drop all cached midstates and reset the hit/miss counters."""
+    """Drop all cached *and pinned* midstates and reset the hit/miss
+    counters (benchmarks rely on this making the next construction per
+    key genuinely cold)."""
     global _cache_hits, _cache_misses
     _midstate_cache.clear()
+    _pinned.clear()
     _cache_hits = 0
     _cache_misses = 0
 
@@ -89,6 +136,7 @@ def hmac_midstate_cache_info() -> dict:
     """Cache statistics (for the wall-clock benchmarks and tests)."""
     return {"size": len(_midstate_cache),
             "max_size": HMAC_MIDSTATE_CACHE_MAX,
+            "pinned": len(_pinned),
             "hits": _cache_hits,
             "misses": _cache_misses}
 

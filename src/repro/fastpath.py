@@ -41,7 +41,8 @@ from __future__ import annotations
 import contextlib
 import os
 
-__all__ = ["ENGINES", "engine", "set_engine", "is_fast", "forced"]
+__all__ = ["ENGINES", "engine", "set_engine", "is_fast", "forced",
+           "incremental_enabled", "set_incremental", "forced_incremental"]
 
 ENGINES = ("naive", "pure", "accel")
 
@@ -98,3 +99,49 @@ def forced(name: str):
         yield
     finally:
         set_engine(previous)
+
+
+# -- incremental measurement toggle ------------------------------------------
+#
+# Orthogonal to the engine choice: whether devices with
+# ``enable_incremental()`` may use their digest trees as a
+# content-addressed second cache key (see ``repro.incremental``).  Like
+# the engine toggle this is a host-execution concern only -- digests and
+# simulated accounting are byte-identical either way -- and honours the
+# same kill-switch idiom: ``REPRO_INCREMENTAL=0`` disables the content
+# path globally, forcing every cache miss down the full walk.
+
+_INCR_ENV_VAR = "REPRO_INCREMENTAL"
+
+_INCR_FALSE = {"0", "off", "false", "no"}
+
+
+def _incremental_from_env() -> bool:
+    raw = os.environ.get(_INCR_ENV_VAR, "1").strip().lower()
+    return raw not in _INCR_FALSE
+
+
+_incremental = _incremental_from_env()
+
+
+def incremental_enabled() -> bool:
+    """Whether the content-addressed incremental path may be used."""
+    return _incremental
+
+
+def set_incremental(on: bool) -> bool:
+    """Enable/disable the incremental path; returns the previous state."""
+    global _incremental
+    previous = _incremental
+    _incremental = bool(on)
+    return previous
+
+
+@contextlib.contextmanager
+def forced_incremental(on: bool):
+    """Context manager pinning the incremental toggle for a block."""
+    previous = set_incremental(on)
+    try:
+        yield
+    finally:
+        set_incremental(previous)

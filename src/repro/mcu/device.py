@@ -30,6 +30,7 @@ from ..crypto.costmodel import CryptoCostModel
 from ..crypto.hmac import HmacSha1
 from ..crypto.sha1 import SHA1
 from ..errors import ConfigurationError, SecureBootError
+from ..incremental import DigestTree
 from ..obs.telemetry import NULL_TELEMETRY
 from .clock import SoftwareClock, WideHardwareClock
 from .cpu import CPU, ExecutionContext
@@ -217,6 +218,7 @@ class Device:
         self.boot_log: list[str] = []
         self.telemetry = NULL_TELEMETRY
         self._state_cache = None
+        self._incremental = False
 
     def attach_state_cache(self, cache) -> None:
         """Share a :class:`~repro.mcu.statecache.StateDigestCache`.
@@ -652,6 +654,76 @@ class Device:
         return tuple((start, end, self.memory.find(start).content_fingerprint)
                      for start, end in spans)
 
+    # -- incremental (dirty-region) measurement ---------------------------
+
+    def enable_incremental(self, *, chunk_size: int | None = None,
+                           arity: int | None = None) -> None:
+        """Attach a :class:`repro.incremental.DigestTree` per attested
+        span, enabling the content-addressed second cache key.
+
+        The trees observe every :meth:`~repro.mcu.memory.MemoryRegion.
+        note_write` and make re-recognising previously measured content
+        an O(dirty + log N) refresh instead of a full walk (see
+        :mod:`repro.incremental` and ``docs/performance.md``).  Purely a
+        host-side accelerator: digests, simulated cycles, energy and
+        telemetry are byte-identical with or without it.
+        """
+        kwargs = {}
+        if chunk_size is not None:
+            kwargs["chunk_size"] = chunk_size
+        if arity is not None:
+            kwargs["arity"] = arity
+        for start, end in self.attested_spans():
+            if end <= start:
+                continue
+            region = self.memory.find(start)
+            region.attach_digest_tree(DigestTree(
+                start - region.start, end - start, **kwargs))
+        self._incremental = True
+
+    def disable_incremental(self) -> None:
+        """Detach all digest trees; the device reverts to history-keyed
+        caching only."""
+        for region in self.memory.writable_regions():
+            region.detach_digest_tree()
+        self._incremental = False
+
+    def _content_digest_key(self, spans: list[tuple[int, int]]) -> tuple | None:
+        """Content-addressed second cache key from digest-tree roots.
+
+        One ``(start, end, chunk_size, arity, root)`` tuple per span.
+        Equal keys imply byte-identical attested contents *regardless of
+        write history* -- the case the write-chain key always misses.
+        Refreshing a root costs O(dirty + log N) chunk digests.  Returns
+        ``None`` when any span lacks a matching tree.  Reads region
+        backing bytes directly: callers gate on the same eligibility
+        rules as the bulk walk, so no tracer or MPU arbitration can be
+        bypassed.
+        """
+        parts = []
+        for start, end in spans:
+            if end <= start:
+                continue
+            region = self.memory.find(start)
+            tree = region.digest_tree
+            if (tree is None or tree.window_start != start - region.start
+                    or tree.window_size != end - start):
+                return None
+            parts.append((start, end, tree.chunk_size, tree.arity,
+                          tree.root(region._data)))
+        return ("content", *parts)
+
+    def _replay_digest_accounting(self, context: ExecutionContext,
+                                  spans: list[tuple[int, int]]) -> None:
+        """Charge the exact simulated accounting of a full state-digest
+        walk without re-reading memory (cache-hit path): same context,
+        same ``sha1_cycles`` total, same deferred-interrupt servicing."""
+        with self.cpu.running(context):
+            total = sum(end - start for start, end in spans if end > start)
+            self.cpu.consume_cycles(self.cost_model.sha1_cycles(total))
+        if self.config.uninterruptible_attest:
+            self.interrupts.run_pending()
+
     def digest_writable_memory(self, context: ExecutionContext) -> bytes:
         """SHA-1 digest of the attested memory (the state report).
 
@@ -664,21 +736,36 @@ class Device:
         the exact simulated accounting of a recompute (same context,
         same ``sha1_cycles`` charge, same deferred-interrupt servicing),
         so only host time changes.
+
+        Lookup is two-level when :meth:`enable_incremental` is on:
+
+        1. the O(1) write-chain key (same history -> hit, PR 5);
+        2. on a miss, the content key from the digest-tree roots,
+           refreshed in O(dirty + log N) -- same *contents* via any
+           write history -> hit.  A content hit re-stores the digest
+           under the new history key, so subsequent unchanged sweeps go
+           back to hitting at level 1.
+
+        Both levels obey the same eligibility gates; a genuine miss
+        pays the full walk and stores under both keys.
         """
         spans = self.attested_spans()
         key = None
+        content_key = None
         if self._state_cache_eligible(context, spans):
             key = self._state_digest_key(spans)
             cached = self._state_cache.lookup(key)
             if cached is not None:
-                with self.cpu.running(context):
-                    total = sum(end - start for start, end in spans
-                                if end > start)
-                    self.cpu.consume_cycles(
-                        self.cost_model.sha1_cycles(total))
-                if self.config.uninterruptible_attest:
-                    self.interrupts.run_pending()
+                self._replay_digest_accounting(context, spans)
                 return cached
+            if self._incremental and fastpath.incremental_enabled():
+                content_key = self._content_digest_key(spans)
+                if content_key is not None:
+                    cached = self._state_cache.lookup(content_key)
+                    if cached is not None:
+                        self._state_cache.store(key, cached)
+                        self._replay_digest_accounting(context, spans)
+                        return cached
         digest = SHA1()
         with self.cpu.running(context):
             total = self._absorb_spans(context, spans, digest.update)
@@ -688,6 +775,8 @@ class Device:
         value = digest.digest()
         if key is not None:
             self._state_cache.store(key, value)
+        if content_key is not None:
+            self._state_cache.store(content_key, value)
         return value
 
     @property

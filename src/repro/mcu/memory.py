@@ -99,6 +99,10 @@ class MemoryRegion:
         #: attestation digest never covers -- so honest freshness-state
         #: updates do not invalidate cached state digests.
         self.fingerprint_exclude_below = 0
+        #: Optional :class:`repro.incremental.DigestTree` observing this
+        #: region's mutations (attached by ``Device.enable_incremental``).
+        #: Host-side only; ``None`` means no incremental tracking.
+        self.digest_tree = None
         if self._data is not None:
             self._fingerprint = hashlib.sha1(
                 f"region:{name}:{start:#x}:{size:#x}".encode()).digest()
@@ -142,14 +146,51 @@ class MemoryRegion:
 
         Both :meth:`load` (factory/harness writes) and
         :meth:`MemoryBus.write` (arbitrated software stores) land here,
-        so the content fingerprint can never miss a mutation.
+        so content accounting (:meth:`note_write`) can never miss a
+        mutation.
         """
         self._data[offset:offset + len(data)] = data
-        if offset + len(data) <= self.fingerprint_exclude_below:
+        self.note_write(offset, data)
+
+    def note_write(self, offset: int, data: bytes) -> None:
+        """Account a mutation of ``[offset, offset + len(data))``.
+
+        Advances the write-chain fingerprint and marks the covering
+        :attr:`digest_tree` leaves dirty.  Zero-length writes mutate
+        nothing and are skipped uniformly (they advance neither the
+        fingerprint nor the tree -- two histories differing only by
+        empty stores describe byte-identical contents).  Writes entirely
+        below :attr:`fingerprint_exclude_below` skip the fingerprint
+        chain; a write *straddling* the bound is accounted in full (the
+        conservative direction: a straddle can touch attested bytes, so
+        it must invalidate cached digests).
+        """
+        length = len(data)
+        if length == 0:
+            return
+        tree = self.digest_tree
+        if tree is not None:
+            tree.note_write(offset, length)
+        if offset + length <= self.fingerprint_exclude_below:
             return
         self._fingerprint = hashlib.sha1(
             self._fingerprint + offset.to_bytes(8, "little")
-            + len(data).to_bytes(8, "little") + bytes(data)).digest()
+            + length.to_bytes(8, "little") + bytes(data)).digest()
+
+    def attach_digest_tree(self, tree) -> None:
+        """Attach a :class:`repro.incremental.DigestTree` observing this
+        region's mutations (window must fit inside the region)."""
+        if self._data is None:
+            raise ConfigurationError(
+                f"cannot attach a digest tree to MMIO region {self.name!r}")
+        if tree.window_start + tree.window_size > self.size:
+            raise ConfigurationError(
+                f"digest tree window exceeds region {self.name!r} "
+                f"(size {self.size:#x})")
+        self.digest_tree = tree
+
+    def detach_digest_tree(self) -> None:
+        self.digest_tree = None
 
     # -- raw (MPU-bypassing) access: used by hardware and by the simulator
     #    harness to set up initial contents -------------------------------

@@ -45,22 +45,35 @@ __all__ = ["StateDigestCache"]
 class StateDigestCache:
     """Bounded FIFO cache mapping state keys to 20-byte digests.
 
-    Keys are the tuples built by ``Device._state_digest_key``: one
-    ``(start, end, region_fingerprint)`` triple per attested span.
+    Keys are the tuples built by ``Device._state_digest_key`` (one
+    ``(start, end, region_fingerprint)`` triple per attested span) and,
+    when incremental measurement is enabled, the content-addressed
+    ``("content", ...)`` keys built from digest-tree roots.
     Insertion-ordered eviction keeps the structure deterministic; the
-    ``hits``/``misses`` counters make cache effectiveness assertable in
-    tests and smoke gates.
+    ``hits``/``misses``/``evictions`` counters make cache effectiveness
+    assertable in tests and smoke gates.
+
+    ``max_entries=0`` selects *unbounded* mode (no eviction) -- the
+    right choice for long fleet runs where the working set is the fleet
+    size and eviction would silently reintroduce full walks.  Negative
+    bounds are rejected.
+
+    Counters can be exported to a telemetry registry with
+    :meth:`publish`; publication is explicit and on-demand, never a side
+    effect of lookups, so cached and uncached runs produce byte-identical
+    registry dumps (the PR 5 equivalence gate).
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "_entries")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_entries")
 
     def __init__(self, max_entries: int = 256):
-        if max_entries < 1:
+        if max_entries < 0:
             raise ConfigurationError(
-                "state digest cache needs room for at least 1 entry")
+                "state digest cache bound must be >= 0 (0 = unbounded)")
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: dict[tuple, bytes] = {}
 
     def __len__(self) -> int:
@@ -77,10 +90,13 @@ class StateDigestCache:
 
     def store(self, key: tuple, digest: bytes) -> None:
         """Insert ``digest`` under ``key``, evicting the oldest entry
-        when full."""
-        if key not in self._entries and len(self._entries) >= self.max_entries:
+        when full (never evicts in unbounded mode)."""
+        if (self.max_entries
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries):
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            self.evictions += 1
         self._entries[key] = digest
 
     def clear(self) -> None:
@@ -95,12 +111,29 @@ class StateDigestCache:
         self.reset_stats()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters, keeping cached entries."""
+        """Zero the hit/miss/eviction counters, keeping cached entries."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> dict:
         """JSON-ready effectiveness counters."""
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries}
+
+    def publish(self, telemetry) -> None:
+        """Export the counters as gauges on a telemetry registry.
+
+        Sets ``statecache.hits`` / ``statecache.misses`` /
+        ``statecache.evictions`` (names registered in
+        :mod:`repro.obs.schema`).  Explicitly *not* called from
+        :meth:`lookup`/:meth:`store`: publication during sweeps would
+        make registry dumps differ between cached and uncached runs,
+        breaking the equivalence gate.  Call it when a report wants a
+        cache snapshot.
+        """
+        telemetry.set_gauge("statecache.hits", self.hits)
+        telemetry.set_gauge("statecache.misses", self.misses)
+        telemetry.set_gauge("statecache.evictions", self.evictions)

@@ -36,11 +36,12 @@ Attach a telemetry to a session at build time::
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .schema import (ANALYSIS_SCHEMA, EVENT_SCHEMA, FLEET_SCHEMA,
-                     INVARIANT_NAMES, LINT_RULE_IDS, METRIC_NAMES,
-                     REGISTRY_SCHEMA, WALLCLOCK_SCHEMA,
+                     INCREMENTAL_SCHEMA, INVARIANT_NAMES, LINT_RULE_IDS,
+                     METRIC_NAMES, REGISTRY_SCHEMA, WALLCLOCK_SCHEMA,
                      validate_analysis_report, validate_event,
-                     validate_fleet_report, validate_jsonl_trace,
-                     validate_registry_dump, validate_wallclock_report)
+                     validate_fleet_report, validate_incremental_report,
+                     validate_jsonl_trace, validate_registry_dump,
+                     validate_wallclock_report)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .trace import EVENT_KINDS, EventTrace, TraceEvent
 
@@ -48,9 +49,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "EVENT_KINDS", "EventTrace", "TraceEvent",
     "NULL_TELEMETRY", "NullTelemetry", "Telemetry",
-    "ANALYSIS_SCHEMA", "EVENT_SCHEMA", "FLEET_SCHEMA", "REGISTRY_SCHEMA",
-    "WALLCLOCK_SCHEMA", "INVARIANT_NAMES", "LINT_RULE_IDS", "METRIC_NAMES",
+    "ANALYSIS_SCHEMA", "EVENT_SCHEMA", "FLEET_SCHEMA", "INCREMENTAL_SCHEMA",
+    "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA", "INVARIANT_NAMES",
+    "LINT_RULE_IDS", "METRIC_NAMES",
     "validate_analysis_report", "validate_event", "validate_fleet_report",
-    "validate_jsonl_trace", "validate_registry_dump",
-    "validate_wallclock_report",
+    "validate_incremental_report", "validate_jsonl_trace",
+    "validate_registry_dump", "validate_wallclock_report",
 ]

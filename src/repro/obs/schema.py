@@ -23,11 +23,12 @@ from ..fastpath import ENGINES
 from .trace import EVENT_KINDS
 
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
-           "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "SNAPSHOT_SCHEMA",
-           "SNAPSHOT_SCHEMA_ID", "METRIC_NAMES", "INVARIANT_NAMES",
-           "LINT_RULE_IDS", "validate_event", "validate_jsonl_trace",
-           "validate_registry_dump", "validate_wallclock_report",
-           "validate_analysis_report", "validate_fleet_report",
+           "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "INCREMENTAL_SCHEMA",
+           "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMA_ID", "METRIC_NAMES",
+           "INVARIANT_NAMES", "LINT_RULE_IDS", "validate_event",
+           "validate_jsonl_trace", "validate_registry_dump",
+           "validate_wallclock_report", "validate_analysis_report",
+           "validate_fleet_report", "validate_incremental_report",
            "validate_snapshot"]
 
 #: The closed vocabulary of metric (counter/gauge/histogram) names the
@@ -69,6 +70,11 @@ METRIC_NAMES = frozenset({
     "session.backoff_seconds",
     "session.retries",
     "session.timeouts",
+    # host-side state digest cache (exported on demand via
+    # ``StateDigestCache.publish``; never published mid-sweep)
+    "statecache.evictions",
+    "statecache.hits",
+    "statecache.misses",
     "swarm.breaker_transitions",
     "verifier.requests_issued",
     "verifier.responses_validated",
@@ -265,6 +271,68 @@ _FLEET_EQUIVALENCE_SCHEMA = {
         "mismatched_fields": {"type": "array"},
     },
 }
+
+#: Schema of the incremental-attestation benchmark report
+#: (``BENCH_incremental.json`` at the repository root, written by
+#: ``benchmarks/bench_incremental.py``; see ``docs/performance.md``).
+INCREMENTAL_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "fleet_size", "ram_kb", "writable_kb", "sweeps",
+                 "chunk_size", "arity", "points", "gate", "equivalence"],
+    "properties": {
+        "schema": {"type": "string",
+                   "enum": ["repro.perf.incremental/v1"]},
+        "fleet_size": {"type": "integer", "minimum": 1},
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "writable_kb": {"type": "integer", "minimum": 1},
+        "sweeps": {"type": "integer", "minimum": 1},
+        "chunk_size": {"type": "integer", "minimum": 1},
+        "arity": {"type": "integer", "minimum": 2},
+        "host": {"type": "object"},
+        "points": {"type": "array"},
+        "gate": {"type": "object"},
+        "equivalence": {"type": "object"},
+    },
+}
+
+#: Schema of one dirty-fraction measurement point in the incremental
+#: report.
+_INCREMENTAL_POINT_SCHEMA = {
+    "type": "object",
+    "required": ["dirty_fraction", "dirty_kb", "full_seconds",
+                 "incremental_seconds", "speedup"],
+    "properties": {
+        "dirty_fraction": {"type": "number", "minimum": 0},
+        "dirty_kb": {"type": "integer", "minimum": 0},
+        "full_seconds": {"type": "number", "minimum": 0},
+        "incremental_seconds": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "full_cache": {"type": "object"},
+        "incremental_cache": {"type": "object"},
+        "tree": {"type": "object"},
+    },
+}
+
+_INCREMENTAL_GATE_SCHEMA = {
+    "type": "object",
+    "required": ["dirty_fraction", "speedup", "threshold", "passed"],
+    "properties": {
+        "dirty_fraction": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "threshold": {"type": "number", "minimum": 0},
+        "passed": {"type": "boolean"},
+    },
+}
+
+_INCREMENTAL_EQUIVALENCE_SCHEMA = {
+    "type": "object",
+    "required": ["identical", "scenarios"],
+    "properties": {
+        "identical": {"type": "boolean"},
+        "scenarios": {"type": "object"},
+    },
+}
+
 
 #: Version identifier of checkpoint/restore snapshot documents
 #: (see ``repro.snapshot`` and ``docs/checkpoint.md``).
@@ -520,6 +588,32 @@ def validate_fleet_report(report: dict) -> list[str]:
         errors.extend(_check(report["equivalence"],
                              _FLEET_EQUIVALENCE_SCHEMA,
                              "fleet.equivalence"))
+    return errors
+
+
+def validate_incremental_report(report: dict) -> list[str]:
+    """Validate a decoded ``BENCH_incremental.json`` report object.
+
+    Checks the envelope, every dirty-fraction point, the speedup gate
+    and the equivalence block.  Shape only -- whether the gate *passed*
+    and the equivalence block is clean is policy, enforced by the
+    benchmark itself and ``scripts/incremental_smoke.py``.
+    """
+    errors = _check(report, INCREMENTAL_SCHEMA, "incremental")
+    if not isinstance(report, dict):
+        return errors
+    points = report.get("points")
+    for index, point in enumerate(points
+                                  if isinstance(points, list) else []):
+        errors.extend(_check(point, _INCREMENTAL_POINT_SCHEMA,
+                             f"incremental.points[{index}]"))
+    if isinstance(report.get("gate"), dict):
+        errors.extend(_check(report["gate"], _INCREMENTAL_GATE_SCHEMA,
+                             "incremental.gate"))
+    if isinstance(report.get("equivalence"), dict):
+        errors.extend(_check(report["equivalence"],
+                             _INCREMENTAL_EQUIVALENCE_SCHEMA,
+                             "incremental.equivalence"))
     return errors
 
 

@@ -46,7 +46,6 @@ import json
 import multiprocessing
 import os
 import pathlib
-import platform
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -60,6 +59,7 @@ from ..mcu.statecache import StateDigestCache
 from ..net.faults import BernoulliLoss, FaultPipeline, LatencyJitter
 from ..obs.registry import MetricsRegistry
 from ..services.swarm import Swarm, SweepReport, fold_outcomes
+from .wallclock import host_info
 
 __all__ = ["REPORT_SCHEMA_ID", "WORKERS_ENV", "FleetSpec", "FleetEngine",
            "partition", "resolve_workers", "lossy_link",
@@ -97,6 +97,7 @@ class FleetSpec:
     probe_every_sweeps: int = 4
     adversary_factory: object = None
     observe: bool = False
+    incremental: bool = False
     seed: str = "swarm"
 
     def build(self, *, member_indices=None,
@@ -117,6 +118,7 @@ class FleetSpec:
                      member_indices=member_indices,
                      adversary_factory=self.adversary_factory,
                      observe=self.observe, state_cache=state_cache,
+                     incremental=self.incremental,
                      seed=self.seed)
 
 
@@ -401,8 +403,8 @@ class FleetEngine:
         zero on the ``workers=1`` uncached seed path)."""
         self.start()
         if self._swarm is not None:
-            return {"hits": 0, "misses": 0, "entries": 0}
-        totals = {"hits": 0, "misses": 0, "entries": 0}
+            return {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
         for stats in self._gather(_shard_cache_stats):
             for key in totals:
                 totals[key] += stats[key]
@@ -606,12 +608,7 @@ def build_report(*, fleet_size: int = 256, ram_kb: int = 1024,
         "ram_kb": ram_kb,
         "workers": resolved,
         "sweeps": sweeps,
-        "host": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count() or 1,
-        },
+        "host": {**host_info(), "cpus": os.cpu_count() or 1},
         "sequential": {
             "spinup_seconds": seq_spinup,
             "sweep_seconds": seq_sweep,

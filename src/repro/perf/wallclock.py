@@ -35,9 +35,9 @@ from ..crypto.hmac import HmacSha1, clear_hmac_midstate_cache
 from ..mcu.device import Device, DeviceConfig
 from ..obs.telemetry import Telemetry
 
-__all__ = ["REPORT_SCHEMA_ID", "DEFAULT_SWEEP_KB", "time_measurement",
-           "hmac_cache_timing", "equivalence_check", "build_report",
-           "write_report"]
+__all__ = ["REPORT_SCHEMA_ID", "DEFAULT_SWEEP_KB", "host_info",
+           "time_measurement", "hmac_cache_timing", "equivalence_check",
+           "build_report", "write_report"]
 
 REPORT_SCHEMA_ID = "repro.perf.wallclock/v1"
 
@@ -46,6 +46,16 @@ DEFAULT_SWEEP_KB = (64, 128, 256, 512, 1024)
 
 _KEY = b"wallclock-key-16"
 _CHALLENGE = b"wallclock-challenge"
+
+
+def host_info() -> dict:
+    """The host block every perf report embeds (shared by the wallclock,
+    fleet and incremental reports so they stay comparable)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+    }
 
 
 def _build_device(ram_kb: int) -> tuple[Device, object]:
@@ -213,11 +223,7 @@ def build_report(*, sweep_kb: tuple = DEFAULT_SWEEP_KB,
     return {
         "schema": REPORT_SCHEMA_ID,
         "engine_default": default_engine,
-        "host": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
+        "host": host_info(),
         "sweep": sweep,
         "naive_baseline": naive,
         "speedup": {

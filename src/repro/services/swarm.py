@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from ..core.protocol import Session, build_session
 from ..core.resilience import CircuitBreaker, RetryPolicy
+from ..crypto.hmac import pin_hmac_midstates
 from ..crypto.kdf import derive_device_key
 from ..crypto.rng import DeterministicRng
 from ..errors import ConfigurationError
@@ -193,6 +194,17 @@ class Swarm:
         Share a :class:`~repro.mcu.statecache.StateDigestCache` across
         members, collapsing spin-up's O(N * measure) host hashing to one
         measurement per unique configuration.
+    ``incremental``
+        Enable dirty-region incremental measurement: every member gets
+        per-region digest trees (:meth:`~repro.mcu.device.Device.
+        enable_incremental`), a shared unbounded ``StateDigestCache`` is
+        created if none was given, and all member HMAC keys are
+        batch-pinned in the midstate cache
+        (:func:`~repro.crypto.hmac.pin_hmac_midstates`) so per-member
+        finalization never recomputes a pad block.  Host-side only:
+        digests, simulated cycles, energy and reports are byte-identical
+        to the full-walk path (``scripts/incremental_smoke.py`` gates
+        this).
     """
 
     def __init__(self, size: int, *, profile: ProtectionProfile = ROAM_HARDENED,
@@ -209,6 +221,7 @@ class Swarm:
                                              ChannelAdversary] | None = None,
                  observe: bool = False,
                  state_cache: StateDigestCache | None = None,
+                 incremental: bool = False,
                  seed: str = "swarm"):
         if size < 1:
             raise ConfigurationError("swarm needs at least one member")
@@ -223,11 +236,17 @@ class Swarm:
                     "member_indices must supply exactly one global index "
                     f"per member (got {len(indices)} for size {size})")
         overrides = member_configs if member_configs is not None else {}
+        if incremental and state_cache is None:
+            # Incremental measurement needs every member's content entry
+            # resident; an eviction would silently reintroduce full
+            # walks, so default to the unbounded mode.
+            state_cache = StateDigestCache(max_entries=0)
         self.master_key = master_key
         self.retry = retry
         self.probe_every_sweeps = probe_every_sweeps
         self.observe = observe
         self.state_cache = state_cache
+        self.incremental = incremental
         self.members: list[SwarmMember] = []
         self.breakers: dict[str, CircuitBreaker] = {}
         self._members_by_id: dict[str, SwarmMember] = {}
@@ -257,6 +276,8 @@ class Swarm:
                 seed=f"{seed}:{index}")
             if state_cache is not None:
                 session.device.attach_state_cache(state_cache)
+            if incremental:
+                session.device.enable_incremental()
             session.learn_reference_state()
             member = SwarmMember(device_id, session, index)
             self.members.append(member)
@@ -265,6 +286,27 @@ class Swarm:
                 degrade_after=degrade_after,
                 quarantine_after=quarantine_after)
         self.sweeps_run = 0
+        if incremental:
+            self._pin_member_keys()
+
+    def _pin_member_keys(self) -> None:
+        """Batch-pin every member's ``K_Attest`` pad midstates in one
+        pass (see :func:`~repro.crypto.hmac.pin_hmac_midstates`).
+
+        Reads the keys through the hardware-internal ``raw_read`` view:
+        this is host-side cache priming, not a simulated access, so it
+        charges no cycles and trips no EA-MPU rule.  Idempotent -- the
+        sweep path re-asserts it so a midstate-cache clear (benchmarks
+        do this) or an engine switch cannot silently degrade a fleet
+        back to LRU thrashing.
+        """
+        keys = []
+        for member in self.members:
+            device = member.session.device
+            start, end = device.key_span
+            region = device.memory.find(start)
+            keys.append(region.raw_read(start - region.start, end - start))
+        pin_hmac_midstates(keys)
 
     def __len__(self) -> int:
         return len(self.members)
@@ -346,6 +388,8 @@ class Swarm:
         substreams).
         """
         retry = retry if retry is not None else self.retry
+        if self.incremental:
+            self._pin_member_keys()
         outcomes = [self._sweep_member(member, retry, stagger_seconds)
                     for member in self.members]
         self.sweeps_run += 1

@@ -98,6 +98,12 @@ def restore_device(device, snap: dict, blobs: BlobStore) -> None:
         region._data[:exclude] = unb64(record["prefix"])
         region._data[exclude:] = image
         region._fingerprint = bytes.fromhex(record["fingerprint"])
+        # The overwrite bypassed note_write, so any attached digest tree
+        # no longer describes the bytes.  Roots are pure functions of
+        # content, so invalidate-and-rebuild on next use is byte-identical
+        # to a round-tripped tree -- no tree state in the document.
+        if region.digest_tree is not None:
+            region.digest_tree.invalidate()
 
     registers = unb64(snap["mpu"])
     if len(registers) != len(device.mpu._registers):

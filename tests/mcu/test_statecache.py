@@ -26,9 +26,17 @@ def booted_device(cache=None, config=None):
 
 
 class TestCacheStructure:
-    def test_needs_room_for_one_entry(self):
+    def test_rejects_negative_bound(self):
         with pytest.raises(ConfigurationError):
-            StateDigestCache(max_entries=0)
+            StateDigestCache(max_entries=-1)
+
+    def test_zero_bound_is_unbounded(self):
+        cache = StateDigestCache(max_entries=0)
+        for index in range(1000):
+            cache.store((index,), bytes([index % 256]))
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+        assert cache.lookup((0,)) == b"\x00"
 
     def test_hit_miss_counting_and_eviction(self):
         cache = StateDigestCache(max_entries=2)
@@ -39,8 +47,8 @@ class TestCacheStructure:
         cache.store(("c",), b"C")          # evicts oldest: ("a",)
         assert cache.lookup(("a",)) is None
         assert cache.lookup(("c",)) == b"C"
-        assert cache.stats() == {"hits": 2, "misses": 2, "entries": 2,
-                                 "max_entries": 2}
+        assert cache.stats() == {"hits": 2, "misses": 2, "evictions": 1,
+                                 "entries": 2, "max_entries": 2}
         cache.clear()
         assert len(cache) == 0
 
@@ -50,8 +58,23 @@ class TestCacheStructure:
         cache.lookup(("a",))
         cache.lookup(("missing",))
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                                 "max_entries": 2}
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                                 "entries": 0, "max_entries": 2}
+
+    def test_publish_exports_gauges_on_demand(self):
+        from repro.obs import Telemetry
+        cache = StateDigestCache(max_entries=1)
+        cache.store(("a",), b"A")
+        cache.store(("b",), b"B")           # evicts ("a",)
+        cache.lookup(("b",))
+        cache.lookup(("a",))
+        telemetry = Telemetry()
+        cache.publish(telemetry)
+        metrics = {m["name"]: m["value"]
+                   for m in telemetry.registry.dump()["metrics"]}
+        assert metrics["statecache.hits"] == 1
+        assert metrics["statecache.misses"] == 1
+        assert metrics["statecache.evictions"] == 1
 
     def test_reset_stats_keeps_entries(self):
         cache = StateDigestCache(max_entries=2)
@@ -149,8 +172,8 @@ class TestEligibilityGating:
         with fastpath.forced("naive"):
             device.digest_writable_memory(context)
             device.digest_writable_memory(context)
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                                 "max_entries": 256}
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                                 "entries": 0, "max_entries": 256}
 
     def test_bus_tracers_bypass_the_cache(self):
         cache = StateDigestCache()
@@ -189,3 +212,45 @@ class TestFingerprint:
         before = device.ram.content_fingerprint
         device.ram.store(_DATA_OFF - 1, b"\x00\x00")
         assert device.ram.content_fingerprint != before
+
+    def test_straddle_boundary_cases_are_pinned(self):
+        """The exclude-bound comparison is ``offset + length <= bound``:
+        a write *ending exactly at* the bound is excluded, one ending a
+        single byte past it is chained.  Pinned because an off-by-one
+        here silently serves stale digests for writes that touch the
+        first attested byte."""
+        device = booted_device()
+        before = device.ram.content_fingerprint
+        device.ram.store(_DATA_OFF - 2, b"\x00\x00")   # ends at bound
+        assert device.ram.content_fingerprint == before
+        device.ram.store(_DATA_OFF - 1, b"\x00\x00")   # one byte past
+        assert device.ram.content_fingerprint != before
+
+    def test_zero_length_store_is_skipped_uniformly(self):
+        """Empty stores mutate nothing: they must advance neither the
+        fingerprint chain (two histories differing only by empty writes
+        describe identical contents) nor a digest tree, at any offset --
+        below, straddling, or above the exclude bound."""
+        device = booted_device(StateDigestCache(max_entries=0))
+        device.enable_incremental()
+        tree = device.ram.digest_tree
+        context = device.context("Code_Attest")
+        device.digest_writable_memory(context)  # builds the tree
+        before = device.ram.content_fingerprint
+        for offset in (0, _DATA_OFF - 1, _DATA_OFF, _DATA_OFF + 100):
+            device.ram.store(offset, b"")
+        assert device.ram.content_fingerprint == before
+        assert tree.dirty_leaf_count == 0
+
+    def test_straddling_store_dirties_the_covering_leaf(self):
+        """A write straddling the exclude bound touches attested bytes,
+        so the digest tree (whose window starts at the bound) must see
+        it even though only its tail is inside the window."""
+        device = booted_device(StateDigestCache(max_entries=0))
+        device.enable_incremental()
+        tree = device.ram.digest_tree
+        context = device.context("Code_Attest")
+        device.digest_writable_memory(context)
+        assert tree.dirty_leaf_count == 0
+        device.ram.store(_DATA_OFF - 1, b"\x00\x00")
+        assert tree.dirty_leaf_count == 1

@@ -189,7 +189,7 @@ class TestFleetEngine:
             assert engine._swarm is not None
             assert engine._executors is None
             assert engine.cache_stats() == {"hits": 0, "misses": 0,
-                                            "entries": 0}
+                                            "evictions": 0, "entries": 0}
         plain = spec.build()
         assert plain.sweep() == report
 

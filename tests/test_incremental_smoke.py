@@ -1,0 +1,38 @@
+"""Tier-1 wiring for ``scripts/incremental_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a broken incremental engine -- a digest tree
+whose refreshed root drifts from a rebuild, a content cache that stops
+hitting after OTA rounds, or a ``BENCH_incremental.json`` that stops
+validating -- fails the suite, not just the nightly benchmark job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "incremental_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestIncrementalSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "incremental-smoke: OK" in proc.stderr
+        assert "incremental == full" in proc.stderr
+        assert "compromise detected" in proc.stderr
+
+    def test_missing_report_fails_loudly(self):
+        """Sanity-check the gate actually gates: pointing at a missing
+        report must exit 1 with a diagnostic."""
+        proc = run_smoke("--report", str(REPO / "no-such-report.json"))
+        assert proc.returncode == 1
+        assert "FAIL: report missing" in proc.stderr
