@@ -175,6 +175,13 @@ HOST_BOUNDARY_MODULES = {
         "simulated state lives in the sharded Swarms, and "
         "equivalence_check proves shard merges are byte-identical to "
         "the sequential seed path",
+    "src/repro/perf/service.py":
+        "service-tier load benchmark: times request serving with "
+        "time.perf_counter and stamps per-request host latency via a "
+        "clock injected into AttestationService.serve; admission "
+        "decisions and session outcomes stay schedule-deterministic "
+        "(equivalence_check proves the serviced run is byte-identical "
+        "to the sequential library path)",
     "src/repro/perf/incremental.py":
         "incremental-attestation benchmark harness: times full-walk vs "
         "dirty-region sweeps with time.perf_counter; simulated "

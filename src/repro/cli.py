@@ -14,6 +14,8 @@ Usage::
     python -m repro lint [paths ...] [--json] [--waivers F]
     python -m repro fleet-bench [--size N] [--workers W] [--json]
     python -m repro incremental-bench [--size N] [--dirty F ...] [--json]
+    python -m repro serve [--devices N] [--waves K] [--snapshot F]
+    python -m repro service-bench [--size N] [--json]
     python -m repro snapshot save --out F [--size N] [--sweeps K]
     python -m repro snapshot restore F [--sweeps K] [--json]
     python -m repro snapshot replay F --seq N
@@ -601,6 +603,118 @@ def _cmd_snapshot_replay(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the multi-tenant verifier service over a seeded schedule."""
+    import json
+
+    from .errors import SnapshotError
+    from .services.attestd import (build_schedule, build_service_from_spec,
+                                   service_spec)
+    from .snapshot import load_document, save_document
+
+    try:
+        if args.restore:
+            document = load_document(args.restore)
+            meta = document.get("meta", {})
+            if "spec" not in meta:
+                raise SnapshotError(
+                    f"{args.restore} has no embedded rebuild spec; it was "
+                    f"not written by 'repro serve --snapshot'")
+            spec = meta["spec"]
+            service = build_service_from_spec(spec)
+            service.restore(document)
+        else:
+            spec = service_spec(size=args.devices, tenants=args.tenants,
+                                backends=args.backends,
+                                duty_fraction=args.duty,
+                                burst_seconds=args.burst, seed=args.seed)
+            service = build_service_from_spec(spec)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    start = service.virtual_now + (args.spacing if args.restore else 0.0)
+    schedule = build_schedule(spec["size"], waves=args.waves,
+                              spacing_seconds=args.spacing,
+                              start_seconds=start,
+                              seed=f"{spec['seed']}:schedule")
+    records = service.serve_schedule(schedule, workers=args.workers)
+    verdicts: dict = {}
+    for record in records:
+        verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
+    if args.snapshot:
+        document = service.snapshot()
+        document["meta"] = {"spec": spec}
+        save_document(document, args.snapshot)
+        print(f"wrote {args.snapshot}: {len(service)} device(s) at "
+              f"virtual t={service.virtual_now:.0f}s", file=sys.stderr)
+    if args.json:
+        payload = {"spec": spec, "offered": len(schedule),
+                   "admitted": service.admitted,
+                   "rejected": service.rejected,
+                   "peak_in_flight": service.peak_in_flight,
+                   "verdicts": verdicts,
+                   "buckets": {tenant: bucket.tokens for tenant, bucket
+                               in service.buckets.items()},
+                   "registry": service.merged_registry().dump()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [["quantity", "value"],
+            ["devices / tenants / backends",
+             f"{spec['size']} / {spec['tenants']} / {spec['backends']}"],
+            ["offered", str(len(schedule))],
+            ["admitted", str(service.admitted)],
+            ["rejected (duty budget)", str(service.rejected)],
+            ["peak sessions in flight", str(service.peak_in_flight)]]
+    for verdict in sorted(verdicts):
+        rows.append([f"verdict: {verdict}", str(verdicts[verdict])])
+    print(render_table(rows, title=f"attestd: {args.waves} wave(s), "
+                                   f"duty {spec['duty_fraction']:.2%} "
+                                   f"per tenant device"))
+    return 0
+
+
+def _cmd_service_bench(args) -> int:
+    """Service-tier load benchmark vs the sequential library path."""
+    import json
+
+    from .obs.schema import validate_service_report
+    from .perf import service as perf_service
+
+    report = perf_service.build_report(size=args.size, tenants=args.tenants,
+                                       backends=args.backends,
+                                       duty_fraction=args.duty)
+    errors = validate_service_report(report)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    if args.out:
+        perf_service.write_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if report["gate"]["passed"] else 1
+    rows = [["point", "offered", "admitted", "rejected", "in flight",
+             "sessions/s", "p99 (ms)"]]
+    for label, point in zip(("paced", "overload", "burst"),
+                            report["points"]):
+        rows.append([label, str(point["offered"]), str(point["admitted"]),
+                     str(point["rejected"]), str(point["peak_in_flight"]),
+                     f"{point['sessions_per_second']:.0f}",
+                     f"{point['p99_latency_ms']:.1f}"])
+    print(render_table(
+        rows, title=f"Service bench: {report['size']} devices, "
+                    f"{report['tenants']} tenants, "
+                    f"{report['backends']} backends"))
+    gate = report["gate"]
+    equivalence = report["equivalence"]
+    print(f"\ngate: {gate['max_peak_in_flight']} sessions in flight "
+          f"(needs >= {gate['required_in_flight']}) -> "
+          f"{'pass' if gate['passed'] else 'FAIL'}")
+    print(f"equivalence clean: {equivalence['identical']}")
+    return 0 if gate["passed"] and equivalence["identical"] else 1
+
+
 def _cmd_report(args) -> int:
     """Aggregate benchmarks/results/*.txt into one markdown report."""
     import pathlib
@@ -776,6 +890,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="also write the JSON report to a file")
     p.set_defaults(fn=_cmd_incremental_bench)
+
+    p = sub.add_parser("serve",
+                       help="multi-tenant verifier service over a schedule")
+    p.add_argument("--devices", type=int, default=12,
+                   help="fleet size (ignored with --restore)")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--backends", type=int, default=4,
+                   help="shard backends on the consistent-hash ring")
+    p.add_argument("--duty", type=float, default=0.01,
+                   help="per-tenant duty-cycle fraction (Section 3.1)")
+    p.add_argument("--burst", type=float, default=600.0,
+                   help="token-bucket burst window in prover-seconds")
+    p.add_argument("--waves", type=int, default=3,
+                   help="request waves; each wave arrives at one instant")
+    p.add_argument("--spacing", type=float, default=60.0,
+                   help="virtual seconds between waves")
+    p.add_argument("--workers", type=int, default=1,
+                   help="async workers per backend")
+    p.add_argument("--seed", default="attestd")
+    p.add_argument("--snapshot", default=None, metavar="FILE",
+                   help="checkpoint the service after serving")
+    p.add_argument("--restore", default=None, metavar="FILE",
+                   help="resume a 'serve --snapshot' checkpoint")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable state instead of a table")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("service-bench",
+                       help="verifier-service load benchmark + gates")
+    p.add_argument("--size", type=int, default=1024,
+                   help="devices in the burst load point")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--backends", type=int, default=8)
+    p.add_argument("--duty", type=float, default=0.01)
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to a file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable service report")
+    p.set_defaults(fn=_cmd_service_bench)
 
     p = sub.add_parser("report",
                        help="aggregate benchmark results into markdown")

@@ -76,7 +76,10 @@ class NonceHistory:
     The eviction queue lives here -- with the *state*, not with the
     policy -- and uses :meth:`collections.deque.popleft` rather than
     ``list.pop(0)``.  Entries removed out of order (``discard``) are
-    deleted lazily from the queue when they surface at the front.
+    deleted lazily from the queue when they surface at the front; when
+    dead queue slots (tombstones) outnumber live entries the queue is
+    compacted, so an add/discard churn workload keeps the queue at
+    O(live entries) instead of growing it without bound.
     """
 
     def __init__(self):
@@ -85,6 +88,12 @@ class NonceHistory:
         #: Actual bytes of nonce material stored (nonces may be any
         #: length, so the byte total is not ``count * constant``).
         self.stored_bytes = 0
+
+    @property
+    def tombstones(self) -> int:
+        """Queue slots that can never yield an eviction (dead entries
+        plus duplicate slots left behind by discard-then-re-add)."""
+        return len(self._order) - len(self._members)
 
     def __contains__(self, nonce: bytes) -> bool:
         return nonce in self._members
@@ -108,6 +117,20 @@ class NonceHistory:
         if nonce in self._members:
             self._members.discard(nonce)
             self.stored_bytes -= len(nonce)
+            if self.tombstones > len(self._members):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead queue slots, keeping the *first* occurrence of each
+        live member -- the slot :meth:`pop_oldest` would have honoured --
+        so eviction order is unchanged by compaction."""
+        kept: set[bytes] = set()
+        live: deque[bytes] = deque()
+        for nonce in self._order:
+            if nonce in self._members and nonce not in kept:
+                kept.add(nonce)
+                live.append(nonce)
+        self._order = live
 
     def pop_oldest(self) -> bytes | None:
         """Evict and return the oldest live nonce (FIFO), if any."""

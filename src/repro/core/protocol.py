@@ -188,6 +188,13 @@ class Session:
         while True:
             attempts += 1
             timeout = retry.effective_timeout(node.last_round_seconds)
+            if retry.total_budget_seconds is not None:
+                # The budget check between attempts alone lets the final
+                # attempt wait a full deadline past the cap; clamp the
+                # deadline to the remaining budget instead.
+                remaining = retry.total_budget_seconds \
+                    - (self.sim.now - round_start)
+                timeout = min(timeout, max(remaining, 0.0))
             baseline = len(node.results)
             result = self.attest_once(settle_seconds=timeout)
             if len(node.results) == baseline:
@@ -201,11 +208,14 @@ class Session:
                                      attempt=attempts)
             if result.trusted:
                 break
+            if retry.budget_exhausted(self.sim.now - round_start):
+                # Checked before the retry count: when both limits bind
+                # on the same attempt the budget is the one that actually
+                # stopped the round, and must be reported as such.
+                gave_up = "budget-exhausted"
+                break
             if attempts > retry.max_retries:
                 gave_up = "retries-exhausted"
-                break
-            if retry.budget_exhausted(self.sim.now - round_start):
-                gave_up = "budget-exhausted"
                 break
             self.telemetry.count("session.retries")
             self.telemetry.event("session-retry", self.sim.now,

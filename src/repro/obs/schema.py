@@ -24,11 +24,12 @@ from .trace import EVENT_KINDS
 
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
            "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "INCREMENTAL_SCHEMA",
-           "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMA_ID", "METRIC_NAMES",
-           "INVARIANT_NAMES", "LINT_RULE_IDS", "validate_event",
-           "validate_jsonl_trace", "validate_registry_dump",
-           "validate_wallclock_report", "validate_analysis_report",
-           "validate_fleet_report", "validate_incremental_report",
+           "SERVICE_SCHEMA", "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMA_ID",
+           "METRIC_NAMES", "INVARIANT_NAMES", "LINT_RULE_IDS",
+           "validate_event", "validate_jsonl_trace",
+           "validate_registry_dump", "validate_wallclock_report",
+           "validate_analysis_report", "validate_fleet_report",
+           "validate_incremental_report", "validate_service_report",
            "validate_snapshot"]
 
 #: The closed vocabulary of metric (counter/gauge/histogram) names the
@@ -70,6 +71,10 @@ METRIC_NAMES = frozenset({
     "session.backoff_seconds",
     "session.retries",
     "session.timeouts",
+    # verifier service tier (admission control; see docs/service.md)
+    "service.admitted",
+    "service.rejected",
+    "service.rounds",
     # host-side state digest cache (exported on demand via
     # ``StateDigestCache.publish``; never published mid-sweep)
     "statecache.evictions",
@@ -334,6 +339,67 @@ _INCREMENTAL_EQUIVALENCE_SCHEMA = {
 }
 
 
+#: Schema of the verifier-service load benchmark report
+#: (``BENCH_service.json`` at the repository root, written by
+#: ``benchmarks/bench_service.py``; see ``docs/service.md``).
+SERVICE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "size", "tenants", "backends", "duty_fraction",
+                 "points", "gate", "equivalence"],
+    "properties": {
+        "schema": {"type": "string", "enum": ["repro.perf.service/v1"]},
+        "size": {"type": "integer", "minimum": 1},
+        "tenants": {"type": "integer", "minimum": 1},
+        "backends": {"type": "integer", "minimum": 1},
+        "duty_fraction": {"type": "number", "minimum": 0},
+        "host": {"type": "object"},
+        "points": {"type": "array"},
+        "gate": {"type": "object"},
+        "equivalence": {"type": "object"},
+    },
+}
+
+#: Schema of one offered-load point in the service report.
+_SERVICE_POINT_SCHEMA = {
+    "type": "object",
+    "required": ["offered", "admitted", "rejected", "peak_in_flight",
+                 "sessions_per_second", "p50_latency_ms", "p99_latency_ms",
+                 "wall_seconds"],
+    "properties": {
+        "offered": {"type": "integer", "minimum": 0},
+        "admitted": {"type": "integer", "minimum": 0},
+        "rejected": {"type": "integer", "minimum": 0},
+        "peak_in_flight": {"type": "integer", "minimum": 0},
+        "sessions_per_second": {"type": "number", "minimum": 0},
+        "p50_latency_ms": {"type": "number", "minimum": 0},
+        "p99_latency_ms": {"type": "number", "minimum": 0},
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "waves": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+    },
+}
+
+_SERVICE_GATE_SCHEMA = {
+    "type": "object",
+    "required": ["max_peak_in_flight", "required_in_flight", "passed"],
+    "properties": {
+        "max_peak_in_flight": {"type": "integer", "minimum": 0},
+        "required_in_flight": {"type": "integer", "minimum": 0},
+        "passed": {"type": "boolean"},
+    },
+}
+
+_SERVICE_EQUIVALENCE_SCHEMA = {
+    "type": "object",
+    "required": ["workers", "identical", "mismatched_fields"],
+    "properties": {
+        "workers": {"type": "integer", "minimum": 1},
+        "identical": {"type": "boolean"},
+        "mismatched_fields": {"type": "array"},
+    },
+}
+
+
 #: Version identifier of checkpoint/restore snapshot documents
 #: (see ``repro.snapshot`` and ``docs/checkpoint.md``).
 SNAPSHOT_SCHEMA_ID = "repro.snapshot/v1"
@@ -348,7 +414,8 @@ SNAPSHOT_SCHEMA = {
     "required": ["schema", "kind", "blobs", "state"],
     "properties": {
         "schema": {"type": "string", "enum": [SNAPSHOT_SCHEMA_ID]},
-        "kind": {"type": "string", "enum": ["session", "swarm", "fleet"]},
+        "kind": {"type": "string",
+                 "enum": ["session", "swarm", "fleet", "service"]},
         "blobs": {"type": "object"},
         "state": {"type": "object"},
         "meta": {"type": "object"},
@@ -361,6 +428,7 @@ _SNAPSHOT_STATE_REQUIRED = {
                 "anchor"),
     "swarm": ("sweeps_run", "members", "breakers"),
     "fleet": ("workers", "sweeps_run", "shards"),
+    "service": ("virtual_now", "members", "buckets"),
 }
 
 
@@ -614,6 +682,33 @@ def validate_incremental_report(report: dict) -> list[str]:
         errors.extend(_check(report["equivalence"],
                              _INCREMENTAL_EQUIVALENCE_SCHEMA,
                              "incremental.equivalence"))
+    return errors
+
+
+def validate_service_report(report: dict) -> list[str]:
+    """Validate a decoded ``BENCH_service.json`` report object.
+
+    Checks the envelope, every offered-load point, the concurrency gate
+    and the serviced-vs-sequential equivalence block.  Shape only --
+    whether the gate *passed* and the equivalence block is clean is
+    policy, enforced by the benchmark itself and
+    ``scripts/service_smoke.py``.
+    """
+    errors = _check(report, SERVICE_SCHEMA, "service")
+    if not isinstance(report, dict):
+        return errors
+    points = report.get("points")
+    for index, point in enumerate(points
+                                  if isinstance(points, list) else []):
+        errors.extend(_check(point, _SERVICE_POINT_SCHEMA,
+                             f"service.points[{index}]"))
+    if isinstance(report.get("gate"), dict):
+        errors.extend(_check(report["gate"], _SERVICE_GATE_SCHEMA,
+                             "service.gate"))
+    if isinstance(report.get("equivalence"), dict):
+        errors.extend(_check(report["equivalence"],
+                             _SERVICE_EQUIVALENCE_SCHEMA,
+                             "service.equivalence"))
     return errors
 
 

@@ -2,12 +2,15 @@
 
 The paper's future-work list, implemented as optional extensions:
 authenticated clock synchronisation (:mod:`~repro.services.timesync`),
-IoT fleet deployment (:mod:`~repro.services.swarm`), and the two derived
-services its introduction motivates -- secure code update
+IoT fleet deployment (:mod:`~repro.services.swarm`), the async
+multi-tenant verifier service (:mod:`~repro.services.attestd`), and the
+two derived services its introduction motivates -- secure code update
 (:mod:`~repro.services.codeupdate`) and secure memory erasure
 (:mod:`~repro.services.erasure`).
 """
 
+from .attestd import (AttestationService, RequestRecord, ServiceRequest,
+                      build_schedule, build_service_from_spec, service_spec)
 from .codeupdate import (UpdateAuthority, UpdateManager, UpdatePackage,
                          UpdateReceipt)
 from .erasure import (EraseProof, EraseRequest, ErasureManager,
@@ -19,7 +22,9 @@ from .timesync import (ClockSynchronizer, DriftingClock, SyncRequest,
                        SyncResponse, SyncVerifier)
 
 __all__ = [
-    "AttestationMonitor", "ClockSynchronizer", "CommandIssuer",
+    "AttestationMonitor", "AttestationService", "ClockSynchronizer",
+    "CommandIssuer", "RequestRecord", "ServiceRequest", "build_schedule",
+    "build_service_from_spec", "service_spec",
     "DriftingClock", "EraseProof", "EraseRequest", "ErasureManager",
     "ErasureVerifier", "GuardStats", "GuardedCommand", "MonitorEvent",
     "MonitorPolicy", "RequestGuard", "Swarm", "SwarmMember", "SweepReport",

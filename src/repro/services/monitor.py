@@ -26,6 +26,7 @@ Escalation ladder:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..core.protocol import Session
@@ -55,9 +56,25 @@ class MonitorPolicy:
     retry: RetryPolicy | None = None
 
     def __post_init__(self):
-        if self.interval_seconds <= 0 or self.retry_delay_seconds <= 0:
+        if self.interval_seconds <= 0:
             raise ConfigurationError("monitor intervals must be positive")
-        if self.max_retries < 0 or self.failure_threshold < 1:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("invalid retry/threshold settings")
+        if self.retry is not None:
+            # An explicit retry policy supersedes the deprecated
+            # fixed-cadence knobs: effective_retry() never reads them, so
+            # rejecting their values here would fail configurations over
+            # fields that cannot take effect.  Flag any non-default value
+            # instead of validating it.
+            if self.retry_delay_seconds != 5.0 or self.max_retries != 2:
+                warnings.warn(
+                    "retry_delay_seconds=/max_retries= are ignored when "
+                    "retry= is given; configure the RetryPolicy instead "
+                    "[DEP001]", DeprecationWarning, stacklevel=3)
+            return
+        if self.retry_delay_seconds <= 0:
+            raise ConfigurationError("monitor intervals must be positive")
+        if self.max_retries < 0:
             raise ConfigurationError("invalid retry/threshold settings")
 
     def effective_retry(self) -> RetryPolicy:
@@ -98,6 +115,7 @@ class AttestationMonitor:
         self.consecutive_failures = 0
         self.alarmed = False
         self.rounds_run = 0
+        self.attempts_run = 0
         self._rng = DeterministicRng(self.seed).substream("backoff-jitter")
 
     # ------------------------------------------------------------------
@@ -110,16 +128,30 @@ class AttestationMonitor:
                         monitor_kind=kind, detail=detail)
 
     def run_round(self) -> bool:
-        """One scheduled round: attempt + retries; returns success."""
+        """One scheduled round: attempt + retries; returns success.
+
+        ``rounds_run`` counts *logical* rounds (one per call), not
+        attempts -- retried rounds used to inflate it and skew every
+        per-round average derived from it.  ``attempts_run`` carries the
+        per-attempt count separately.
+        """
         retry = self.policy.effective_retry()
         sim = self.session.sim
         node = self.session.verifier_node
         round_start = sim.now
+        self.rounds_run += 1
         attempts = 0
         while True:
             timeout = retry.effective_timeout(node.last_round_seconds)
+            if retry.total_budget_seconds is not None:
+                # Clamp the attempt deadline so the round can never
+                # spend past the total budget (the budget check between
+                # attempts alone lets the final attempt overrun it).
+                remaining = retry.total_budget_seconds \
+                    - (sim.now - round_start)
+                timeout = min(timeout, max(remaining, 0.0))
             result = self.session.attest_once(settle_seconds=timeout)
-            self.rounds_run += 1
+            self.attempts_run += 1
             if result.trusted:
                 if self.alarmed:
                     self.alarmed = False

@@ -34,12 +34,14 @@ from .device import restore_device, snapshot_device
 from .document import (build_swarm_from_spec, flatten_fleet_state,
                        load_document, make_document, save_document,
                        swarm_spec, unwrap_document)
+from .service import restore_service, snapshot_service
 from .session import restore_session, snapshot_session
 from .swarm import replay_to_seq, restore_swarm, snapshot_swarm
 
 __all__ = ["BlobStore", "snapshot_device", "restore_device",
            "snapshot_session", "restore_session", "snapshot_swarm",
-           "restore_swarm", "replay_to_seq", "make_document",
+           "restore_swarm", "snapshot_service", "restore_service",
+           "replay_to_seq", "make_document",
            "unwrap_document", "save_document", "load_document",
            "flatten_fleet_state", "swarm_spec", "build_swarm_from_spec",
            "rng_state", "restore_rng", "encode_message", "decode_message",

@@ -1,0 +1,97 @@
+"""Service-level snapshot: member sessions plus admission state.
+
+A service snapshot is the member sessions (sharing one deduplicating
+:class:`~repro.snapshot.blobs.BlobStore`), the per-tenant token-bucket
+levels, the virtual admission clock, the admission counters and the
+service-level metrics registry.  Like every snapshot it is captured
+between rounds (each member session must be quiescent) and restores by
+deterministic-rebuild-then-overwrite.
+
+Placement is deliberately *not* part of the contract: member identity
+is checked by ``(device_id, index, tenant)`` only, so a snapshot taken
+on a 2-backend service restores into an 8-backend rebuild -- the shard
+map decides where sessions run, never what they answer (the PR 5
+shard-identity discipline).
+"""
+
+from __future__ import annotations
+
+from ..errors import SnapshotError
+from ..obs.registry import MetricsRegistry
+from ..obs.telemetry import Telemetry
+from .blobs import BlobStore
+from .session import restore_session, snapshot_session
+from .swarm import _restore_cache, _snapshot_cache
+
+__all__ = ["snapshot_service", "restore_service"]
+
+
+def snapshot_service(service, blobs: BlobStore) -> dict:
+    """Capture a service between requests; images go to ``blobs``."""
+    return {
+        "virtual_now": service.virtual_now,
+        "admitted": service.admitted,
+        "rejected": service.rejected,
+        "peak_in_flight": service.peak_in_flight,
+        "members": [{"device_id": member.device_id, "index": member.index,
+                     "tenant": member.tenant,
+                     "session": snapshot_session(member.session, blobs)}
+                    for member in service.members],
+        "buckets": {tenant: {"tokens": bucket.tokens,
+                             "updated": bucket.updated,
+                             "rate": bucket.rate, "burst": bucket.burst}
+                    for tenant, bucket in service.buckets.items()},
+        "state_cache": (_snapshot_cache(service.state_cache)
+                        if service.state_cache is not None else None),
+        "service_registry": (service.telemetry.registry.dump()
+                             if service.observe else None),
+    }
+
+
+def restore_service(service, snap: dict, blobs: BlobStore) -> None:
+    """Overwrite a freshly rebuilt ``service`` with captured state."""
+    captured = [(m["device_id"], m["index"], m["tenant"])
+                for m in snap["members"]]
+    rebuilt = [(m.device_id, m.index, m.tenant) for m in service.members]
+    if captured != rebuilt:
+        raise SnapshotError(
+            f"member set mismatch: snapshot has {len(captured)} members, "
+            f"rebuilt service disagrees on identity or tenancy")
+    for member, record in zip(service.members, snap["members"]):
+        restore_session(member.session, record["session"], blobs)
+    if set(snap["buckets"]) != set(service.buckets):
+        raise SnapshotError("tenant set mismatch")
+    for tenant, state in snap["buckets"].items():
+        bucket = service.buckets[tenant]
+        if (bucket.rate != state["rate"]
+                or bucket.burst != state["burst"]):
+            raise SnapshotError(
+                f"token bucket for {tenant} was captured with a different "
+                f"duty budget (rate/burst mismatch)")
+        bucket.tokens = state["tokens"]
+        bucket.updated = state["updated"]
+    service.virtual_now = snap["virtual_now"]
+    service.admitted = snap["admitted"]
+    service.rejected = snap["rejected"]
+    service.peak_in_flight = snap["peak_in_flight"]
+    if snap["state_cache"] is not None:
+        if service.state_cache is None:
+            raise SnapshotError(
+                "snapshot carries a state-digest cache but the rebuilt "
+                "service has none attached")
+        _restore_cache(service.state_cache, snap["state_cache"])
+    elif service.state_cache is not None:
+        raise SnapshotError(
+            "rebuilt service has a state-digest cache but the snapshot "
+            "was taken without one")
+    if snap["service_registry"] is not None:
+        if not service.observe:
+            raise SnapshotError(
+                "snapshot carries service telemetry but the rebuilt "
+                "service is unobserved")
+        service.telemetry = Telemetry(
+            registry=MetricsRegistry.from_dump(snap["service_registry"]))
+    elif service.observe:
+        raise SnapshotError(
+            "rebuilt service is observed but the snapshot was taken "
+            "without telemetry")

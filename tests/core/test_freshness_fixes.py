@@ -63,6 +63,66 @@ class TestNonceHistory:
         assert NonceHistory().pop_oldest() is None
 
 
+class TestNonceHistoryCompaction:
+    """Regression: ``discard`` deleted lazily but never compacted, so
+    an add/discard churn workload grew the eviction queue without
+    bound even while the live set stayed tiny."""
+
+    def test_churn_keeps_queue_bounded(self):
+        history = NonceHistory()
+        for i in range(10_000):
+            nonce = i.to_bytes(4, "big")
+            history.add(nonce)
+            history.discard(nonce)
+        assert len(history) == 0
+        # The old code left all 10k slots in the deque forever.
+        assert history.tombstones <= 1
+        assert history.stored_bytes == 0
+
+    def test_compaction_preserves_eviction_order(self):
+        history = NonceHistory()
+        nonces = [bytes([i]) * 8 for i in range(8)]
+        for nonce in nonces:
+            history.add(nonce)
+        # Discard enough entries to trigger compaction (tombstones must
+        # outnumber the 3 survivors).
+        for nonce in nonces[:5]:
+            history.discard(nonce)
+        assert history.tombstones == 0
+        assert history.pop_oldest() == nonces[5]
+        assert history.pop_oldest() == nonces[6]
+
+    def test_discard_then_re_add_keeps_original_slot_semantics(self):
+        """Lazy discard has always resurrected the original queue slot
+        when a nonce is re-added before it surfaces; compaction keeps
+        the first occurrence of each live member so that observable
+        order is unchanged."""
+        history = NonceHistory()
+        a, b, c = b"a" * 8, b"b" * 8, b"c" * 8
+        history.add(a)
+        history.add(b)
+        history.discard(a)
+        history.add(c)
+        history.add(a)
+        assert history.pop_oldest() == a
+        assert history.pop_oldest() == b
+        assert history.pop_oldest() == c
+        assert history.stored_bytes == 0
+
+    def test_stored_bytes_pinned_through_churn(self):
+        history = NonceHistory()
+        for round_number in range(50):
+            nonce = round_number.to_bytes(8, "big")
+            history.add(nonce)
+            if round_number % 2:
+                history.discard(nonce)
+        live = len(history)
+        assert history.stored_bytes == live * 8
+        while history.pop_oldest() is not None:
+            pass
+        assert history.stored_bytes == 0
+
+
 class TestFlashCapacityUsesActualNonceLength:
     """Bug 1: capacity check hard-coded 16 bytes per nonce."""
 

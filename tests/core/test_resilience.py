@@ -245,3 +245,45 @@ class TestAttestResilient:
                     transcript, telemetry.trace.to_jsonl())
 
         assert run() == run()
+
+
+class TestBudgetClamp:
+    """Regression: the final attempt used to wait its full per-attempt
+    deadline even when the total budget had almost run out, so a round
+    with ``total_budget_seconds=5`` could spend nearly 7 simulated
+    seconds.  The deadline is now clamped to the remaining budget."""
+
+    def test_elapsed_never_exceeds_budget(self):
+        session = resilient_session(adversary=DropAllRequests(),
+                                    seed="clamp-1")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=2.0, max_retries=50,
+                        total_budget_seconds=5.0))
+        assert outcome.gave_up == "budget-exhausted"
+        assert outcome.elapsed_seconds <= 5.0 + 1e-9
+
+    def test_last_attempt_clamped_not_skipped(self):
+        """10 s deadline, 12 s budget: attempt two gets the ~2 s that
+        remain instead of a full deadline (22 s total) or nothing."""
+        session = resilient_session(adversary=DropAllRequests(),
+                                    seed="clamp-2")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=10.0, max_retries=50,
+                        total_budget_seconds=12.0))
+        assert outcome.attempts == 2
+        assert outcome.elapsed_seconds <= 12.0 + 1e-9
+
+    def test_budget_wins_when_both_limits_bind(self):
+        """When the retry count and the budget run out on the same
+        attempt, the budget is what stopped the round and must be the
+        reported cause."""
+        session = resilient_session(adversary=DropAllRequests(),
+                                    seed="clamp-3")
+        outcome = session.attest_resilient(
+            RetryPolicy(attempt_timeout_seconds=5.0, max_retries=0,
+                        total_budget_seconds=3.0))
+        assert outcome.attempts == 1
+        assert outcome.gave_up == "budget-exhausted"
+        # +0.001: the session's very first round steps off the epoch
+        # before the attempt deadline starts counting.
+        assert outcome.elapsed_seconds <= 3.001 + 1e-9

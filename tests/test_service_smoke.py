@@ -1,0 +1,31 @@
+"""Tier-1 wiring for ``scripts/service_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a broken service path -- an admission decision
+that stops being deterministic, a shard count that leaks into
+verdicts, a restore that drifts from the uninterrupted run, or a
+stale/invalid ``BENCH_service.json`` -- fails the suite, not just a
+manual run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "service_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestServiceSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "service-smoke: OK" in proc.stderr
+        assert "restore-continue exact" in proc.stderr
