@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Smoke-test the key-confidentiality analysis end to end.
+
+Four gates -- any failure exits 1 with diagnostics:
+
+1. **Clean tree** -- ``repro taint`` (run through the real CLI, with the
+   checked-in ``taint-policy.json``) must exit 0 on the repository with
+   zero KEY001/KEY002/KEY003 and zero stale policy entries, and the
+   ``--allow-stale`` escape hatch must flip a deliberately staled policy
+   from exit 1 to exit 0.
+2. **Failure mode** -- the seeded fixture tree must trip every rule
+   (KEY001 direct and helper-mediated, KEY002, KEY003) through the same
+   CLI; an analyzer that cannot see planted leaks proves nothing.
+3. **Canary agreement** -- the dynamic leak-hunt must agree with the
+   static verdict in both directions: a clean build scans clean *with a
+   live raw-bytes control*, and a build with a planted leak is caught.
+4. **Determinism** -- building the combined ``repro.analysis/v1``
+   document (profiles + lint + taint) twice must be byte-identical and
+   schema-valid.
+
+Usage::
+
+    PYTHONPATH=src python scripts/taint_smoke.py
+        [--fixture-root tests/analysis/fixtures/taint_seeded]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+SEEDED_RULES = {"KEY001", "KEY002", "KEY003"}
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "taint", *args], cwd=REPO,
+        env=ENV, capture_output=True, text=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fixture-root",
+                        default="tests/analysis/fixtures/taint_seeded",
+                        help="seeded tree for the failure-mode gate, "
+                             "relative to the repo root")
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.analysis import (build_report, lint_tree, load_policy,
+                                    load_waivers, render_report_json,
+                                    run_canary_hunt,
+                                    verify_shipped_profiles)
+        from repro.analysis.taint import analyze_taint_tree
+    except ImportError as exc:
+        print(f"taint-smoke: cannot import repro ({exc}); "
+              f"run with PYTHONPATH=src", file=sys.stderr)
+        return 1
+
+    failures = []
+
+    # Gate 1: the shipped tree is key-tight through the real CLI.
+    proc = _cli()
+    if proc.returncode != 0:
+        failures.append(f"clean tree: 'repro taint' exited "
+                        f"{proc.returncode}:\n{proc.stdout}{proc.stderr}")
+    if "0 violations" not in proc.stderr:
+        failures.append(f"clean tree: expected zero violations, got:\n"
+                        f"{proc.stdout}{proc.stderr}")
+    # ... and staleness actually gates, with --allow-stale as the only
+    # escape: a policy entry matching nothing must flip the exit code.
+    policy = json.loads((REPO / "taint-policy.json").read_text())
+    policy.setdefault("policy_sinks", []).append(
+        {"kind": "blob-store", "path": "src/repro/does/not/exist.py",
+         "reason": "deliberately stale (smoke gate)"})
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump(policy, handle)
+        stale_policy = handle.name
+    try:
+        strict = _cli("--policy", stale_policy)
+        if strict.returncode == 0:
+            failures.append("stale policy: CLI exited 0 despite a "
+                            "policy entry matching nothing")
+        if "stale" not in strict.stdout + strict.stderr:
+            failures.append("stale policy: no stale diagnostic printed")
+        waved = _cli("--policy", stale_policy, "--allow-stale")
+        if waved.returncode != 0:
+            failures.append(f"stale policy: --allow-stale still exited "
+                            f"{waved.returncode}:\n{waved.stdout}"
+                            f"{waved.stderr}")
+    finally:
+        pathlib.Path(stale_policy).unlink()
+
+    # Gate 2: the seeded fixture is actually flagged, rule by rule.
+    seeded = _cli("--root", args.fixture_root)
+    if seeded.returncode == 0:
+        failures.append(f"failure mode: seeded tree {args.fixture_root} "
+                        f"passed the taint gate")
+    missing = {rule for rule in SEEDED_RULES if rule not in seeded.stdout}
+    if missing:
+        failures.append(f"failure mode: seeded rules {sorted(missing)} "
+                        f"not detected in {args.fixture_root}")
+    if "via " not in seeded.stdout:
+        failures.append("failure mode: helper-mediated leak carries no "
+                        "interprocedural witness chain")
+
+    # Gate 3: static and dynamic verdicts agree in both directions.
+    hunt = run_canary_hunt(size=2, sweeps=1, waves=1)
+    if not hunt.clean:
+        failures.append("canary: clean build leaked: "
+                        + ", ".join(f"{h.needle} in {h.artifact}"
+                                    for h in hunt.hits))
+    if not hunt.control_hit:
+        failures.append("canary: raw-bytes control missing from decoded "
+                        "blobs -- the scanner is blind")
+    leaky = run_canary_hunt(size=2, sweeps=1, waves=1, leak=True)
+    if leaky.clean:
+        failures.append("canary: planted telemetry leak was not caught")
+
+    # Gate 4: the combined document is schema-valid + byte-deterministic.
+    taint_policy = load_policy(REPO / "taint-policy.json")
+    waivers = load_waivers(REPO / "lint-waivers.json")
+
+    def build() -> str:
+        return render_report_json(build_report(
+            verify_shipped_profiles(clock_kinds=("hw64", "sw")),
+            lint_tree(REPO, waivers=waivers),
+            analyze_taint_tree(REPO, policy=taint_policy)))
+
+    try:
+        first, second = build(), build()
+    except ValueError as exc:
+        failures.append(f"schema: combined report invalid: {exc}")
+        first = second = ""
+    if first != second:
+        failures.append("determinism: two same-input report builds "
+                        "differ byte-for-byte")
+
+    if failures:
+        for failure in failures:
+            print(f"taint-smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"taint-smoke: OK (clean tree key-tight, stale policy gated, "
+          f"{len(SEEDED_RULES)} seeded rules detected, canary agrees "
+          f"both ways over {len(hunt.artifacts_scanned)} artifacts, "
+          f"report deterministic at {len(first)} bytes)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

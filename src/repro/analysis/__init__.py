@@ -13,14 +13,29 @@ Two passes, one report:
     host clock or host RNG in simulated paths, exact integer cycle
     accounting, telemetry names drawn from the exported schema, no new
     uses of deprecated aliases.
+``repro.analysis.dataflow`` / ``repro.analysis.taint``
+    A reusable AST-based interprocedural dataflow engine (call graph,
+    per-function transfer summaries, monotone fixpoint) and its
+    key-confidentiality client: ``K_Attest`` must never reach a
+    host-boundary sink (KEY001), shape a telemetered branch (KEY002),
+    or leave through an undeclared export path (KEY003).
+``repro.analysis.canary``
+    The dynamic cross-check: provision a fleet with a canary key, run
+    real rounds, scan every serialized artifact for any encoding of it.
 ``repro.analysis.report``
-    Combines both into the deterministic ``repro.analysis/v1`` JSON
-    document validated by :mod:`repro.obs.schema`.
+    Combines everything into the deterministic ``repro.analysis/v1``
+    JSON document validated by :mod:`repro.obs.schema`.
 
-CLI: ``repro verify-profile`` and ``repro lint``; CI gate:
-``scripts/analysis_smoke.py``.
+CLI: ``repro verify-profile``, ``repro lint``, ``repro taint`` and the
+unified ``repro analyze``; CI gates: ``scripts/analysis_smoke.py`` and
+``scripts/taint_smoke.py``.
 """
 
+from .canary import (CANARY_MASTER_KEY, CanaryHit, CanaryReport,
+                     needles_for_key, run_canary_hunt, scan_text)
+from .dataflow import (DataflowClient, DataflowEngine, DataflowResult,
+                       FunctionSummary, Program, SetLattice, Violation,
+                       analyze_program)
 from .invariants import (ATTACK_FOR_INVARIANT, EXPECTED_FAILURES,
                          INVARIANT_ORDER, Counterexample, InvariantVerdict,
                          MachineModel, ProfileReport, analyze_device,
@@ -29,6 +44,9 @@ from .invariants import (ATTACK_FOR_INVARIANT, EXPECTED_FAILURES,
 from .lint import (DEFAULT_LINT_DIRS, LintReport, LintViolation, Waiver,
                    lint_file, lint_source, lint_tree, load_waivers)
 from .report import build_report, render_report_json
+from .taint import (KNOWN_BOUNDARY_MODULES, KeyConfidentialityClient,
+                    TaintPolicy, TaintReport, analyze_taint_tree,
+                    load_policy)
 
 __all__ = [
     "ATTACK_FOR_INVARIANT", "EXPECTED_FAILURES", "INVARIANT_ORDER",
@@ -38,4 +56,11 @@ __all__ = [
     "DEFAULT_LINT_DIRS", "LintReport", "LintViolation", "Waiver",
     "lint_file", "lint_source", "lint_tree", "load_waivers",
     "build_report", "render_report_json",
+    "DataflowClient", "DataflowEngine", "DataflowResult",
+    "FunctionSummary", "Program", "SetLattice", "Violation",
+    "analyze_program",
+    "KNOWN_BOUNDARY_MODULES", "KeyConfidentialityClient", "TaintPolicy",
+    "TaintReport", "analyze_taint_tree", "load_policy",
+    "CANARY_MASTER_KEY", "CanaryHit", "CanaryReport", "needles_for_key",
+    "run_canary_hunt", "scan_text",
 ]

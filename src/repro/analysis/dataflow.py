@@ -1,0 +1,1016 @@
+"""Reusable AST-based interprocedural dataflow over a Python tree.
+
+The engine computes, for every function and method under the analyzed
+directories, a *transfer summary* -- which parameters flow to the return
+value, which reach a client-declared sink, which influence a branch
+around a sink, and which are stored into object attributes -- and
+iterates the whole program to a fixpoint over a monotone powerset
+lattice of client-defined *tags*.  A client (see
+:mod:`repro.analysis.taint`) supplies the semantics:
+
+* ``transform_call`` turns calls into **sources** (return a tag set) or
+  **sanitizers** (return the empty set);
+* ``sink_kind`` classifies calls as **sinks**;
+* ``attr_source`` tags attribute reads (e.g. ``device.key_span``);
+* ``secret_tags`` says which tags constitute a violation when they
+  reach a sink or a sink-adjacent branch.
+
+Design choices, all biased toward *zero false positives* on the shipped
+tree (the analyzer gates CI; a noisy gate gets deleted):
+
+* **Field-sensitive stores, name-joined reads.**  ``obj.attr = value``
+  taints the attribute *name* globally; ``expr.attr`` reads join the
+  tags stored under that name anywhere.  Object taint does **not**
+  bleed through attribute reads -- a ``Session`` built from a key is
+  not itself secret, only its ``key`` field is.
+* **Resolved constructors return clean objects.**  ``Cls(key)`` applies
+  ``__init__``'s (or the dataclass fields') attribute effects and
+  returns bottom; *unresolved* calls conservatively join their argument
+  tags into the result, so ``key.hex()`` or ``b"".join(keys)`` stay
+  tainted.
+* **Subscript stores are not tracked** (``buf[i] = v``): memory-region
+  byte planes would otherwise taint every counter read fleet-wide.
+  The dynamic canary hunt (:mod:`repro.analysis.canary`) covers flows
+  the static story deliberately drops.
+* **Chains are depth-capped** so summaries stay a finite lattice and
+  recursive call graphs terminate.
+
+Termination: every per-function summary and the global attribute map
+only ever grow, all grow inside finite sets (tags x parameters x
+depth-capped witness chains), and rounds stop at the first unchanged
+iteration (with a generous safety cap).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SetLattice", "Program", "FunctionInfo", "FunctionSummary",
+           "CallContext", "DataflowClient", "Violation", "SinkSite",
+           "DataflowResult", "DataflowEngine", "analyze_program",
+           "BOTTOM", "DEFAULT_UNTAINTING_BUILTINS", "MAX_CHAIN_DEPTH",
+           "MAX_ROUNDS"]
+
+#: The lattice bottom: no tags.
+BOTTOM: frozenset = frozenset()
+
+#: Builtins whose result reflects *shape*, not content -- calling them
+#: on tainted data yields clean data (``len(key)`` is public).
+DEFAULT_UNTAINTING_BUILTINS = frozenset({
+    "len", "isinstance", "issubclass", "bool", "type", "id", "hash",
+    "hasattr", "callable", "range", "ord",
+})
+
+#: Receiver methods that mutate their receiver in place; an
+#: ``x.append(tainted)`` expression statement taints ``x``.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "appendleft", "push",
+})
+
+#: Witness chains are truncated at this many frames so the summary
+#: lattice stays finite under recursion.
+MAX_CHAIN_DEPTH = 6
+
+#: Hard safety cap on whole-program fixpoint rounds (the monotone
+#: argument makes this unreachable in practice).
+MAX_ROUNDS = 100
+
+
+class SetLattice:
+    """The powerset lattice over hashable tags (join = union)."""
+
+    bottom = BOTTOM
+
+    @staticmethod
+    def join(*sets) -> frozenset:
+        return frozenset().union(*sets)
+
+    @staticmethod
+    def leq(a: frozenset, b: frozenset) -> bool:
+        return a <= b
+
+
+def _is_param(tag) -> bool:
+    return isinstance(tag, tuple) and len(tag) == 2 and tag[0] == "param"
+
+
+def _concrete(tags: frozenset) -> frozenset:
+    return frozenset(t for t in tags if not _is_param(t))
+
+
+def _param_indices(tags: frozenset) -> tuple[int, ...]:
+    return tuple(sorted(t[1] for t in tags if _is_param(t)))
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """Flatten ``a.b.c`` into ``("a", "b", "c")``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Program model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    qual: str                    # "path::Class.name" or "path::name"
+    path: str                    # repo-relative, POSIX separators
+    module: str                  # dotted module name
+    class_name: str | None
+    name: str
+    node: ast.AST                # FunctionDef | AsyncFunctionDef
+    params: tuple[str, ...]      # positional + kw-only, in order
+    vararg: str | None
+    kwarg: str | None
+    lineno: int
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    methods: dict                # method name -> qual
+    dataclass_fields: tuple[str, ...]
+    has_init: bool
+
+
+class Program:
+    """Parsed modules, import maps and a call-resolution oracle."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}          # "path::Cls"
+        self.classes_by_name: dict[str, list[str]] = {}  # name -> keys
+        self.methods_by_name: dict[str, list[str]] = {}  # name -> quals
+        self.module_funcs: dict[str, dict[str, str]] = {}
+        self.module_classes: dict[str, dict[str, str]] = {}
+        self.imports: dict[str, dict[str, str]] = {}     # alias -> module
+        self.from_imports: dict[str, dict[str, tuple[str, str]]] = {}
+        self.files: list[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "Program":
+        """Build from ``{repo-relative path: source text}``."""
+        program = cls()
+        for path in sorted(sources):
+            program._add_module(path, sources[path])
+        return program
+
+    @classmethod
+    def from_tree(cls, root: Path,
+                  dirs: tuple[str, ...] = ("src/repro",),
+                  exclude: frozenset = frozenset()) -> "Program":
+        """Parse every ``.py`` file under ``root/<dir>`` deterministically."""
+        sources: dict[str, str] = {}
+        for name in dirs:
+            base = root / name
+            if not base.exists():
+                continue
+            for file_path in sorted(base.rglob("*.py")):
+                if "__pycache__" in file_path.parts:
+                    continue
+                rel = file_path.relative_to(root).as_posix()
+                if rel in exclude:
+                    continue
+                sources[rel] = file_path.read_text()
+        return cls.from_sources(sources)
+
+    @staticmethod
+    def _module_name(path: str) -> str:
+        parts = path[:-3].split("/")          # strip ".py"
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _add_module(self, path: str, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            return
+        self.files.append(path)
+        module = self._module_name(path)
+        self.module_funcs.setdefault(path, {})
+        self.module_classes.setdefault(path, {})
+        self.imports.setdefault(path, {})
+        self.from_imports.setdefault(path, {})
+
+        for node in tree.body:
+            self._add_toplevel(path, module, node)
+
+    def _add_toplevel(self, path: str, module: str, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                self.imports[path][local] = (alias.name if alias.asname
+                                             else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            target = self._resolve_from(module, node)
+            if target is None:
+                return
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.from_imports[path][local] = (target, alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add_function(path, module, None, node)
+        elif isinstance(node, ast.ClassDef):
+            self._add_class(path, module, node)
+
+    @staticmethod
+    def _resolve_from(module: str, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        if node.level > len(parts):
+            return None
+        base = parts[:len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    def _add_function(self, path: str, module: str, class_name: str | None,
+                      node) -> FunctionInfo:
+        args = node.args
+        params = tuple(a.arg for a in args.posonlyargs + args.args
+                       + args.kwonlyargs)
+        qual = (f"{path}::{class_name}.{node.name}" if class_name
+                else f"{path}::{node.name}")
+        info = FunctionInfo(
+            qual=qual, path=path, module=module, class_name=class_name,
+            name=node.name, node=node, params=params,
+            vararg=args.vararg.arg if args.vararg else None,
+            kwarg=args.kwarg.arg if args.kwarg else None,
+            lineno=node.lineno)
+        self.functions[qual] = info
+        if class_name is None:
+            self.module_funcs[path][node.name] = qual
+        return info
+
+    def _add_class(self, path: str, module: str, node: ast.ClassDef) -> None:
+        key = f"{path}::{node.name}"
+        is_dataclass = any(
+            (isinstance(d, ast.Name) and d.id == "dataclass")
+            or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+            or (isinstance(d, ast.Call) and _dotted(d.func) is not None
+                and _dotted(d.func)[-1] == "dataclass")
+            for d in node.decorator_list)
+        fields: list[str] = []
+        methods: dict[str, str] = {}
+        has_init = False
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(path, module, node.name, item)
+                methods[item.name] = info.qual
+                self.methods_by_name.setdefault(item.name, []).append(
+                    info.qual)
+                if item.name == "__init__":
+                    has_init = True
+            elif (is_dataclass and isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)):
+                fields.append(item.target.id)
+        self.classes[key] = ClassInfo(
+            name=node.name, path=path, methods=methods,
+            dataclass_fields=tuple(fields), has_init=has_init)
+        self.classes_by_name.setdefault(node.name, []).append(key)
+        self.module_classes[path][node.name] = key
+
+    # -- call resolution ---------------------------------------------------
+
+    def _lookup_symbol(self, path: str, name: str):
+        """Resolve a bare name in ``path`` to ('func'|'class', key)."""
+        qual = self.module_funcs.get(path, {}).get(name)
+        if qual is not None:
+            return ("func", qual)
+        ckey = self.module_classes.get(path, {}).get(name)
+        if ckey is not None:
+            return ("class", ckey)
+        imported = self.from_imports.get(path, {}).get(name)
+        if imported is not None:
+            target_module, orig = imported
+            target_path = self._path_for_module(target_module)
+            if target_path is not None:
+                return self._lookup_symbol(target_path, orig)
+        return None
+
+    def _path_for_module(self, module: str) -> str | None:
+        for path in self.files:
+            if self._module_name(path) == module:
+                return path
+        return None
+
+    def resolve_call(self, func: ast.AST, path: str,
+                     class_name: str | None):
+        """Resolve a call's func expression.
+
+        Returns a list of ``('func'|'class', key)`` targets; empty means
+        unresolved (the engine then propagates argument tags).
+        """
+        if isinstance(func, ast.Name):
+            hit = self._lookup_symbol(path, func.id)
+            return [hit] if hit is not None else []
+        dotted = _dotted(func)
+        if dotted is None:
+            return []
+        if dotted[0] == "self" and class_name is not None and len(dotted) == 2:
+            ckey = self.module_classes.get(path, {}).get(class_name)
+            if ckey is not None:
+                qual = self.classes[ckey].methods.get(dotted[1])
+                if qual is not None:
+                    return [("func", qual)]
+        if len(dotted) == 2:
+            # module alias attr (import repro.x as y; y.f()).
+            target = self.imports.get(path, {}).get(dotted[0])
+            if target is not None:
+                target_path = self._path_for_module(target)
+                if target_path is not None:
+                    hit = self._lookup_symbol(target_path, dotted[1])
+                    if hit is not None:
+                        return [hit]
+            # from-imported class used as Cls.method receiver.
+            hit = self._lookup_symbol(path, dotted[0])
+            if hit is not None and hit[0] == "class":
+                qual = self.classes[hit[1]].methods.get(dotted[1])
+                if qual is not None:
+                    return [("func", qual)]
+        # Fallback: any class in the program defining this method name.
+        method_quals = self.methods_by_name.get(dotted[-1], [])
+        return [("func", q) for q in sorted(method_quals)]
+
+
+# ---------------------------------------------------------------------------
+# Summaries and results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FunctionSummary:
+    """Monotone transfer facts for one function."""
+
+    returns: frozenset = BOTTOM          # concrete tags always returned
+    return_params: frozenset = BOTTOM    # {int}: params flowing to return
+    # {param index -> {(sink kind, witness chain)}}
+    sink_params: dict = field(default_factory=dict)
+    # {param index -> {witness chain}} for tainted-branch-near-sink
+    branch_params: dict = field(default_factory=dict)
+    # {(attr name, param index)} stored into object attributes
+    attr_stores: frozenset = BOTTOM
+
+    def merge(self, other: "FunctionSummary") -> bool:
+        """Join ``other`` in; True if anything grew."""
+        changed = False
+        if not other.returns <= self.returns:
+            self.returns = self.returns | other.returns
+            changed = True
+        if not other.return_params <= self.return_params:
+            self.return_params = self.return_params | other.return_params
+            changed = True
+        for idx, hits in other.sink_params.items():
+            if not hits or hits <= self.sink_params.get(idx, set()):
+                continue
+            self.sink_params.setdefault(idx, set()).update(hits)
+            changed = True
+        for idx, hits in other.branch_params.items():
+            if not hits or hits <= self.branch_params.get(idx, set()):
+                continue
+            self.branch_params.setdefault(idx, set()).update(hits)
+            changed = True
+        if not other.attr_stores <= self.attr_stores:
+            self.attr_stores = self.attr_stores | other.attr_stores
+            changed = True
+        return changed
+
+    def as_dict(self) -> dict:
+        return {
+            "returns": sorted(map(str, self.returns)),
+            "return_params": sorted(self.return_params),
+            "sink_params": {str(i): sorted(map(str, hits))
+                            for i, hits in sorted(self.sink_params.items())},
+            "branch_params": {str(i): sorted(map(str, hits))
+                              for i, hits
+                              in sorted(self.branch_params.items())},
+            "attr_stores": sorted(map(str, self.attr_stores)),
+        }
+
+
+@dataclass(frozen=True)
+class CallContext:
+    """What a client sees about one call site."""
+
+    path: str
+    line: int
+    col: int
+    dotted: tuple[str, ...] | None     # flattened func expr, if any
+    name: str | None                   # last dotted component
+    resolved: tuple[str, ...]          # resolved function quals
+    arg_tags: tuple[frozenset, ...]    # positional argument tags
+    receiver_tags: frozenset           # tags of the method receiver
+    all_tags: frozenset                # join of everything
+    enclosing_class: str | None
+    enclosing_qual: str
+
+
+class DataflowClient:
+    """Default no-op client; subclass and override."""
+
+    SINK_RULE = "SINK"
+    BRANCH_RULE = "BRANCH"
+    secret_tags: frozenset = BOTTOM
+    branch_sink_kinds: frozenset = frozenset()
+    untainting_builtins: frozenset = DEFAULT_UNTAINTING_BUILTINS
+
+    def transform_call(self, ctx: CallContext):
+        """Tag set for sources/sanitizers, or None for default flow."""
+        return None
+
+    def sink_kind(self, ctx: CallContext):
+        """Sink kind label for this call, or None."""
+        return None
+
+    def attr_source(self, attr: str) -> frozenset:
+        """Tags intrinsically carried by reads of attribute ``attr``."""
+        return BOTTOM
+
+    def storable_tags(self, tags: frozenset) -> frozenset:
+        """Filter tags before they enter the global attribute map.
+
+        Lets a client keep shallow tags (e.g. key *addresses*) out of
+        the name-joined attribute store, where they would otherwise
+        bleed into every same-named attribute program-wide.
+        """
+        return tags
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str
+    line: int
+    col: int
+    sink: str
+    message: str
+    chain: tuple[str, ...]
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.sink)
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "sink": self.sink,
+                "message": self.message, "chain": list(self.chain)}
+
+
+@dataclass(frozen=True)
+class SinkSite:
+    kind: str
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class DataflowResult:
+    violations: tuple[Violation, ...]
+    sink_sites: tuple[SinkSite, ...]
+    summaries: dict
+    attr_tags: dict
+    rounds: int
+    files: tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class DataflowEngine:
+    def __init__(self, program: Program, client: DataflowClient) -> None:
+        self.program = program
+        self.client = client
+        self.summaries: dict[str, FunctionSummary] = {
+            qual: FunctionSummary() for qual in program.functions}
+        self.attr_tags: dict[str, frozenset] = {}
+        self._violations: list[Violation] = []
+        self._sink_sites: set[SinkSite] = set()
+        self._collect = False
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> DataflowResult:
+        rounds = 0
+        for rounds in range(1, MAX_ROUNDS + 1):
+            if not self._one_round():
+                break
+        self._collect = True
+        self._violations = []
+        self._sink_sites = set()
+        self._one_round()
+        self._collect = False
+        seen = set()
+        unique = []
+        for v in sorted(self._violations, key=Violation.sort_key):
+            key = v.sort_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(v)
+        return DataflowResult(
+            violations=tuple(unique),
+            sink_sites=tuple(sorted(
+                self._sink_sites,
+                key=lambda s: (s.path, s.line, s.col, s.kind))),
+            summaries=self.summaries,
+            attr_tags=dict(self.attr_tags),
+            rounds=rounds,
+            files=tuple(self.program.files))
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _one_round(self) -> bool:
+        changed = False
+        for qual in sorted(self.program.functions):
+            info = self.program.functions[qual]
+            summary = _FunctionPass(self, info).run()
+            if self.summaries[qual].merge(summary):
+                changed = True
+        return changed
+
+    def _join_attr(self, attr: str, tags: frozenset) -> None:
+        if not tags:
+            return
+        have = self.attr_tags.get(attr, BOTTOM)
+        if not tags <= have:
+            self.attr_tags[attr] = have | tags
+
+    def _emit(self, rule: str, path: str, line: int, col: int,
+              sink: str, message: str, chain: tuple[str, ...]) -> None:
+        if self._collect:
+            self._violations.append(Violation(
+                rule=rule, path=path, line=line, col=col, sink=sink,
+                message=message, chain=chain[:MAX_CHAIN_DEPTH]))
+
+    def _site(self, kind: str, path: str, line: int, col: int) -> None:
+        if self._collect:
+            self._sink_sites.add(SinkSite(kind, path, line, col))
+
+
+class _FunctionPass:
+    """One abstract-interpretation pass over a single function body."""
+
+    def __init__(self, engine: DataflowEngine, info: FunctionInfo) -> None:
+        self.engine = engine
+        self.program = engine.program
+        self.client = engine.client
+        self.info = info
+        self.summary = FunctionSummary()
+        self.env: dict[str, frozenset] = {}
+        params = list(info.params)
+        if info.vararg:
+            params.append(info.vararg)
+        if info.kwarg:
+            params.append(info.kwarg)
+        self.all_params = params
+        for index, name in enumerate(params):
+            self.env[name] = frozenset({("param", index)})
+
+    def run(self) -> FunctionSummary:
+        body = self.info.node.body
+        # Two passes over the body cover intra-function back edges
+        # (a variable assigned inside a loop and read earlier).
+        for _ in range(2):
+            self._block(body)
+        return self.summary
+
+    # -- statements --------------------------------------------------------
+
+    def _block(self, stmts) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, node) -> None:
+        if isinstance(node, ast.Assign):
+            tags = self._eval(node.value)
+            for target in node.targets:
+                self._bind(target, tags)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind(node.target, self._eval(node.value))
+        elif isinstance(node, ast.AugAssign):
+            tags = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target, tags)
+            else:
+                self._bind(node.target, tags)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                tags = self._eval(node.value)
+                self.summary.returns |= _concrete(tags)
+                self.summary.return_params |= frozenset(_param_indices(tags))
+        elif isinstance(node, ast.Expr):
+            self._mutator(node.value)
+            self._eval(node.value)
+        elif isinstance(node, (ast.If, ast.While)):
+            self._branch(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind(node.target, self._eval(node.iter))
+            self._block(node.body)
+            self._block(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                tags = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tags)
+            self._block(node.body)
+        elif isinstance(node, ast.Try):
+            self._block(node.body)
+            for handler in node.handlers:
+                if handler.name:
+                    self.env.setdefault(handler.name, BOTTOM)
+                self._block(handler.body)
+            self._block(node.orelse)
+            self._block(node.finalbody)
+        elif isinstance(node, ast.Raise):
+            self._raise(node)
+        elif isinstance(node, ast.Assert):
+            self._eval(node.test)
+        # Nested defs/classes and imports are intentionally skipped:
+        # closures are out of scope (documented limitation).
+
+    def _bind(self, target, tags: frozenset) -> None:
+        if isinstance(target, ast.Name):
+            # Weak update: joins are monotone across the double pass and
+            # keep loop-carried taint; a lost strong update only ever
+            # over-approximates.
+            self.env[target.id] = self.env.get(target.id, BOTTOM) | tags
+        elif isinstance(target, ast.Attribute):
+            conc = self.client.storable_tags(_concrete(tags))
+            if conc:
+                self.engine._join_attr(target.attr, conc)
+            for index in _param_indices(tags):
+                self.summary.attr_stores |= {(target.attr, index)}
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tags)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags)
+        # Subscript targets deliberately untracked (see module docstring).
+
+    def _mutator(self, node) -> None:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)):
+            return
+        tags = SetLattice.join(*[self._eval(a) for a in node.args], BOTTOM)
+        tags |= SetLattice.join(
+            *[self._eval(k.value) for k in node.keywords], BOTTOM)
+        if tags:
+            name = node.func.value.id
+            self.env[name] = self.env.get(name, BOTTOM) | tags
+
+    def _branch(self, node) -> None:
+        test_tags = self._eval(node.test)
+        secret = _concrete(test_tags) & self.client.secret_tags
+        params = _param_indices(test_tags)
+        if (secret or params) and self._has_branch_sink(node.body + node.orelse):
+            site = f"{self.info.path}:{node.lineno}"
+            if secret:
+                self.engine._emit(
+                    self.client.BRANCH_RULE, self.info.path,
+                    node.lineno, node.col_offset, "branch",
+                    "secret-tagged value decides a branch whose outcome "
+                    "is telemetered (timing-shaped leak)",
+                    (site,))
+            for index in params:
+                hits = self.summary.branch_params.setdefault(index, set())
+                hits.add((site,))
+        self._block(node.body)
+        self._block(node.orelse)
+
+    def _has_branch_sink(self, stmts) -> bool:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                ctx = self._call_context(node, evaluate=False)
+                kind = self.client.sink_kind(ctx)
+                if kind in self.client.branch_sink_kinds:
+                    return True
+        return False
+
+    def _raise(self, node) -> None:
+        if not isinstance(node.exc, ast.Call):
+            return
+        tags = SetLattice.join(
+            *[self._eval(a) for a in node.exc.args], BOTTOM)
+        tags |= SetLattice.join(
+            *[self._eval(k.value) for k in node.exc.keywords], BOTTOM)
+        secret = _concrete(tags) & self.client.secret_tags
+        site = f"{self.info.path}:{node.lineno}"
+        if secret:
+            self.engine._emit(
+                self.client.SINK_RULE, self.info.path, node.lineno,
+                node.col_offset, "exception",
+                "secret-tagged value flows into exception text",
+                (site,))
+        for index in _param_indices(tags):
+            hits = self.summary.sink_params.setdefault(index, set())
+            hits.add(("exception", (site,)))
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node) -> frozenset:
+        if node is None:
+            return BOTTOM
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, BOTTOM)
+        if isinstance(node, ast.Constant):
+            return BOTTOM
+        if isinstance(node, ast.Attribute):
+            return (self.engine.attr_tags.get(node.attr, BOTTOM)
+                    | self.client.attr_source(node.attr))
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            return SetLattice.join(*[self._eval(v) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            return SetLattice.join(
+                self._eval(node.left),
+                *[self._eval(c) for c in node.comparators])
+        if isinstance(node, ast.IfExp):
+            return (self._eval(node.test) | self._eval(node.body)
+                    | self._eval(node.orelse))
+        if isinstance(node, ast.JoinedStr):
+            return SetLattice.join(*[self._eval(v) for v in node.values],
+                                   BOTTOM)
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return SetLattice.join(*[self._eval(e) for e in node.elts],
+                                   BOTTOM)
+        if isinstance(node, ast.Dict):
+            return SetLattice.join(
+                *[self._eval(k) for k in node.keys if k is not None],
+                *[self._eval(v) for v in node.values], BOTTOM)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter))
+            return self._eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter))
+            return self._eval(node.key) | self._eval(node.value)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            tags = self._eval(node.value)
+            self._bind(node.target, tags)
+            return tags
+        if isinstance(node, ast.Lambda):
+            return BOTTOM
+        return BOTTOM
+
+    # -- calls -------------------------------------------------------------
+
+    def _call_context(self, node: ast.Call,
+                      evaluate: bool = True) -> CallContext:
+        dotted = _dotted(node.func)
+        if dotted:
+            name = dotted[-1]
+        elif isinstance(node.func, ast.Attribute):
+            # Method on a non-dotted receiver (e.g. a call result):
+            # sanitizer/source matching still needs the method name.
+            name = node.func.attr
+        else:
+            name = None
+        if evaluate:
+            arg_tags = tuple(self._eval(a) for a in node.args)
+            kw_tags = tuple(self._eval(k.value) for k in node.keywords)
+            receiver_tags = (self._eval(node.func.value)
+                             if isinstance(node.func, ast.Attribute)
+                             else BOTTOM)
+        else:
+            arg_tags = ()
+            kw_tags = ()
+            receiver_tags = BOTTOM
+        targets = self.program.resolve_call(
+            node.func, self.info.path, self.info.class_name)
+        resolved = tuple(sorted(
+            key for kind, key in targets if kind == "func"))
+        return CallContext(
+            path=self.info.path, line=node.lineno, col=node.col_offset,
+            dotted=dotted, name=name, resolved=resolved,
+            arg_tags=arg_tags,
+            receiver_tags=receiver_tags,
+            all_tags=SetLattice.join(*arg_tags, *kw_tags, receiver_tags),
+            enclosing_class=self.info.class_name,
+            enclosing_qual=self.info.qual)
+
+    def _call(self, node: ast.Call) -> frozenset:
+        ctx = self._call_context(node)
+        # 1. Shape builtins never propagate content.
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in self.client.untainting_builtins):
+            return BOTTOM
+        # 2. Client sources and sanitizers win outright.
+        transformed = self.client.transform_call(ctx)
+        if transformed is not None:
+            return frozenset(transformed)
+        # 3. Sink classification (the call still produces a value).
+        kind = self.client.sink_kind(ctx)
+        if kind is not None:
+            self._apply_sink(node, ctx, kind)
+        # 4. Resolved targets: apply summaries.
+        targets = self.program.resolve_call(
+            node.func, self.info.path, self.info.class_name)
+        if targets:
+            return self._apply_targets(node, ctx, targets)
+        # 5. Unresolved: conservative join of everything flowing in.
+        return ctx.all_tags
+
+    def _apply_sink(self, node: ast.Call, ctx: CallContext,
+                    kind: str) -> None:
+        self.engine._site(kind, ctx.path, ctx.line, ctx.col)
+        site = f"{ctx.path}:{ctx.line}"
+        secret = _concrete(ctx.all_tags) & self.client.secret_tags
+        if secret:
+            self.engine._emit(
+                self.client.SINK_RULE, ctx.path, ctx.line, ctx.col, kind,
+                f"secret-tagged value reaches {kind} sink "
+                f"{'.'.join(ctx.dotted) if ctx.dotted else '<call>'}()",
+                (site,))
+        for index in _param_indices(ctx.all_tags):
+            hits = self.summary.sink_params.setdefault(index, set())
+            hits.add((kind, (site,)))
+
+    def _map_args(self, node: ast.Call, ctx: CallContext,
+                  info: FunctionInfo, self_tags: frozenset | None):
+        """Map call-site tags onto callee parameter indices."""
+        param_tags: dict[int, frozenset] = {}
+        params = list(info.params)
+        if info.vararg:
+            params.append(info.vararg)
+        if info.kwarg:
+            params.append(info.kwarg)
+        offset = 0
+        if info.is_method and info.params and info.params[0] == "self":
+            offset = 1
+            if self_tags:
+                param_tags[0] = self_tags
+        starred = BOTTOM
+        pos = offset
+        for arg, tags in zip(node.args, ctx.arg_tags):
+            if isinstance(arg, ast.Starred):
+                starred |= tags
+                continue
+            if pos < len(info.params):
+                param_tags[pos] = param_tags.get(pos, BOTTOM) | tags
+            elif info.vararg:
+                index = params.index(info.vararg)
+                param_tags[index] = param_tags.get(index, BOTTOM) | tags
+            pos += 1
+        name_to_index = {name: i for i, name in enumerate(params)}
+        for kw in node.keywords:
+            tags = self._eval(kw.value)
+            if kw.arg is None:
+                starred |= tags
+                continue
+            if kw.arg in name_to_index:
+                index = name_to_index[kw.arg]
+            elif info.kwarg:
+                index = name_to_index[info.kwarg]
+            else:
+                continue
+            param_tags[index] = param_tags.get(index, BOTTOM) | tags
+        if starred:
+            for index in range(len(params)):
+                if index == 0 and offset:
+                    continue
+                param_tags[index] = param_tags.get(index, BOTTOM) | starred
+        return param_tags
+
+    def _apply_summary(self, node: ast.Call, ctx: CallContext,
+                       qual: str, self_tags: frozenset | None) -> frozenset:
+        info = self.program.functions[qual]
+        summary = self.engine.summaries[qual]
+        param_tags = self._map_args(node, ctx, info, self_tags)
+        result = frozenset(summary.returns)
+        for index in summary.return_params:
+            result |= param_tags.get(index, BOTTOM)
+        site = f"{ctx.path}:{ctx.line}"
+        for index, hits in summary.sink_params.items():
+            tags = param_tags.get(index, BOTTOM)
+            if not tags:
+                continue
+            secret = _concrete(tags) & self.client.secret_tags
+            for kind, chain in sorted(hits):
+                extended = (site,) + tuple(chain)
+                if len(extended) > MAX_CHAIN_DEPTH:
+                    extended = extended[:MAX_CHAIN_DEPTH]
+                if secret:
+                    self.engine._emit(
+                        self.client.SINK_RULE, ctx.path, ctx.line,
+                        ctx.col, kind,
+                        f"secret-tagged argument flows through "
+                        f"{info.name}() into a {kind} sink",
+                        extended)
+                for caller_index in _param_indices(tags):
+                    mine = self.summary.sink_params.setdefault(
+                        caller_index, set())
+                    mine.add((kind, extended))
+        for index, hits in summary.branch_params.items():
+            tags = param_tags.get(index, BOTTOM)
+            if not tags:
+                continue
+            secret = _concrete(tags) & self.client.secret_tags
+            for chain in sorted(hits):
+                extended = ((site,) + tuple(chain))[:MAX_CHAIN_DEPTH]
+                if secret:
+                    self.engine._emit(
+                        self.client.BRANCH_RULE, ctx.path, ctx.line,
+                        ctx.col, "branch",
+                        f"secret-tagged argument decides a telemetered "
+                        f"branch inside {info.name}()",
+                        extended)
+                for caller_index in _param_indices(tags):
+                    mine = self.summary.branch_params.setdefault(
+                        caller_index, set())
+                    mine.add(extended)
+        for attr, index in summary.attr_stores:
+            tags = param_tags.get(index, BOTTOM)
+            conc = self.client.storable_tags(_concrete(tags))
+            if conc:
+                self.engine._join_attr(attr, conc)
+            for caller_index in _param_indices(tags):
+                self.summary.attr_stores |= {(attr, caller_index)}
+        return result
+
+    def _apply_targets(self, node: ast.Call, ctx: CallContext,
+                       targets) -> frozenset:
+        result = BOTTOM
+        for kind, key in targets:
+            if kind == "func":
+                info = self.program.functions[key]
+                self_tags = ctx.receiver_tags if info.is_method else None
+                result |= self._apply_summary(node, ctx, key, self_tags)
+            else:
+                result |= self._construct(node, ctx, key)
+        return result
+
+    def _construct(self, node: ast.Call, ctx: CallContext,
+                   class_key: str) -> frozenset:
+        """Constructors apply field effects and return a clean object."""
+        cls = self.program.classes[class_key]
+        if cls.has_init:
+            init_qual = cls.methods["__init__"]
+            self._apply_summary(node, ctx, init_qual, BOTTOM)
+            return BOTTOM
+        if cls.dataclass_fields:
+            fields = cls.dataclass_fields
+            pos = 0
+            for arg, tags in zip(node.args, ctx.arg_tags):
+                if isinstance(arg, ast.Starred):
+                    continue
+                if pos < len(fields):
+                    self._field_store(fields[pos], tags)
+                pos += 1
+            for kw in node.keywords:
+                if kw.arg is not None and kw.arg in fields:
+                    self._field_store(kw.arg, self._eval(kw.value))
+        return BOTTOM
+
+    def _field_store(self, attr: str, tags: frozenset) -> None:
+        conc = self.client.storable_tags(_concrete(tags))
+        if conc:
+            self.engine._join_attr(attr, conc)
+        for index in _param_indices(tags):
+            self.summary.attr_stores |= {(attr, index)}
+
+
+def analyze_program(program: Program,
+                    client: DataflowClient) -> DataflowResult:
+    """Run the interprocedural fixpoint and one reporting pass."""
+    return DataflowEngine(program, client).run()

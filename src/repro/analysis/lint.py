@@ -12,11 +12,13 @@ Rules
 
 ``DET001``
     No host-clock calls (``time.time``/``time.monotonic``/
-    ``datetime.now``/...) inside simulated-path modules.  The host-clock
+    ``datetime.now``/... and their async twins ``asyncio.sleep``/
+    ``loop.time()``) inside simulated-path modules.  The host-clock
     boundary is not a directory: each module allowed to touch host time
     or host process pools carries its own justified entry in
     :data:`HOST_BOUNDARY_MODULES`; a new ``repro.perf`` module is
-    flagged until it is added there.
+    flagged until it is added there.  The service tier's injected
+    ``clock`` callable is the one sanctioned async boundary.
 ``DET002``
     No stdlib ``random`` in the same scope: simulated randomness must
     come from a seeded generator passed in explicitly.
@@ -65,6 +67,11 @@ _HOST_CLOCK_CALLS = {
     ("time", "time_ns"), ("time", "process_time"),
     ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
     ("date", "today"),
+    # Async host time: the service tier runs on asyncio, where
+    # ``asyncio.sleep`` and ``loop.time()`` smuggle the host clock in
+    # just as surely as ``time.monotonic`` -- attestd's injected
+    # ``clock`` callable is the only sanctioned async time boundary.
+    ("asyncio", "sleep"), ("loop", "time"),
 }
 
 _TELEMETRY_METRIC_METHODS = {"count", "set_gauge", "observe"}
@@ -111,6 +118,10 @@ class LintReport:
     files_scanned: int
     violations: tuple[LintViolation, ...]   # unwaived, sorted
     waived: tuple[LintViolation, ...]       # waived, sorted
+    #: Waivers that matched no violation at all: the code they excused
+    #: is gone, so the entry is rot and fails the run (see
+    #: ``repro lint --allow-stale``).
+    stale_waivers: tuple[Waiver, ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -119,7 +130,10 @@ class LintReport:
     def as_dict(self) -> dict:
         return {"files_scanned": self.files_scanned, "clean": self.clean,
                 "violations": [v.as_dict() for v in self.violations],
-                "waived": [v.as_dict() for v in self.waived]}
+                "waived": [v.as_dict() for v in self.waived],
+                "stale_waivers": [{"rule": w.rule, "path": w.path,
+                                   "reason": w.reason}
+                                  for w in self.stale_waivers]}
 
 
 def load_waivers(path: Path) -> list[Waiver]:
@@ -380,11 +394,13 @@ def lint_tree(repo_root: Path, *,
     files = iter_python_files(repo_root, dirs)
     kept: list[LintViolation] = []
     waived: list[LintViolation] = []
+    used: set[Waiver] = set()
     for file_path in files:
         for violation in lint_file(file_path, repo_root):
             matched = next((w for w in waivers if w.matches(violation)),
                            None)
             if matched is not None:
+                used.add(matched)
                 waived.append(LintViolation(
                     rule=violation.rule, path=violation.path,
                     line=violation.line, col=violation.col,
@@ -394,5 +410,8 @@ def lint_tree(repo_root: Path, *,
                 kept.append(violation)
     kept.sort(key=LintViolation.sort_key)
     waived.sort(key=LintViolation.sort_key)
+    stale = tuple(sorted((w for w in waivers if w not in used),
+                         key=lambda w: (w.path, w.rule)))
     return LintReport(files_scanned=len(files),
-                      violations=tuple(kept), waived=tuple(waived))
+                      violations=tuple(kept), waived=tuple(waived),
+                      stale_waivers=stale)

@@ -20,8 +20,14 @@ __all__ = ["build_report", "render_report_json"]
 
 
 def build_report(profile_reports: list[ProfileReport] | tuple,
-                 lint_report: LintReport) -> dict:
-    """Assemble and validate the combined analysis report."""
+                 lint_report: LintReport,
+                 taint_report=None) -> dict:
+    """Assemble and validate the combined analysis report.
+
+    ``taint_report`` (a :class:`repro.analysis.taint.TaintReport`) is
+    optional so the lint-only callers keep their exact bytes; when
+    given, the document gains a ``taint`` section.
+    """
     profiles = [r.as_dict() for r in
                 sorted(profile_reports,
                        key=lambda r: (r.profile, r.clock_kind))]
@@ -30,6 +36,8 @@ def build_report(profile_reports: list[ProfileReport] | tuple,
         "profiles": profiles,
         "lint": lint_report.as_dict(),
     }
+    if taint_report is not None:
+        report["taint"] = taint_report.as_dict()
     errors = validate_analysis_report(report)
     if errors:
         raise ValueError("analysis report violates its schema: "

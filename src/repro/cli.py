@@ -11,7 +11,9 @@ Usage::
     python -m repro attest [--ram-kb N] [--scheme S] [--policy P]
     python -m repro metrics [--rounds N] [--trace-out F] [--registry-out F]
     python -m repro verify-profile [--profile P] [--clock C] [--json]
-    python -m repro lint [paths ...] [--json] [--waivers F]
+    python -m repro lint [paths ...] [--json] [--waivers F] [--allow-stale]
+    python -m repro taint [--json] [--policy F] [--allow-stale] [--canary]
+    python -m repro analyze [--out F] [--allow-stale]
     python -m repro fleet-bench [--size N] [--workers W] [--json]
     python -m repro incremental-bench [--size N] [--dirty F ...] [--json]
     python -m repro serve [--devices N] [--waves K] [--snapshot F]
@@ -391,16 +393,116 @@ def _cmd_lint(args) -> int:
     waivers = load_waivers(root / args.waivers)
     dirs = tuple(args.paths) if args.paths else DEFAULT_LINT_DIRS
     report = lint_tree(root, dirs=dirs, waivers=waivers)
+    stale_fails = bool(report.stale_waivers) and not args.allow_stale
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-        return 0 if report.clean else 1
+        return 0 if report.clean and not stale_fails else 1
     for violation in report.violations:
         print(f"{violation.path}:{violation.line}:{violation.col}: "
               f"{violation.rule} {violation.message}")
+    for waiver in report.stale_waivers:
+        print(f"{waiver.path}: stale waiver for {waiver.rule}: matches "
+              f"no current violation (drop the entry or pass "
+              f"--allow-stale)", file=sys.stderr)
     print(f"{report.files_scanned} files scanned, "
           f"{len(report.violations)} violations, "
-          f"{len(report.waived)} waived", file=sys.stderr)
-    return 0 if report.clean else 1
+          f"{len(report.waived)} waived, "
+          f"{len(report.stale_waivers)} stale waivers", file=sys.stderr)
+    return 0 if report.clean and not stale_fails else 1
+
+
+def _cmd_taint(args) -> int:
+    """Key-confidentiality taint analysis (KEY001/KEY002/KEY003)."""
+    import json
+    import pathlib
+
+    from .analysis import analyze_taint_tree, load_policy, run_canary_hunt
+
+    root = pathlib.Path(args.root)
+    policy = load_policy(root / args.policy)
+    report = analyze_taint_tree(root, policy=policy)
+    stale_fails = bool(report.stale_policy) and not args.allow_stale
+    canary = None
+    if args.canary:
+        canary = run_canary_hunt()
+    failed = (not report.clean or stale_fails
+              or (canary is not None
+                  and (not canary.clean or not canary.control_hit)))
+    if args.json:
+        document = report.as_dict()
+        if canary is not None:
+            document["canary"] = canary.as_dict()
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    for violation in report.violations:
+        print(f"{violation.path}:{violation.line}:{violation.col}: "
+              f"{violation.rule} [{violation.sink}] {violation.message}")
+        if len(violation.chain) > 1:
+            print("    via " + " -> ".join(violation.chain))
+    for entry in report.stale_policy:
+        print(f"{entry['path']}: stale policy entry ({entry['kind']}): "
+              f"{entry['detail']} (drop the entry or pass --allow-stale)",
+              file=sys.stderr)
+    if canary is not None:
+        verdict = "clean" if canary.clean else "LEAK"
+        control = "ok" if canary.control_hit else "MISSED"
+        print(f"canary hunt: {verdict} over "
+              f"{len(canary.artifacts_scanned)} artifacts "
+              f"(blob control {control})", file=sys.stderr)
+        for hit in canary.hits:
+            print(f"  canary hit: {hit.needle} in {hit.artifact}",
+                  file=sys.stderr)
+    print(f"{report.files_scanned} files analyzed "
+          f"({report.rounds} fixpoint rounds), "
+          f"{len(report.violations)} violations, "
+          f"{len(report.waived)} policy-waived, "
+          f"{len(report.stale_policy)} stale policy entries",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_analyze(args) -> int:
+    """Run invariants + lint + taint; emit one merged analysis document."""
+    import pathlib
+
+    from .analysis import (analyze_taint_tree, build_report,
+                           expected_failures, lint_tree, load_policy,
+                           load_waivers, render_report_json,
+                           verify_shipped_profiles)
+
+    root = pathlib.Path(args.root)
+    profile_reports = verify_shipped_profiles(clock_kinds=("hw64", "sw"))
+    mismatches = [
+        r for r in profile_reports
+        if r.failed() != expected_failures(r.profile, r.clock_kind)]
+    lint_report = lint_tree(root, waivers=load_waivers(root / args.waivers))
+    taint_report = analyze_taint_tree(
+        root, policy=load_policy(root / args.policy))
+    document = render_report_json(
+        build_report(profile_reports, lint_report, taint_report))
+    if args.out:
+        pathlib.Path(args.out).write_text(document)
+        print(f"wrote {args.out} ({len(document)} bytes)", file=sys.stderr)
+    else:
+        print(document, end="")
+    stale = ((lint_report.stale_waivers or taint_report.stale_policy)
+             and not args.allow_stale)
+    failed = (bool(mismatches) or not lint_report.clean
+              or not taint_report.clean or bool(stale))
+    for report in mismatches:
+        print(f"analyze: invariant mismatch for {report.profile}/"
+              f"{report.clock_kind}", file=sys.stderr)
+    if not lint_report.clean:
+        print(f"analyze: {len(lint_report.violations)} lint violations",
+              file=sys.stderr)
+    if not taint_report.clean:
+        print(f"analyze: {len(taint_report.violations)} taint violations",
+              file=sys.stderr)
+    if stale:
+        print(f"analyze: {len(lint_report.stale_waivers)} stale waivers, "
+              f"{len(taint_report.stale_policy)} stale policy entries",
+              file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_fleet_bench(args) -> int:
@@ -852,7 +954,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="waiver list, relative to --root")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable lint report")
+    p.add_argument("--allow-stale", action="store_true",
+                   help="do not fail on waivers matching no violation")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("taint",
+                       help="key-confidentiality taint analysis over "
+                            "src/repro (KEY001/KEY002/KEY003)")
+    p.add_argument("--root", default=".",
+                   help="repository root the scan is relative to")
+    p.add_argument("--policy", default="taint-policy.json",
+                   help="declared-sink policy file, relative to --root")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable taint report")
+    p.add_argument("--allow-stale", action="store_true",
+                   help="do not fail on policy entries matching no sink")
+    p.add_argument("--canary", action="store_true",
+                   help="also run the dynamic canary leak-hunt")
+    p.set_defaults(fn=_cmd_taint)
+
+    p = sub.add_parser("analyze",
+                       help="invariants + lint + taint in one merged "
+                            "deterministic analysis document")
+    p.add_argument("--root", default=".",
+                   help="repository root the scan is relative to")
+    p.add_argument("--waivers", default="lint-waivers.json",
+                   help="lint waiver list, relative to --root")
+    p.add_argument("--policy", default="taint-policy.json",
+                   help="taint policy file, relative to --root")
+    p.add_argument("--out", default=None,
+                   help="write the document here instead of stdout")
+    p.add_argument("--allow-stale", action="store_true",
+                   help="do not fail on stale waivers/policy entries")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("fleet-bench",
                        help="sharded parallel fleet sweep vs sequential")

@@ -26,6 +26,7 @@ __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
            "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "INCREMENTAL_SCHEMA",
            "SERVICE_SCHEMA", "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMA_ID",
            "METRIC_NAMES", "INVARIANT_NAMES", "LINT_RULE_IDS",
+           "TAINT_RULE_IDS",
            "validate_event", "validate_jsonl_trace",
            "validate_registry_dump", "validate_wallclock_report",
            "validate_analysis_report", "validate_fleet_report",
@@ -107,6 +108,14 @@ LINT_RULE_IDS = frozenset({
     "FLT001",   # float arithmetic in cycle-accounting functions
     "TEL001",   # telemetry name not in the schema vocabulary
     "DEP001",   # deprecated alias use
+})
+
+#: The closed set of key-confidentiality rule identifiers
+#: ``repro.analysis.taint`` emits.
+TAINT_RULE_IDS = frozenset({
+    "KEY001",   # key-tagged value reaches a forbidden host sink
+    "KEY002",   # key content decides a telemetered branch (shape leak)
+    "KEY003",   # undeclared host-boundary write signature
 })
 
 #: Schema of one trace-event object (one JSON line of the export).
@@ -442,6 +451,7 @@ ANALYSIS_SCHEMA = {
         "schema": {"type": "string", "enum": ["repro.analysis/v1"]},
         "profiles": {"type": "array"},
         "lint": {"type": "object"},
+        "taint": {"type": "object"},
     },
 }
 
@@ -480,6 +490,39 @@ _LINT_REPORT_SCHEMA = {
         "clean": {"type": "boolean"},
         "violations": {"type": "array"},
         "waived": {"type": "array"},
+        "stale_waivers": {"type": "array"},
+    },
+}
+
+#: Schema of the taint section of the analysis report.
+_TAINT_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["files_scanned", "clean", "violations", "waived",
+                 "sinks", "stale_policy"],
+    "properties": {
+        "files_scanned": {"type": "integer", "minimum": 0},
+        "clean": {"type": "boolean"},
+        "violations": {"type": "array"},
+        "waived": {"type": "array"},
+        "sinks": {"type": "array"},
+        "stale_policy": {"type": "array"},
+        "rounds": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: Schema of one taint violation entry (waived or not).
+_TAINT_VIOLATION_SCHEMA = {
+    "type": "object",
+    "required": ["rule", "path", "line", "message"],
+    "properties": {
+        "rule": {"type": "string", "enum": sorted(TAINT_RULE_IDS)},
+        "path": {"type": "string"},
+        "line": {"type": "integer", "minimum": 0},
+        "col": {"type": "integer", "minimum": 0},
+        "message": {"type": "string"},
+        "sink": {"type": "string"},
+        "chain": {"type": "array"},
+        "waiver_reason": {"type": "string"},
     },
 }
 
@@ -777,4 +820,15 @@ def validate_analysis_report(report: dict) -> list[str]:
                                           else []):
                 errors.extend(_check(entry, _LINT_VIOLATION_SCHEMA,
                                      f"analysis.lint.{key}[{index}]"))
+    taint = report.get("taint")
+    if isinstance(taint, dict):
+        errors.extend(_check(taint, _TAINT_REPORT_SCHEMA,
+                             "analysis.taint"))
+        for key in ("violations", "waived"):
+            entries = taint.get(key)
+            for index, entry in enumerate(entries
+                                          if isinstance(entries, list)
+                                          else []):
+                errors.extend(_check(entry, _TAINT_VIOLATION_SCHEMA,
+                                     f"analysis.taint.{key}[{index}]"))
     return errors

@@ -1,0 +1,186 @@
+"""Property tests for the interprocedural dataflow engine.
+
+Three families, all hypothesis-driven:
+
+* the powerset lattice obeys the join-semilattice laws the fixpoint
+  relies on (commutative, associative, idempotent, bottom identity,
+  ``leq`` consistent with ``join``);
+* ``FunctionSummary.merge`` is a monotone join -- it reports growth
+  exactly when something grew, so the engine's "no round changed
+  anything" exit is a real fixpoint;
+* the whole-program fixpoint terminates and is deterministic on random
+  call graphs, including self-recursion and mutual cycles, and taint
+  survives an arbitrary chain of forwarding wrappers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import (BOTTOM, MAX_ROUNDS, FunctionSummary,
+                                     Program, SetLattice, analyze_program)
+from repro.analysis.taint import KeyConfidentialityClient
+
+tags = st.frozensets(
+    st.sampled_from(["key", "key-addr", ("param", 0), ("param", 1)]),
+    max_size=4)
+
+
+class TestLatticeLaws:
+    @given(tags, tags)
+    def test_join_commutative(self, a, b):
+        assert SetLattice.join(a, b) == SetLattice.join(b, a)
+
+    @given(tags, tags, tags)
+    def test_join_associative(self, a, b, c):
+        assert (SetLattice.join(SetLattice.join(a, b), c)
+                == SetLattice.join(a, SetLattice.join(b, c)))
+
+    @given(tags)
+    def test_join_idempotent_with_bottom_identity(self, a):
+        assert SetLattice.join(a, a) == a
+        assert SetLattice.join(a, BOTTOM) == a
+
+    @given(tags, tags)
+    def test_leq_consistent_with_join(self, a, b):
+        joined = SetLattice.join(a, b)
+        assert SetLattice.leq(a, joined)
+        assert SetLattice.leq(b, joined)
+        assert SetLattice.leq(a, b) == (joined == b)
+
+
+summaries = st.builds(
+    FunctionSummary,
+    returns=st.frozensets(st.sampled_from(["key", "key-addr"]), max_size=2),
+    return_params=st.frozensets(st.integers(0, 3), max_size=3),
+    sink_params=st.dictionaries(
+        st.integers(0, 3),
+        st.sets(st.tuples(st.sampled_from(["telemetry", "trace"]),
+                          st.just(())), max_size=2),
+        max_size=3),
+    attr_stores=st.frozensets(
+        st.tuples(st.sampled_from(["key", "start"]), st.integers(0, 2)),
+        max_size=3))
+
+
+class TestSummaryMerge:
+    @given(summaries, summaries)
+    def test_merge_reports_growth_exactly(self, a, b):
+        before = a.as_dict()
+        changed = a.merge(b)
+        assert changed == (a.as_dict() != before)
+
+    @given(summaries, summaries)
+    def test_merge_idempotent(self, a, b):
+        a.merge(b)
+        assert a.merge(b) is False
+
+    @given(summaries, summaries)
+    def test_merge_commutative_in_result(self, a, b):
+        left = FunctionSummary()
+        left.merge(a)
+        left.merge(b)
+        right = FunctionSummary()
+        right.merge(b)
+        right.merge(a)
+        assert left.as_dict() == right.as_dict()
+
+
+def _wrapper_graph_source(n: int, edges: list) -> str:
+    """n forwarding wrappers with a random call graph (cycles allowed)."""
+    lines = []
+    for i in range(n):
+        lines.append(f"def f{i}(x):")
+        lines.append("    y = x")
+        for (src, dst) in edges:
+            if src == i:
+                lines.append(f"    y = f{dst}(y)")
+        lines.append("    return y")
+    lines += [
+        "def entry(telemetry):",
+        "    k = read_key()",
+        "    r = f0(k)",
+        "    telemetry.event('kind', 0, note=r)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+graphs = st.integers(2, 5).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 max_size=2 * n)))
+
+
+class TestFixpoint:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs)
+    def test_terminates_and_is_deterministic(self, graph):
+        n, edges = graph
+        source = _wrapper_graph_source(n, edges)
+        program = Program.from_sources({"src/repro/gen.py": source})
+        first = analyze_program(program, KeyConfidentialityClient())
+        assert first.rounds < MAX_ROUNDS
+        second = analyze_program(program, KeyConfidentialityClient())
+        assert ([v.as_dict() for v in first.violations]
+                == [v.as_dict() for v in second.violations])
+        assert ({q: s.as_dict() for q, s in first.summaries.items()}
+                == {q: s.as_dict() for q, s in second.summaries.items()})
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs)
+    def test_taint_survives_any_wrapper_graph(self, graph):
+        """entry() always pipes read_key() through f0 into telemetry, so
+        whatever the wrapper topology, exactly that KEY001 must fire."""
+        n, edges = graph
+        source = _wrapper_graph_source(n, edges)
+        program = Program.from_sources({"src/repro/gen.py": source})
+        result = analyze_program(program, KeyConfidentialityClient())
+        key001 = [v for v in result.violations if v.rule == "KEY001"]
+        assert key001, "wrapper graph swallowed the taint"
+        assert all(v.sink == "telemetry" for v in key001)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs)
+    def test_sanitizer_kills_the_same_graph(self, graph):
+        n, edges = graph
+        source = _wrapper_graph_source(n, edges).replace(
+            "    r = f0(k)", "    r = f0(hmac_sha1(k, b''))")
+        program = Program.from_sources({"src/repro/gen.py": source})
+        result = analyze_program(program, KeyConfidentialityClient())
+        assert result.violations == ()
+
+    def test_pure_infinite_recursion_is_no_flow(self):
+        """``f(x) = f(x)`` never returns, so the least fixpoint soundly
+        reports no flow through it -- and still terminates."""
+        source = ("def f(x):\n"
+                  "    return f(x)\n"
+                  "def entry(telemetry):\n"
+                  "    telemetry.count('c', f(read_key()))\n")
+        program = Program.from_sources({"src/repro/rec.py": source})
+        result = analyze_program(program, KeyConfidentialityClient())
+        assert result.rounds < MAX_ROUNDS
+        assert result.violations == ()
+
+    def test_direct_recursion_terminates(self):
+        source = ("def f(x):\n"
+                  "    if len(x) > 8:\n"
+                  "        return f(x)\n"
+                  "    return x\n"
+                  "def entry(telemetry):\n"
+                  "    telemetry.count('c', f(read_key()))\n")
+        program = Program.from_sources({"src/repro/rec.py": source})
+        result = analyze_program(program, KeyConfidentialityClient())
+        assert result.rounds < MAX_ROUNDS
+        assert [v.rule for v in result.violations] == ["KEY001"]
+
+    def test_mutual_recursion_terminates(self):
+        source = ("def a(x):\n    return b(x)\n"
+                  "def b(x):\n"
+                  "    if len(x) > 8:\n"
+                  "        return a(x)\n"
+                  "    return x\n"
+                  "def entry(trace):\n"
+                  "    trace.record('e', 0, a(read_key()))\n")
+        program = Program.from_sources({"src/repro/mut.py": source})
+        result = analyze_program(program, KeyConfidentialityClient())
+        assert result.rounds < MAX_ROUNDS
+        assert [v.rule for v in result.violations] == ["KEY001"]

@@ -195,6 +195,58 @@ class TestWaivers:
         assert all(v.waiver_reason for v in report.waived)
 
 
+class TestAsyncHostClock:
+    """DET001 covers the asyncio spellings of the host clock."""
+
+    def test_asyncio_sleep_flagged(self):
+        source = ("import asyncio\n"
+                  "async def f():\n"
+                  "    await asyncio.sleep(0.1)\n")
+        assert "DET001" in rules_in(source)
+
+    def test_loop_time_flagged(self):
+        source = ("def f(loop):\n"
+                  "    return loop.time()\n")
+        assert "DET001" in rules_in(source)
+
+    def test_attestd_is_clean(self):
+        """Pin: the asyncio service tier must stay off the host clock --
+        its scheduling runs on injected simulated time, and this test is
+        the tripwire against an accidental asyncio.sleep sneaking in."""
+        from repro.analysis.lint import lint_file
+        violations = lint_file(REPO / "src/repro/services/attestd.py", REPO)
+        det = [v for v in violations if v.rule == "DET001"]
+        assert det == [], [v.as_dict() for v in det]
+
+
+class TestStaleWaivers:
+    def test_unused_waiver_reported_stale(self):
+        ghost = Waiver(rule="DET002", path="src/repro/never/was.py",
+                       reason="waives nothing")
+        report = lint_tree(
+            REPO, waivers=load_waivers(REPO / "lint-waivers.json") + [ghost])
+        assert ghost in report.stale_waivers
+        entries = report.as_dict()["stale_waivers"]
+        assert {"rule": "DET002", "path": "src/repro/never/was.py",
+                "reason": "waives nothing"} in entries
+
+    def test_checked_in_waivers_are_all_live(self):
+        report = lint_tree(
+            REPO, waivers=load_waivers(REPO / "lint-waivers.json"))
+        assert report.stale_waivers == (), [
+            (w.rule, w.path) for w in report.stale_waivers]
+
+    def test_stale_does_not_unclean_report(self):
+        """Staleness is a CLI exit-code concern (overridable with
+        --allow-stale); the report itself stays clean so violation
+        accounting is unchanged."""
+        ghost = Waiver(rule="FLT001", path="gone.py", reason="stale")
+        report = lint_tree(
+            REPO, waivers=load_waivers(REPO / "lint-waivers.json") + [ghost])
+        assert report.clean
+        assert report.stale_waivers == (ghost,)
+
+
 class TestTaintedFixtureTree:
     def test_every_seeded_rule_detected(self):
         report = lint_tree(REPO / "tests/analysis/fixtures/seeded")

@@ -1,0 +1,36 @@
+"""Tier-1 wiring for ``scripts/taint_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a regression in the taint analyzer, the policy
+mechanics, the canary hunt, or the combined report schema fails the
+suite, not just the nightly job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "taint_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestTaintSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "taint-smoke: OK" in proc.stderr
+        assert "canary agrees both ways" in proc.stderr
+
+    def test_clean_fixture_fails_the_failure_mode_gate(self):
+        """Sanity-check the gate actually gates: pointing the seeded-tree
+        gate at a leak-free directory must exit 1 with a diagnostic."""
+        proc = run_smoke("--fixture-root", "scripts")
+        assert proc.returncode == 1
+        assert "FAIL: failure mode" in proc.stderr
