@@ -201,6 +201,14 @@ HOST_BOUNDARY_MODULES = {
         "dirty-region sweeps with time.perf_counter; simulated "
         "accounting is compared byte-for-byte between the two paths "
         "(equivalence_check), never derived from host time",
+    "src/repro/perf/snapshot.py":
+        "delta-checkpoint benchmark harness: times full vs delta "
+        "snapshot capture with time.perf_counter; the captured "
+        "documents themselves are host-time-free, and measure_point "
+        "refuses to report unless the delta chain materializes "
+        "byte-identical to the full snapshot (equivalence_check "
+        "additionally proves restore-and-continue matches the live "
+        "run)",
 }
 
 

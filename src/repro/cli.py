@@ -19,8 +19,12 @@ Usage::
     python -m repro serve [--devices N] [--waves K] [--snapshot F]
     python -m repro service-bench [--size N] [--json]
     python -m repro snapshot save --out F [--size N] [--sweeps K]
+                                  [--parent P] [--verify] [--incremental]
     python -m repro snapshot restore F [--sweeps K] [--json]
     python -m repro snapshot replay F --seq N
+    python -m repro snapshot compact F --out OUT
+    python -m repro snapshot bisect F [F ...] --match KEY=VALUE ...
+    python -m repro snapshot-bench [--size N] [--workers W] [--json]
 
 Each subcommand prints the same tables the benchmark harness writes to
 ``benchmarks/results/``; the CLI exists so a downstream user can poke at
@@ -608,38 +612,125 @@ def _report_rows(report) -> list:
             ["sweep seconds (simulated)", f"{report.sweep_seconds:.3f}"]]
 
 
-def _cmd_snapshot_save(args) -> int:
-    """Run a fleet for a few sweeps, then checkpoint it to a file."""
-    from .snapshot import build_swarm_from_spec, save_document, swarm_spec
+def _restore_from_chain(documents: list, spec: dict):
+    """Rebuild the spec'd swarm and restore the chain's tip state."""
+    from .snapshot import build_swarm_from_spec, materialize_chain
 
-    spec = swarm_spec(size=args.size, profile=args.profile,
-                      auth_scheme=args.scheme, policy=args.policy,
-                      ram_kb=args.ram_kb, retry=args.retry,
-                      faults=args.faults,
-                      stagger_seconds=args.stagger, seed=args.seed)
+    document = (documents[0] if len(documents) == 1
+                else materialize_chain(documents))
     swarm = build_swarm_from_spec(spec)
-    for _ in range(args.sweeps):
-        report = swarm.sweep(stagger_seconds=args.stagger)
-    document = swarm.snapshot()
-    document["meta"] = {"spec": spec}
-    save_document(document, args.out)
+    swarm.restore(document)
+    return swarm
+
+
+def _verify_saved(path: str, swarm) -> list:
+    """Reload ``path`` from disk into a fresh fleet and name any field
+    that differs from the live ``swarm`` that was just checkpointed."""
+    import json
+
+    from .snapshot import load_chain
+
+    documents = load_chain(path)
+    spec = (documents[-1].get("meta") or {}).get("spec")
+    checked = _restore_from_chain(documents, spec)
+    mismatched = []
+    if (json.dumps(checked.merged_registry().dump(), sort_keys=True)
+            != json.dumps(swarm.merged_registry().dump(), sort_keys=True)):
+        mismatched.append("registry")
+    if checked.freshness_fingerprint() != swarm.freshness_fingerprint():
+        mismatched.append("freshness_fingerprint")
+    if checked.device_states() != swarm.device_states():
+        mismatched.append("device_states")
+    return mismatched
+
+
+def _cmd_snapshot_save(args) -> int:
+    """Run a fleet for a few sweeps, then checkpoint it to a file.
+
+    With ``--parent`` the fleet resumes from that checkpoint (itself
+    full or delta) and the new file is a ``repro.snapshot.delta/v1``
+    document recording only the chunks dirtied since the parent, with
+    ``meta.parent_path`` linking the chain for ``compact``/``bisect``.
+    """
+    from .errors import SnapshotError
+    from .snapshot import (build_swarm_from_spec, load_chain,
+                           save_document, swarm_spec)
+
+    if args.delta and args.parent is None:
+        print("error: --delta needs --parent (the checkpoint to diff "
+              "against)", file=sys.stderr)
+        return 1
+    try:
+        if args.parent is not None:
+            chain = load_chain(args.parent)
+            spec = (chain[-1].get("meta") or {}).get("spec")
+            if spec is None:
+                raise SnapshotError(
+                    f"{args.parent} has no embedded rebuild spec; it was "
+                    f"not written by 'repro snapshot save'")
+            if not spec.get("incremental"):
+                raise SnapshotError(
+                    "delta capture needs digest trees: re-save the parent "
+                    "with 'repro snapshot save --incremental'")
+            swarm = _restore_from_chain(chain, spec)
+            parent_doc = chain[-1]
+        else:
+            spec = swarm_spec(size=args.size, profile=args.profile,
+                              auth_scheme=args.scheme, policy=args.policy,
+                              ram_kb=args.ram_kb, retry=args.retry,
+                              faults=args.faults,
+                              incremental=args.incremental,
+                              stagger_seconds=args.stagger, seed=args.seed)
+            swarm = build_swarm_from_spec(spec)
+            parent_doc = None
+        report = None
+        for _ in range(args.sweeps):
+            report = swarm.sweep(stagger_seconds=spec["stagger_seconds"])
+        if parent_doc is not None:
+            document = swarm.snapshot(parent=parent_doc)
+            document["meta"] = {"spec": spec, "parent_path": args.parent}
+        else:
+            document = swarm.snapshot()
+            document["meta"] = {"spec": spec}
+        save_document(document, args.out)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     blobs = document["blobs"]
+    flavour = "delta blob(s)" if parent_doc is not None \
+        else "unique memory image(s)"
     print(f"wrote {args.out}: {len(swarm)} member(s), "
-          f"{swarm.sweeps_run} sweep(s), {len(blobs)} unique memory "
-          f"image(s)", file=sys.stderr)
-    if args.sweeps:
+          f"{swarm.sweeps_run} sweep(s), {len(blobs)} {flavour}",
+          file=sys.stderr)
+    if args.verify:
+        mismatched = _verify_saved(args.out, swarm)
+        if mismatched:
+            print(f"verify FAILED: restored state differs in "
+                  f"{', '.join(mismatched)}", file=sys.stderr)
+            return 1
+        print("verify: restored fleet matches the live one",
+              file=sys.stderr)
+    if report is not None:
         print(render_table(_report_rows(report),
                            title=f"Sweep {swarm.sweeps_run} at checkpoint"))
     return 0
 
 
 def _load_snapshot_swarm(path: str):
-    """Rebuild the checkpointed fleet from the spec embedded in a file."""
-    from .errors import SnapshotError
-    from .snapshot import build_swarm_from_spec, load_document
+    """Rebuild the checkpointed fleet from the spec embedded in a file.
 
-    document = load_document(path)
-    meta = document.get("meta", {})
+    Delta checkpoints are folded into a full document first (following
+    ``meta.parent_path`` links), so every downstream flow sees exactly
+    the state a full snapshot of the same instant would carry.
+    """
+    from .errors import SnapshotError
+    from .snapshot import (build_swarm_from_spec, load_chain,
+                           materialize_chain)
+
+    documents = load_chain(path)
+    document = (documents[0] if len(documents) == 1
+                else materialize_chain(documents))
+    meta = document.get("meta") or {}
     if "spec" not in meta:
         raise SnapshotError(
             f"{path} has no embedded rebuild spec; it was not written by "
@@ -703,6 +794,124 @@ def _cmd_snapshot_replay(args) -> int:
     print(f"# replayed to seq {args.seq}: {len(records)} event(s), "
           f"showing {len(tail)}", file=sys.stderr)
     return 0
+
+
+def _cmd_snapshot_compact(args) -> int:
+    """Squash a delta chain into one standalone full checkpoint."""
+    from .errors import SnapshotError
+    from .snapshot import compact_chain, load_chain, save_document
+
+    try:
+        documents = load_chain(args.file)
+        if len(documents) == 1:
+            print(f"error: {args.file} is already a full snapshot",
+                  file=sys.stderr)
+            return 1
+        compacted = compact_chain(documents)
+        save_document(compacted, args.out)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}: {len(documents)} chain document(s) folded, "
+          f"{len(compacted['blobs'])} unique memory image(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _match_predicate(pairs: list):
+    """Build a trace-record predicate from ``KEY=VALUE`` args (every
+    pair must match; values compare against ``str(record[key])``)."""
+    matches = []
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--match needs KEY=VALUE, got {pair!r}")
+        matches.append((key, value))
+    return lambda record: all(str(record.get(key)) == value
+                              for key, value in matches)
+
+
+def _cmd_snapshot_bisect(args) -> int:
+    """Binary-search a run's event trace for the first matching record."""
+    import json
+
+    from .errors import SnapshotError
+    from .snapshot import bisect_replay, load_document
+
+    try:
+        predicate = _match_predicate(args.match)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        documents = [load_document(path) for path in args.files]
+        meta = documents[0].get("meta") or {}
+        if "spec" not in meta:
+            raise SnapshotError(
+                f"{args.files[0]} has no embedded rebuild spec; it was "
+                f"not written by 'repro snapshot save'")
+        from .snapshot import build_swarm_from_spec
+        spec = meta["spec"]
+        swarm = build_swarm_from_spec(spec)
+        result = bisect_replay(swarm, documents, predicate,
+                               stagger_seconds=spec["stagger_seconds"],
+                               hi=args.hi, max_sweeps=args.max_sweeps)
+    except (SnapshotError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"# first match at seq {result['seq']} after "
+          f"{result['probes']} probe(s), {result['events_replayed']} "
+          f"event(s) replayed", file=sys.stderr)
+    return 0
+
+
+def _cmd_snapshot_bench(args) -> int:
+    """Chained delta checkpoints vs full snapshots on an OTA fleet."""
+    import json
+
+    from .obs.schema import validate_snapshot_report
+    from .perf import snapshot as perf_snapshot
+
+    report = perf_snapshot.build_report(fleet_size=args.size,
+                                        ram_kb=args.ram_kb,
+                                        rounds=args.rounds,
+                                        workers=args.workers,
+                                        chunk_size=args.chunk_size)
+    errors = validate_snapshot_report(report)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    if args.out:
+        perf_snapshot.write_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    rows = [["dirty", "content", "full (s)", "delta (s)", "speedup",
+             "bytes saved"]]
+    for point in report["points"]:
+        rows.append([f"{point['dirty_fraction']:.0%}",
+                     "shared" if point["shared_content"] else "unique",
+                     f"{point['full_seconds']:.3f}",
+                     f"{point['delta_seconds']:.3f}",
+                     f"{point['speedup']:.2f}x",
+                     f"{point['bytes_reduction']:.1f}x"])
+    print(render_table(
+        rows, title=f"Snapshot bench: {report['fleet_size']} members, "
+                    f"{report['workers']} workers, "
+                    f"{report['rounds']} timed round(s)"))
+    gate = report["gate"]
+    equivalence = report["equivalence"]
+    print(f"\ngate: {gate['speedup']:.2f}x wall-clock / "
+          f"{gate['bytes_reduction']:.1f}x bytes at "
+          f"{gate['dirty_fraction']:.0%} dirty (thresholds "
+          f"{gate['speedup_threshold']:.1f}x / "
+          f"{gate['bytes_threshold']:.1f}x) -> "
+          f"{'pass' if gate['passed'] else 'FAIL'}")
+    print(f"equivalence clean: {equivalence['identical']}")
+    return 0 if gate["passed"] and equivalence["identical"] else 1
 
 
 def _cmd_serve(args) -> int:
@@ -1091,6 +1300,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the lossy-link fault pipeline")
     p.add_argument("--stagger", type=float, default=0.0)
     p.add_argument("--seed", default="cli-snapshot")
+    p.add_argument("--incremental", action="store_true",
+                   help="attach digest trees (required for later "
+                        "--parent delta saves)")
+    p.add_argument("--delta", action="store_true",
+                   help="write a delta checkpoint (requires --parent)")
+    p.add_argument("--parent", default=None, metavar="FILE",
+                   help="resume this checkpoint and write a delta "
+                        "against it instead of a full snapshot")
+    p.add_argument("--verify", action="store_true",
+                   help="restore the written file into a fresh fleet "
+                        "and compare it against the live one")
     p.set_defaults(fn=_cmd_snapshot_save)
 
     p = snap.add_parser("restore",
@@ -1111,6 +1331,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tail", type=int, default=None,
                    help="print only the last N replayed events")
     p.set_defaults(fn=_cmd_snapshot_replay)
+
+    p = snap.add_parser("compact",
+                        help="squash a delta chain into one full file")
+    p.add_argument("file", help="tip of a delta chain from "
+                                "'snapshot save --parent'")
+    p.add_argument("--out", required=True, help="full checkpoint to write")
+    p.set_defaults(fn=_cmd_snapshot_compact)
+
+    p = snap.add_parser("bisect",
+                        help="binary-search a run for the first matching "
+                             "trace event")
+    p.add_argument("files", nargs="+",
+                   help="checkpoint files along one run, oldest first "
+                        "(deltas must chain to their predecessor)")
+    p.add_argument("--match", action="append", required=True,
+                   metavar="KEY=VALUE",
+                   help="record field to match (repeatable; all must "
+                        "match)")
+    p.add_argument("--hi", type=int, default=None,
+                   help="known upper-bound seq (skips the forward scan)")
+    p.add_argument("--max-sweeps", type=int, default=64)
+    p.set_defaults(fn=_cmd_snapshot_bisect)
+
+    p = sub.add_parser("snapshot-bench",
+                       help="delta checkpoints vs full snapshots under "
+                            "an OTA campaign")
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--ram-kb", type=int, default=64)
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--chunk-size", type=int, default=4096)
+    p.add_argument("--out", default=None,
+                   help="write the schema-validated JSON report here")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    p.set_defaults(fn=_cmd_snapshot_bench)
     return parser
 
 

@@ -233,16 +233,27 @@ class Session:
                                 elapsed_seconds=self.sim.now - round_start,
                                 gave_up=gave_up)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, parent: dict | None = None) -> dict:
         """Capture the full session state as a snapshot document.
 
         The session must be quiescent (no scheduled simulation events,
         no context on the CPU stack) -- see :mod:`repro.snapshot`.
+        With ``parent`` (a session-kind document this run descends
+        from), the capture is a ``repro.snapshot.delta/v1`` delta
+        storing only chunks changed since the parent (see
+        :mod:`repro.snapshot.delta`).
         """
-        from ..snapshot import (BlobStore, make_document, snapshot_session)
+        from ..snapshot import (BlobStore, DeltaBase, document_id,
+                                make_delta_document, make_document,
+                                snapshot_session)
         blobs = BlobStore()
-        state = snapshot_session(self, blobs)
-        return make_document("session", state, blobs)
+        if parent is None:
+            state = snapshot_session(self, blobs)
+            return make_document("session", state, blobs)
+        base = DeltaBase.from_document(parent, "session")
+        state = snapshot_session(self, blobs, parent=base.member(0))
+        return make_delta_document("session", state, blobs,
+                                   document_id(parent))
 
     def restore(self, document: dict) -> None:
         """Overwrite this (freshly rebuilt) session from a document.

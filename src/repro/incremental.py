@@ -227,6 +227,25 @@ class DigestTree:
         self.refreshes += 1
         return self._levels[-1][0]
 
+    def leaf_digests(self, backing) -> list[bytes]:
+        """Refresh dirty state and return a copy of the leaf-digest row.
+
+        Leaf ``i`` is the SHA-1 of window chunk ``i`` -- its *content
+        address* -- which is what delta snapshots use to decide which
+        chunks changed since a parent checkpoint and to key the changed
+        chunk payloads in the blob store (see ``repro.snapshot.delta``).
+        Same cost contract as :meth:`root`: O(window) on the first call,
+        O(dirty + log N) afterwards.  Not counted as a :attr:`refreshes`
+        tick -- snapshot capture is not a measurement.
+        """
+        view = memoryview(backing).toreadonly()[
+            self.window_start:self.window_start + self.window_size]
+        if self._levels is None:
+            self._build(view)
+        elif self._dirty:
+            self._refresh(view)
+        return list(self._levels[0])
+
     # -- observability ----------------------------------------------------
 
     def stats(self) -> dict:

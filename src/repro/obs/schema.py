@@ -25,13 +25,16 @@ from .trace import EVENT_KINDS
 __all__ = ["EVENT_SCHEMA", "REGISTRY_SCHEMA", "WALLCLOCK_SCHEMA",
            "ANALYSIS_SCHEMA", "FLEET_SCHEMA", "INCREMENTAL_SCHEMA",
            "SERVICE_SCHEMA", "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMA_ID",
+           "SNAPSHOT_DELTA_SCHEMA", "SNAPSHOT_DELTA_SCHEMA_ID",
+           "SNAPSHOT_BENCH_SCHEMA",
            "METRIC_NAMES", "INVARIANT_NAMES", "LINT_RULE_IDS",
            "TAINT_RULE_IDS",
            "validate_event", "validate_jsonl_trace",
            "validate_registry_dump", "validate_wallclock_report",
            "validate_analysis_report", "validate_fleet_report",
            "validate_incremental_report", "validate_service_report",
-           "validate_snapshot"]
+           "validate_snapshot", "validate_snapshot_delta",
+           "validate_snapshot_report"]
 
 #: The closed vocabulary of metric (counter/gauge/histogram) names the
 #: instrumentation may emit.  `repro.analysis.lint` rule TEL001 checks
@@ -76,6 +79,10 @@ METRIC_NAMES = frozenset({
     "service.admitted",
     "service.rejected",
     "service.rounds",
+    # host-side snapshot blob store (exported on demand via
+    # ``BlobStore.publish``; never published from ``put``)
+    "snapshot.blobs",
+    "snapshot.bytes",
     # host-side state digest cache (exported on demand via
     # ``StateDigestCache.publish``; never published mid-sweep)
     "statecache.evictions",
@@ -348,6 +355,72 @@ _INCREMENTAL_EQUIVALENCE_SCHEMA = {
 }
 
 
+#: Schema of the delta-checkpoint benchmark report
+#: (``BENCH_snapshot.json`` at the repository root, written by
+#: ``benchmarks/bench_snapshot.py``; see ``docs/checkpoint.md``).
+SNAPSHOT_BENCH_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "fleet_size", "ram_kb", "workers", "rounds",
+                 "chunk_size", "points", "gate", "equivalence"],
+    "properties": {
+        "schema": {"type": "string",
+                   "enum": ["repro.perf.snapshot/v1"]},
+        "fleet_size": {"type": "integer", "minimum": 1},
+        "ram_kb": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+        "rounds": {"type": "integer", "minimum": 1},
+        "chunk_size": {"type": "integer", "minimum": 1},
+        "host": {"type": "object"},
+        "points": {"type": "array"},
+        "gate": {"type": "object"},
+        "equivalence": {"type": "object"},
+    },
+}
+
+#: Schema of one dirty-fraction measurement point in the snapshot
+#: report.
+_SNAPSHOT_POINT_SCHEMA = {
+    "type": "object",
+    "required": ["dirty_fraction", "shared_content", "full_seconds",
+                 "delta_seconds", "speedup", "full_bytes", "delta_bytes",
+                 "bytes_reduction", "chain_identical"],
+    "properties": {
+        "dirty_fraction": {"type": "number", "minimum": 0},
+        "shared_content": {"type": "boolean"},
+        "full_seconds": {"type": "number", "minimum": 0},
+        "delta_seconds": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "full_bytes": {"type": "integer", "minimum": 0},
+        "delta_bytes": {"type": "integer", "minimum": 0},
+        "bytes_reduction": {"type": "number", "minimum": 0},
+        "chain_identical": {"type": "boolean"},
+    },
+}
+
+_SNAPSHOT_GATE_SCHEMA = {
+    "type": "object",
+    "required": ["dirty_fraction", "speedup", "speedup_threshold",
+                 "bytes_reduction", "bytes_threshold", "passed"],
+    "properties": {
+        "dirty_fraction": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+        "speedup_threshold": {"type": "number", "minimum": 0},
+        "bytes_reduction": {"type": "number", "minimum": 0},
+        "bytes_threshold": {"type": "number", "minimum": 0},
+        "passed": {"type": "boolean"},
+    },
+}
+
+_SNAPSHOT_EQUIVALENCE_SCHEMA = {
+    "type": "object",
+    "required": ["identical", "mismatched_fields"],
+    "properties": {
+        "identical": {"type": "boolean"},
+        "mismatched_fields": {"type": "array"},
+    },
+}
+
+
 #: Schema of the verifier-service load benchmark report
 #: (``BENCH_service.json`` at the repository root, written by
 #: ``benchmarks/bench_service.py``; see ``docs/service.md``).
@@ -438,6 +511,31 @@ _SNAPSHOT_STATE_REQUIRED = {
     "swarm": ("sweeps_run", "members", "breakers"),
     "fleet": ("workers", "sweeps_run", "shards"),
     "service": ("virtual_now", "members", "buckets"),
+}
+
+#: Version identifier of *delta* checkpoint documents: a checkpoint
+#: recorded against a parent document, carrying per region only the
+#: chunks whose ``DigestTree`` leaves are dirty since the parent (see
+#: ``repro.snapshot.delta`` and ``docs/checkpoint.md``).
+SNAPSHOT_DELTA_SCHEMA_ID = "repro.snapshot.delta/v1"
+
+#: Schema of a delta-checkpoint envelope.  Same shape as
+#: :data:`SNAPSHOT_SCHEMA` plus the mandatory ``parent_id`` -- the
+#: canonical-JSON SHA-1 of the parent document, which chains deltas and
+#: lets restore refuse a mismatched parent.  The service kind has no
+#: region images and therefore no delta form.
+SNAPSHOT_DELTA_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "kind", "blobs", "state", "parent_id"],
+    "properties": {
+        "schema": {"type": "string", "enum": [SNAPSHOT_DELTA_SCHEMA_ID]},
+        "kind": {"type": "string",
+                 "enum": ["session", "swarm", "fleet"]},
+        "blobs": {"type": "object"},
+        "state": {"type": "object"},
+        "parent_id": {"type": "string"},
+        "meta": {"type": "object"},
+    },
 }
 
 
@@ -783,6 +881,65 @@ def validate_snapshot(document: dict) -> list[str]:
             if key not in state:
                 errors.append(f"snapshot.state: missing required key "
                               f"{key!r} for kind {document['kind']!r}")
+    return errors
+
+
+def validate_snapshot_delta(document: dict) -> list[str]:
+    """Validate a decoded ``repro.snapshot.delta/v1`` envelope.
+
+    Same structural checks as :func:`validate_snapshot` (blob keys are
+    content-address hex -- region fingerprints, chunk leaf digests or
+    chunk-index digests -- with string payloads; per-kind state keys)
+    plus the ``parent_id`` chain link.  Whether the parent actually
+    matches is the materialization path's job.
+    """
+    errors = _check(document, SNAPSHOT_DELTA_SCHEMA, "snapshot-delta")
+    if not isinstance(document, dict):
+        return errors
+    blobs = document.get("blobs")
+    if isinstance(blobs, dict):
+        for key, value in blobs.items():
+            if not (isinstance(key, str)
+                    and all(c in "0123456789abcdef" for c in key)):
+                errors.append(f"snapshot-delta.blobs: key {key!r} is not "
+                              f"a hex content address")
+            if not isinstance(value, str):
+                errors.append(f"snapshot-delta.blobs[{key!r}]: payload "
+                              f"must be a base64 string")
+    state = document.get("state")
+    required = _SNAPSHOT_STATE_REQUIRED.get(document.get("kind"))
+    if isinstance(state, dict) and required is not None:
+        for key in required:
+            if key not in state:
+                errors.append(f"snapshot-delta.state: missing required "
+                              f"key {key!r} for kind "
+                              f"{document['kind']!r}")
+    return errors
+
+
+def validate_snapshot_report(report: dict) -> list[str]:
+    """Validate a decoded ``BENCH_snapshot.json`` report object.
+
+    Checks the envelope, every dirty-fraction point, the speedup/bytes
+    gate and the delta-chain equivalence block.  Shape only -- whether
+    the gate *passed* and the equivalence block is clean is policy,
+    enforced by the benchmark itself and ``scripts/delta_smoke.py``.
+    """
+    errors = _check(report, SNAPSHOT_BENCH_SCHEMA, "snapshot")
+    if not isinstance(report, dict):
+        return errors
+    points = report.get("points")
+    for index, point in enumerate(points
+                                  if isinstance(points, list) else []):
+        errors.extend(_check(point, _SNAPSHOT_POINT_SCHEMA,
+                             f"snapshot.points[{index}]"))
+    if isinstance(report.get("gate"), dict):
+        errors.extend(_check(report["gate"], _SNAPSHOT_GATE_SCHEMA,
+                             "snapshot.gate"))
+    if isinstance(report.get("equivalence"), dict):
+        errors.extend(_check(report["equivalence"],
+                             _SNAPSHOT_EQUIVALENCE_SCHEMA,
+                             "snapshot.equivalence"))
     return errors
 
 

@@ -245,6 +245,20 @@ def _shard_restore(state: dict, blobs_encoded: dict) -> None:
     restore_swarm(_SHARD, state, BlobStore.decode(blobs_encoded))
 
 
+def _shard_snapshot_delta(parent_swarm_state: dict,
+                          parent_blobs_encoded: dict) -> dict:
+    """Capture the resident shard as a delta against its slice of a
+    parent checkpoint.  The parent ships pre-subset: just this shard's
+    region fingerprints, chunk-digest indexes and fallback images --
+    O(shard), not O(fleet), across the process boundary."""
+    from ..snapshot import BlobStore, DeltaBase, snapshot_swarm
+    base = DeltaBase.for_swarm_state(
+        parent_swarm_state, BlobStore.decode(parent_blobs_encoded))
+    blobs = BlobStore()
+    return {"swarm": snapshot_swarm(_SHARD, blobs, parent=base),
+            "blobs": blobs.encode()}
+
+
 class FleetEngine:
     """Sharded, cached drop-in for a sequential fleet ``Swarm``.
 
@@ -412,7 +426,7 @@ class FleetEngine:
 
     # -- checkpoint / restore -------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, parent: dict | None = None) -> dict:
         """Capture the whole engine as one ``fleet`` document.
 
         Per-shard swarm payloads (each with its own digest cache) under
@@ -420,24 +434,73 @@ class FleetEngine:
         with the same spec and worker count resumes every shard
         exactly, and :meth:`Swarm.restore <repro.services.swarm.Swarm.\
 restore>` accepts the same document for sequential resume.
+
+        With ``parent`` (a fleet-kind document this engine descends
+        from -- full or delta, same worker count and shard partition),
+        every shard captures a ``repro.snapshot.delta/v1`` delta
+        *in parallel* against its own slice of the parent: each worker
+        receives only its members' parent records, diffs its regions'
+        digest-tree leaves, and ships back O(dirty) chunk blobs.
         """
-        from ..snapshot import BlobStore, make_document, snapshot_swarm
+        from ..snapshot import (BlobStore, DeltaBase, document_id,
+                                make_delta_document, make_document,
+                                parent_blob_keys, snapshot_swarm,
+                                unwrap_parent)
         self.start()
         blobs = BlobStore()
         blocks = partition(self.spec.size, self.workers)
+        if parent is None:
+            if self._swarm is not None:
+                shards = [{"indices": [index for block in blocks
+                                       for index in block],
+                           "swarm": snapshot_swarm(self._swarm, blobs)}]
+            else:
+                shards = []
+                for block, shard in zip(blocks,
+                                        self._gather(_shard_snapshot)):
+                    blobs.merge(BlobStore.decode(shard["blobs"]))
+                    shards.append({"indices": list(block),
+                                   "swarm": shard["swarm"]})
+            state = {"workers": self.workers,
+                     "sweeps_run": self.sweeps_run, "shards": shards}
+            return make_document("fleet", state, blobs)
+
+        parent_state, parent_blobs = unwrap_parent(parent, "fleet")
+        if parent_state["workers"] != self.workers:
+            raise SnapshotError(
+                f"delta parent has {parent_state['workers']} shard(s), "
+                f"engine resolved {self.workers}; delta capture needs "
+                f"matching shard layouts")
+        captured = [shard["indices"] for shard in parent_state["shards"]]
+        if captured != [list(block) for block in blocks]:
+            raise SnapshotError(
+                "shard partition mismatch between delta parent and "
+                "engine")
         if self._swarm is not None:
-            shards = [{"indices": [index for block in blocks
-                                   for index in block],
-                       "swarm": snapshot_swarm(self._swarm, blobs)}]
+            base = DeltaBase.for_swarm_state(
+                parent_state["shards"][0]["swarm"], parent_blobs)
+            shards = [{"indices": captured[0],
+                       "swarm": snapshot_swarm(self._swarm, blobs,
+                                               parent=base)}]
         else:
+            futures = []
+            for pool, parent_shard in zip(self._executors,
+                                          parent_state["shards"]):
+                swarm_state = parent_shard["swarm"]
+                subset = parent_blobs.subset(
+                    parent_blob_keys(swarm_state)).encode()
+                futures.append(pool.submit(_shard_snapshot_delta,
+                                           swarm_state, subset))
             shards = []
-            for block, shard in zip(blocks, self._gather(_shard_snapshot)):
+            for block, future in zip(blocks, futures):
+                shard = future.result()
                 blobs.merge(BlobStore.decode(shard["blobs"]))
                 shards.append({"indices": list(block),
                                "swarm": shard["swarm"]})
         state = {"workers": self.workers, "sweeps_run": self.sweeps_run,
                  "shards": shards}
-        return make_document("fleet", state, blobs)
+        return make_delta_document("fleet", state, blobs,
+                                   document_id(parent))
 
     def restore(self, document: dict) -> None:
         """Overwrite this engine's shards from a ``fleet`` document.

@@ -414,17 +414,49 @@ class Swarm:
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, parent: dict | None = None) -> dict:
         """Capture the whole fleet between sweeps as one document.
 
         Member region images are content-addressed and deduplicated, so
         the document costs O(unique memory histories), not
-        O(members * writable bytes).  See :mod:`repro.snapshot`.
+        O(members * writable bytes).  With ``parent`` (a swarm-kind
+        document this run descends from -- full or delta), the capture
+        is a ``repro.snapshot.delta/v1`` **delta**: per region, only
+        chunks whose digest-tree leaves changed since the parent are
+        stored.  See :mod:`repro.snapshot` and
+        :mod:`repro.snapshot.delta`.
         """
-        from ..snapshot import BlobStore, make_document, snapshot_swarm
+        from ..snapshot import (BlobStore, DeltaBase, document_id,
+                                make_delta_document, make_document,
+                                snapshot_swarm)
         blobs = BlobStore()
-        state = snapshot_swarm(self, blobs)
-        return make_document("swarm", state, blobs)
+        if parent is None:
+            state = snapshot_swarm(self, blobs)
+            return make_document("swarm", state, blobs)
+        base = DeltaBase.from_document(parent, "swarm")
+        state = snapshot_swarm(self, blobs, parent=base)
+        return make_delta_document("swarm", state, blobs,
+                                   document_id(parent))
+
+    def freshness_fingerprint(self) -> str:
+        """SHA-1 over every member's verifier freshness state (next
+        counter, nonce-RNG and challenge-RNG stream positions) -- a
+        cheap cross-check that a restored fleet will issue exactly the
+        challenges the captured one would have."""
+        import hashlib as _hashlib
+        import json as _json
+
+        from ..snapshot import rng_state
+        payload = [{"device": member.device_id,
+                    "next_counter": (member.session.verifier
+                                     .freshness_state.next_counter),
+                    "nonce_rng": rng_state(
+                        member.session.verifier.freshness_state.rng),
+                    "challenge_rng": rng_state(
+                        member.session.verifier._challenge_rng)}
+                   for member in self.members]
+        text = _json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return _hashlib.sha1(text.encode()).hexdigest()
 
     def restore(self, document: dict) -> None:
         """Overwrite this (freshly rebuilt) swarm from a document.

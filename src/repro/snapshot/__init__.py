@@ -23,13 +23,28 @@ Entry points:
   object;
 * :func:`replay_to_seq` -- restore and re-drive a swarm until its
   merged event trace reaches a target sequence number;
-* ``python -m repro snapshot save|restore|replay`` -- the same flow
-  from the command line, with the rebuild spec embedded in the file.
+* ``snapshot(parent=...)`` on each entry point -- **delta** capture
+  (``repro.snapshot.delta/v1``): record only the chunks whose digest-
+  tree leaves changed since a parent checkpoint, with
+  :func:`materialize_chain` / :func:`compact_chain` folding a chain
+  back into a byte-identical full document (see
+  :mod:`repro.snapshot.delta`);
+* :func:`bisect_replay` -- binary-search the merged-trace seq axis for
+  the first record matching a predicate, restarting probes from the
+  nearest checkpoint (see :mod:`repro.snapshot.bisect`);
+* ``python -m repro snapshot save|restore|replay|compact|bisect`` --
+  the same flows from the command line, with the rebuild spec embedded
+  in the file.
 """
 
+from .bisect import bisect_replay, checkpoint_trace_length, linear_scan
 from .blobs import BlobStore
 from .codec import (decode_message, encode_adversary, encode_message,
                     restore_adversary, restore_rng, rng_state)
+from .delta import (DeltaBase, ParentMember, capture_region_delta,
+                    compact_chain, document_id, load_chain,
+                    make_delta_document, materialize_chain,
+                    parent_blob_keys, unwrap_parent, verify_chain)
 from .device import restore_device, snapshot_device
 from .document import (build_swarm_from_spec, flatten_fleet_state,
                        load_document, make_document, save_document,
@@ -45,4 +60,9 @@ __all__ = ["BlobStore", "snapshot_device", "restore_device",
            "unwrap_document", "save_document", "load_document",
            "flatten_fleet_state", "swarm_spec", "build_swarm_from_spec",
            "rng_state", "restore_rng", "encode_message", "decode_message",
-           "encode_adversary", "restore_adversary"]
+           "encode_adversary", "restore_adversary",
+           "DeltaBase", "ParentMember", "capture_region_delta",
+           "compact_chain", "document_id", "load_chain",
+           "make_delta_document", "materialize_chain", "parent_blob_keys",
+           "unwrap_parent", "verify_chain",
+           "bisect_replay", "checkpoint_trace_length", "linear_scan"]

@@ -21,6 +21,8 @@ not the store.
 
 from __future__ import annotations
 
+import hashlib
+
 from ..errors import SnapshotError
 from .codec import b64, unb64
 
@@ -51,7 +53,11 @@ class BlobStore:
         elif existing != data:
             raise SnapshotError(
                 f"blob collision on fingerprint {fingerprint_hex}: two "
-                f"different images claim the same write chain")
+                f"different images claim the same write chain (stored: "
+                f"{len(existing)} bytes, sha1 "
+                f"{hashlib.sha1(existing).hexdigest()}; incoming: "
+                f"{len(data)} bytes, sha1 "
+                f"{hashlib.sha1(bytes(data)).hexdigest()})")
 
     def get(self, fingerprint_hex: str) -> bytes:
         try:
@@ -65,6 +71,38 @@ class BlobStore:
         """Union another store in (collision-checked)."""
         for fingerprint_hex, data in other._blobs.items():
             self.put(fingerprint_hex, data)
+
+    def subset(self, keys) -> "BlobStore":
+        """A new store holding only the given keys that are present.
+
+        Absent keys are skipped, not an error: a delta-snapshot parent
+        legitimately lacks an image blob for regions it recorded as
+        ``unchanged``/``chunks`` (the capture path falls back to a whole
+        blob when a referenced payload is unavailable).  Used to ship
+        each fleet shard only the parent payloads its members reference.
+        """
+        store = BlobStore()
+        for key in keys:
+            data = self._blobs.get(key)
+            if data is not None:
+                store._blobs[key] = data
+        return store
+
+    def stats(self) -> dict:
+        """JSON-ready size counters (no mutation, nothing evicted)."""
+        return {"blobs": len(self._blobs), "bytes": self.total_bytes}
+
+    def publish(self, telemetry) -> None:
+        """Export the size counters as gauges on a telemetry registry.
+
+        Sets ``snapshot.blobs`` / ``snapshot.bytes`` (names registered
+        in :mod:`repro.obs.schema`).  Deliberately not called from
+        ``put``: snapshot capture must not perturb registry dumps, or
+        restored runs would diverge from uninterrupted ones.  Call it
+        when a report wants a checkpoint-size snapshot.
+        """
+        telemetry.set_gauge("snapshot.blobs", len(self._blobs))
+        telemetry.set_gauge("snapshot.bytes", self.total_bytes)
 
     def encode(self) -> dict:
         """JSON form: base64 images keyed by fingerprint hex."""

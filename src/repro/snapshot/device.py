@@ -35,18 +35,33 @@ __all__ = ["snapshot_device", "restore_device"]
 _BUILTIN_CONTEXTS = frozenset({"boot", "Code_Attest", "Code_Clock", "app"})
 
 
-def snapshot_device(device, blobs: BlobStore) -> dict:
-    """Capture ``device``'s mutable state; region images go to ``blobs``."""
+def snapshot_device(device, blobs: BlobStore, parent=None) -> dict:
+    """Capture ``device``'s mutable state; region images go to ``blobs``.
+
+    With a ``parent`` (:class:`repro.snapshot.delta.ParentMember`),
+    region records carry a ``delta`` entry instead of putting the whole
+    window image into ``blobs`` -- only chunks whose digest-tree leaves
+    changed since the parent checkpoint are stored (see
+    :func:`repro.snapshot.delta.capture_region_delta`).  The per-member
+    prefix (below the fingerprint-exclude bound) always travels
+    verbatim either way.
+    """
+    if parent is not None:
+        from .delta import capture_region_delta
     regions = []
     for region in device.memory:
         if region._data is None:
             continue  # MMIO: peripheral state is captured below
         exclude = region.fingerprint_exclude_below
         fingerprint = region._fingerprint.hex()
-        blobs.put(fingerprint, bytes(region._data[exclude:]))
-        regions.append({"name": region.name, "size": region.size,
-                        "exclude": exclude, "fingerprint": fingerprint,
-                        "prefix": b64(bytes(region._data[:exclude]))})
+        record = {"name": region.name, "size": region.size,
+                  "exclude": exclude, "fingerprint": fingerprint,
+                  "prefix": b64(bytes(region._data[:exclude]))}
+        if parent is not None:
+            record["delta"] = capture_region_delta(region, parent, blobs)
+        else:
+            blobs.put(fingerprint, bytes(region._data[exclude:]))
+        regions.append(record)
     snap = {
         "boot_profile": (device.boot_profile.name
                          if device.boot_profile is not None else None),

@@ -25,9 +25,12 @@ sequential swarm runs uncached like the seed path).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from ..errors import SnapshotError
-from ..obs.schema import SNAPSHOT_SCHEMA_ID, validate_snapshot
+from ..obs.schema import (SNAPSHOT_DELTA_SCHEMA_ID, SNAPSHOT_SCHEMA_ID,
+                          validate_snapshot, validate_snapshot_delta)
 from .blobs import BlobStore
 
 __all__ = ["make_document", "unwrap_document", "save_document",
@@ -58,15 +61,35 @@ def unwrap_document(document: dict, kind: str) -> tuple[dict, BlobStore]:
 
 
 def save_document(document: dict, path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(document, handle, sort_keys=True)
-        handle.write("\n")
+    """Write ``document`` atomically: an interrupted save (crash, kill,
+    serialization error mid-write) can never leave a truncated document
+    at ``path`` -- the bytes land in a same-directory temp file first and
+    are published with one ``os.replace``."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_document(path: str) -> dict:
     with open(path) as handle:
         document = json.load(handle)
-    errors = validate_snapshot(document)
+    if (isinstance(document, dict)
+            and document.get("schema") == SNAPSHOT_DELTA_SCHEMA_ID):
+        errors = validate_snapshot_delta(document)
+    else:
+        errors = validate_snapshot(document)
     if errors:
         raise SnapshotError(f"invalid snapshot document {path}: "
                             + "; ".join(errors))
@@ -110,12 +133,14 @@ def swarm_spec(*, size: int, profile: str = "roam-hardened",
                auth_scheme: str = "speck-64/128-cbc-mac",
                policy: str = "counter", ram_kb: int = 16,
                flash_kb: int = 32, app_kb: int = 4, retry: bool = False,
-               faults: bool = False, stagger_seconds: float = 0.0,
+               faults: bool = False, incremental: bool = False,
+               stagger_seconds: float = 0.0,
                seed: str = "cli-snapshot") -> dict:
     """A JSON-ready description of a CLI-built fleet."""
     return {"size": size, "profile": profile, "auth_scheme": auth_scheme,
             "policy": policy, "ram_kb": ram_kb, "flash_kb": flash_kb,
             "app_kb": app_kb, "retry": retry, "faults": faults,
+            "incremental": incremental,
             "stagger_seconds": stagger_seconds, "seed": seed}
 
 
@@ -151,4 +176,6 @@ def build_swarm_from_spec(spec: dict):
                      app_size=spec["app_kb"] * 1024),
                  retry=retry,
                  adversary_factory=lossy_link if spec["faults"] else None,
-                 observe=True, seed=spec["seed"])
+                 observe=True,
+                 incremental=spec.get("incremental", False),
+                 seed=spec["seed"])

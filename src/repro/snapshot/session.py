@@ -32,8 +32,13 @@ from .device import restore_device, snapshot_device
 __all__ = ["snapshot_session", "restore_session"]
 
 
-def snapshot_session(session, blobs: BlobStore) -> dict:
-    """Capture a quiescent session; region images go to ``blobs``."""
+def snapshot_session(session, blobs: BlobStore, parent=None) -> dict:
+    """Capture a quiescent session; region images go to ``blobs``.
+
+    With a ``parent`` (:class:`repro.snapshot.delta.ParentMember`), the
+    device's region records carry chunk deltas against the parent
+    checkpoint instead of whole images (see ``repro.snapshot.delta``).
+    """
     if session.sim.pending:
         raise SnapshotError(
             f"cannot snapshot with {session.sim.pending} simulation "
@@ -45,7 +50,7 @@ def snapshot_session(session, blobs: BlobStore) -> dict:
     return {
         "sim": {"now": session.sim.now,
                 "events_processed": session.sim.events_processed},
-        "device": snapshot_device(session.device, blobs),
+        "device": snapshot_device(session.device, blobs, parent=parent),
         "channel": _snapshot_channel(session.channel),
         "verifier": _snapshot_verifier(session.verifier),
         "verifier_node": _snapshot_verifier_node(session.verifier_node),

@@ -30,13 +30,29 @@ from .session import restore_session, snapshot_session
 __all__ = ["snapshot_swarm", "restore_swarm", "replay_to_seq"]
 
 
-def snapshot_swarm(swarm, blobs: BlobStore) -> dict:
-    """Capture a swarm between sweeps; region images go to ``blobs``."""
+def snapshot_swarm(swarm, blobs: BlobStore, parent=None) -> dict:
+    """Capture a swarm between sweeps; region images go to ``blobs``.
+
+    With a ``parent`` (:class:`repro.snapshot.delta.DeltaBase`), each
+    member's region records carry chunk deltas against the parent
+    checkpoint instead of whole images -- the parent's member identity
+    list must match this swarm's exactly.
+    """
+    if parent is not None:
+        identity = [(member.device_id, member.index)
+                    for member in swarm.members]
+        if parent.identity != identity:
+            raise SnapshotError(
+                f"delta parent member set mismatch: parent has "
+                f"{parent.identity}, swarm has {identity}")
     return {
         "sweeps_run": swarm.sweeps_run,
         "members": [{"device_id": member.device_id, "index": member.index,
-                     "session": snapshot_session(member.session, blobs)}
-                    for member in swarm.members],
+                     "session": snapshot_session(
+                         member.session, blobs,
+                         parent=(parent.member(i) if parent is not None
+                                 else None))}
+                    for i, member in enumerate(swarm.members)],
         "breakers": {device_id: _snapshot_breaker(breaker)
                      for device_id, breaker in swarm.breakers.items()},
         "state_cache": (_snapshot_cache(swarm.state_cache)
@@ -125,14 +141,36 @@ def _restore_breaker(breaker, state: dict) -> None:
 
 
 def _snapshot_cache(cache) -> dict:
-    # Keys are tuples of (start, end, fingerprint) span triples;
-    # insertion order carries the FIFO-eviction semantics.
+    # Insertion order carries the FIFO-eviction semantics.  Two key
+    # shapes exist: history keys are tuples of (start, end, fingerprint)
+    # span triples and encode as the original list-of-triples; content
+    # keys (incremental measurement, see ``Device._content_digest_key``)
+    # are ("content", (start, end, chunk_size, arity, root), ...) and
+    # encode tagged as ["content", [[...], ...]].  Decode dispatches on
+    # the first element -- a string only ever means a content key, so
+    # old documents (whose first element is a triple list) still load.
     return {"hits": cache.hits, "misses": cache.misses,
             "max_entries": cache.max_entries,
-            "entries": [[[[start, end, fingerprint.hex()]
-                          for start, end, fingerprint in key],
-                         digest.hex()]
+            "entries": [[_encode_cache_key(key), digest.hex()]
                         for key, digest in cache._entries.items()]}
+
+
+def _encode_cache_key(key: tuple) -> list:
+    if key and key[0] == "content":
+        return ["content",
+                [[start, end, chunk_size, arity, root.hex()]
+                 for start, end, chunk_size, arity, root in key[1:]]]
+    return [[start, end, fingerprint.hex()]
+            for start, end, fingerprint in key]
+
+
+def _decode_cache_key(spans: list) -> tuple:
+    if spans and spans[0] == "content":
+        return ("content",
+                *((start, end, chunk_size, arity, bytes.fromhex(root))
+                  for start, end, chunk_size, arity, root in spans[1]))
+    return tuple((start, end, bytes.fromhex(fingerprint))
+                 for start, end, fingerprint in spans)
 
 
 def _restore_cache(cache, state: dict) -> None:
@@ -140,8 +178,6 @@ def _restore_cache(cache, state: dict) -> None:
         raise SnapshotError("state-digest cache capacity mismatch")
     cache._entries.clear()
     for spans, digest in state["entries"]:
-        key = tuple((start, end, bytes.fromhex(fingerprint))
-                    for start, end, fingerprint in spans)
-        cache._entries[key] = bytes.fromhex(digest)
+        cache._entries[_decode_cache_key(spans)] = bytes.fromhex(digest)
     cache.hits = state["hits"]
     cache.misses = state["misses"]

@@ -1,0 +1,32 @@
+"""Tier-1 wiring for ``scripts/delta_smoke.py``.
+
+Runs the smoke script exactly as CI would (a subprocess with only
+``PYTHONPATH=src``) so a broken delta path -- a chain that folds to
+something other than the full snapshot, a shard-parallel delta capture
+that drifts, a compaction that loses bytes, or a bisection that misses
+the first matching event or stops beating the linear scan -- fails the
+suite, not just a manual run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "scripts" / "delta_smoke.py"
+ENV = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_smoke(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, env=ENV)
+
+
+class TestDeltaSmokeScript:
+    def test_default_gates_pass(self):
+        proc = run_smoke()
+        assert proc.returncode == 0, proc.stderr
+        assert "delta-smoke: OK" in proc.stderr
+        assert "chain == full" in proc.stderr
+        assert "bisect found seq" in proc.stderr
